@@ -1,0 +1,33 @@
+//! Criterion bench: centralized CDS packing runtime (Theorem 1.2's
+//! `O~(m)`), swept over instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_graph::generators;
+
+fn bench_cds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cds_packing_centralized");
+    group.sample_size(10);
+    for &(n, k) in &[(64usize, 16usize), (128, 24), (256, 32)] {
+        let g = generators::harary(k, n);
+        group.bench_with_input(
+            BenchmarkId::new("harary", format!("n{n}_k{k}_m{}", g.m())),
+            &g,
+            |b, g| {
+                b.iter(|| cds_packing(g, &CdsPackingConfig::with_known_k(k, 5)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let g = generators::harary(16, 128);
+    let p = cds_packing(&g, &CdsPackingConfig::with_known_k(16, 1));
+    c.bench_function("cds_verify_centralized", |b| {
+        b.iter(|| decomp_core::cds::verify::verify_centralized(&g, &p.classes));
+    });
+}
+
+criterion_group!(benches, bench_cds, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: substrate algorithms (exact connectivity, MST, BFS,
+//! distributed primitives) — the per-invocation costs every higher-level
+//! experiment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp_congest::{Model, Simulator};
+use decomp_graph::{connectivity, generators, mst, traversal};
+
+fn bench_substrate(c: &mut Criterion) {
+    let g = generators::harary(8, 128);
+    c.bench_function("vertex_connectivity_harary8_128", |b| {
+        b.iter(|| connectivity::vertex_connectivity(&g));
+    });
+    c.bench_function("edge_connectivity_harary8_128", |b| {
+        b.iter(|| connectivity::edge_connectivity(&g));
+    });
+    c.bench_function("mst_kruskal_harary8_128", |b| {
+        b.iter(|| mst::minimum_spanning_forest(&g, |e| e as f64));
+    });
+    c.bench_function("bfs_harary8_128", |b| {
+        b.iter(|| traversal::bfs(&g, 0));
+    });
+}
+
+fn bench_congest(c: &mut Criterion) {
+    let g = generators::harary(8, 64);
+    c.bench_function("distributed_bfs_harary8_64", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&g, Model::VCongest);
+            decomp_congest::bfs::distributed_bfs(&mut sim, 0).unwrap()
+        });
+    });
+    c.bench_function("distributed_mst_harary8_64", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&g, Model::VCongest);
+            let w: Vec<u64> = (0..g.m() as u64).collect();
+            decomp_congest::mst::distributed_mst(&mut sim, &w).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_substrate, bench_congest);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the MWU spanning-tree packing (Section 5.1) and the
+//! integral variant, swept over connectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp_core::stp::integral::integral_stp;
+use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use decomp_graph::generators;
+
+fn bench_mwu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stp_mwu");
+    group.sample_size(10);
+    for &(k, n) in &[(4usize, 24usize), (6, 24), (8, 32)] {
+        let g = generators::harary(k, n);
+        group.bench_with_input(
+            BenchmarkId::new("harary", format!("n{n}_lambda{k}")),
+            &g,
+            |b, g| {
+                b.iter(|| fractional_stp_mwu(g, k, &MwuConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_integral(c: &mut Criterion) {
+    let g = generators::complete(48);
+    c.bench_function("stp_integral_k48", |b| {
+        b.iter(|| integral_stp(&g, 47, 2.0, 7));
+    });
+}
+
+criterion_group!(benches, bench_mwu, bench_integral);
+criterion_main!(benches);

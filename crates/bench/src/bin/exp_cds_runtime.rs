@@ -1,0 +1,36 @@
+//! E2 — Theorem 1.2: centralized CDS packing runs in `O~(m)`.
+//!
+//! Measures wall time over an `m` sweep and reports `time / (m log² n)`,
+//! which should stay roughly flat if the implementation meets the bound.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_graph::generators;
+use std::time::Instant;
+
+fn main() {
+    let mut t = Table::new(
+        "E2: centralized runtime scaling (Thm 1.2)",
+        &["n", "m", "k", "time_ms", "us_per_m", "us_per_mlog2n"],
+    );
+    for &(n, k) in &[(64usize, 16usize), (128, 24), (256, 32), (512, 48), (1024, 64)] {
+        let g = generators::harary(k, n);
+        let cfg = CdsPackingConfig::with_known_k(k, 5);
+        let start = Instant::now();
+        let packing = cds_packing(&g, &cfg);
+        let elapsed = start.elapsed();
+        assert!(packing.num_classes() >= 1);
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let us = elapsed.as_secs_f64() * 1e6;
+        let logn = (n as f64).log2();
+        t.row(&[
+            d(n),
+            d(g.m()),
+            d(k),
+            f(ms),
+            f(us / g.m() as f64),
+            f(us / (g.m() as f64 * logn * logn)),
+        ]);
+    }
+    t.print();
+}

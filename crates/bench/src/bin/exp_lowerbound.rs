@@ -1,0 +1,93 @@
+//! E10 — Theorem G.2 / Lemmas G.3–G.6: the lower-bound family.
+//!
+//! Verifies the cut dichotomy of `G(X,Y)` (connectivity 4 vs ≥ w = αk+1 at
+//! diameter 3), and compares the achievable distinguishing cost
+//! (min of the hub-relay and path-relay protocols) against the theorem's
+//! `Ω(√(n/(αk log n)))` as `n` grows.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_graph::connectivity::vertex_connectivity;
+use decomp_graph::traversal::diameter;
+use decomp_lowerbound::construction::{build_g, round_lower_bound, LbParams};
+use decomp_lowerbound::simulation::{
+    canonical_instances, distinguishing_cost, simulate_two_party, theorem_g2_params,
+};
+use std::collections::BTreeSet;
+
+fn main() {
+    // --- Cut dichotomy (Lemmas G.3/G.4). --------------------------------
+    let mut t = Table::new(
+        "E10a: G(X,Y) cut structure (Lemma G.4)",
+        &["h", "ell", "w", "n", "diam", "k disjoint", "k intersecting"],
+    );
+    for &(h, ell, w) in &[(4usize, 2usize, 5usize), (6, 2, 8), (4, 3, 6)] {
+        let p = LbParams { h, ell, w };
+        let x: BTreeSet<usize> = (1..=h / 2).collect();
+        let y_disj: BTreeSet<usize> = (h / 2 + 1..=h).collect();
+        let mut y_int = y_disj.clone();
+        y_int.insert(1);
+        let gd = build_g(&p, &x, &y_disj);
+        let gi = build_g(&p, &x, &y_int);
+        t.row(&[
+            d(h),
+            d(ell),
+            d(w),
+            d(gd.graph.n()),
+            d(diameter(&gd.graph).unwrap()),
+            d(vertex_connectivity(&gd.graph)),
+            d(vertex_connectivity(&gi.graph)),
+        ]);
+    }
+    t.print();
+
+    // --- Round scaling (Theorem G.2). ------------------------------------
+    let mut t2 = Table::new(
+        "E10b: distinguishing cost vs theorem bound (Thm G.2)",
+        &["n_target", "alpha*k", "h", "ell", "cost(rounds)", "bound sqrt(n/(ak log n))"],
+    );
+    for &n_target in &[400usize, 1600, 6400, 25_600, 102_400] {
+        let alpha_k = 4;
+        let (p, n_real) = theorem_g2_params(n_target, alpha_k);
+        let cost = distinguishing_cost(&p, n_real);
+        let bound = round_lower_bound(n_real, 1.0, alpha_k);
+        t2.row(&[
+            d(n_target),
+            d(alpha_k),
+            d(p.h),
+            d(p.ell),
+            d(cost),
+            f(bound),
+        ]);
+    }
+    t2.print();
+
+    // --- Two-party transcript (Lemma G.6). -------------------------------
+    let mut t3 = Table::new(
+        "E10c: Alice/Bob transcript (Lemma G.6: 2BT bits)",
+        &["h", "B bits", "rounds T", "cross bits", "2BT"],
+    );
+    for &h in &[64usize, 256, 1024] {
+        let p = LbParams { h, ell: 2, w: 3 };
+        let n = p.g_size(1, 1);
+        let x: BTreeSet<usize> = [1].into();
+        let y: BTreeSet<usize> = [1].into();
+        let (tr, found) = simulate_two_party(&p, &x, &y, n);
+        assert_eq!(found, Some(1));
+        let b = decomp_lowerbound::simulation::bandwidth_bits(n);
+        t3.row(&[
+            d(h),
+            d(b),
+            d(tr.rounds),
+            d(tr.total_bits()),
+            d(2 * b * tr.rounds),
+        ]);
+    }
+    t3.print();
+
+    // Sanity: canonical instances really differ in connectivity.
+    let p = LbParams { h: 4, ell: 2, w: 6 };
+    let (dis, int) = canonical_instances(&p);
+    assert!(vertex_connectivity(&dis.graph) >= p.w);
+    assert_eq!(vertex_connectivity(&int.graph), 4);
+    println!("\ncanonical instances verified: k(disjoint) >= {}, k(intersecting) = 4", p.w);
+}

@@ -1,0 +1,41 @@
+//! E12 — Lemmas F.1/F.2: the MWU iteration dynamics. Prints the max-load
+//! trajectory and the termination ratio for a representative run, plus the
+//! final certified bounds.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use decomp_graph::connectivity::edge_connectivity;
+use decomp_graph::generators;
+
+fn main() {
+    let g = generators::harary(8, 32);
+    let lambda = edge_connectivity(&g);
+    let eps = 0.1;
+    let report = fractional_stp_mwu(
+        &g,
+        lambda,
+        &MwuConfig {
+            epsilon: eps,
+            max_iterations: None,
+        },
+    );
+    let mut t = Table::new(
+        "E12: MWU trace (Lemmas F.1/F.2), harary(8,32), sampled iterations",
+        &["iter", "max_z", "mst_cost_ratio"],
+    );
+    let total = report.iterations.len();
+    let stride = (total / 24).max(1);
+    for (i, it) in report.iterations.iter().enumerate() {
+        if i % stride == 0 || i + 1 == total {
+            t.row(&[d(i), f(it.max_z), f(it.mst_cost_ratio)]);
+        }
+    }
+    t.print();
+    println!(
+        "\niterations = {total}, terminated_by_condition = {}, final_max_z = {:.4} (Lemma F.1 bound: {:.4})",
+        report.terminated_by_condition,
+        report.final_max_z,
+        1.0 + 6.0 * eps
+    );
+    assert!(report.final_max_z <= 1.0 + 6.0 * eps + 1e-6);
+}

@@ -1,0 +1,39 @@
+//! E5 — Integral spanning-tree packings of size `Ω(λ / log n)`
+//! (Section 1.2, "Integral Tree Packings"): random edge partition into
+//! `Θ(λ / log n)` groups, one spanning tree per connected group.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_core::stp::integral::{check_integral_stp, integral_stp};
+use decomp_graph::connectivity::edge_connectivity;
+use decomp_graph::generators;
+
+fn main() {
+    let mut t = Table::new(
+        "E5: integral packing (Ω(λ/log n))",
+        &["family", "n", "lambda", "eta", "trees", "failed", "lambda/logn"],
+    );
+    let cases: Vec<(&str, decomp_graph::Graph)> = vec![
+        ("complete", generators::complete(24)),
+        ("complete", generators::complete(48)),
+        ("complete", generators::complete(96)),
+        ("harary", generators::harary(24, 64)),
+        ("harary", generators::harary(48, 96)),
+        ("rand-reg", generators::random_regular(64, 24, 5)),
+    ];
+    for (name, g) in cases {
+        let lambda = edge_connectivity(&g);
+        let r = integral_stp(&g, lambda, 2.0, 11);
+        check_integral_stp(&g, &r.trees).expect("edge-disjoint spanning trees");
+        let logn = (g.n() as f64).log2();
+        t.row(&[
+            name.to_string(),
+            d(g.n()),
+            d(lambda),
+            d(r.groups),
+            d(r.trees.len()),
+            d(r.failed_groups),
+            f(lambda as f64 / logn),
+        ]);
+    }
+    t.print();
+}

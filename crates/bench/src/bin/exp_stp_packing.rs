@@ -1,0 +1,74 @@
+//! E4 — Theorem 1.3: fractional spanning-tree packing of size
+//! `⌈(λ−1)/2⌉(1−ε)` with per-edge load ≤ 1 and edge multiplicity
+//! `O(log³ n)`, via the MWU engine (λ = O(log n)) and the Karger-sampled
+//! generalization (larger λ).
+
+use decomp_bench::table::{d, f, Table};
+use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use decomp_core::stp::sampled::sampled_stp;
+use decomp_graph::connectivity::edge_connectivity;
+use decomp_graph::generators;
+
+fn main() {
+    let eps = 0.1;
+    let mut t = Table::new(
+        "E4: spanning-tree packing (Thm 1.3)",
+        &[
+            "family", "n", "m", "lambda", "target", "size", "ratio", "maxload",
+            "edge-mult", "log3n", "iters",
+        ],
+    );
+    let cases: Vec<(&str, decomp_graph::Graph)> = vec![
+        ("harary", generators::harary(4, 32)),
+        ("harary", generators::harary(8, 32)),
+        ("harary", generators::harary(12, 48)),
+        ("complete", generators::complete(16)),
+        ("hypercube", generators::hypercube(5)),
+        ("rand-reg", generators::random_regular(40, 8, 3)),
+    ];
+    for (name, g) in cases {
+        let lambda = edge_connectivity(&g);
+        let report = fractional_stp_mwu(&g, lambda, &MwuConfig { epsilon: eps, max_iterations: None });
+        report.packing.validate(&g, 1e-9).expect("feasible");
+        let target = ((lambda as f64 - 1.0) / 2.0).ceil().max(1.0);
+        let loads = report.packing.edge_loads(&g);
+        let maxload = loads.iter().cloned().fold(0.0, f64::max);
+        let logn = (g.n() as f64).log2();
+        t.row(&[
+            name.to_string(),
+            d(g.n()),
+            d(g.m()),
+            d(lambda),
+            f(target),
+            f(report.packing.size()),
+            f(report.packing.size() / target),
+            f(maxload),
+            d(report.packing.max_edge_multiplicity(&g)),
+            f(logn * logn * logn),
+            d(report.iterations.len()),
+        ]);
+    }
+    t.print();
+
+    // Sampled generalization (Section 5.2) on a large-λ instance.
+    let mut t2 = Table::new(
+        "E4b: Karger-sampled packing (Sec 5.2)",
+        &["family", "n", "lambda", "eta", "lambda_sum", "size", "target", "ratio"],
+    );
+    let g = generators::complete(48); // lambda = 47
+    let lambda = 47;
+    let r = sampled_stp(&g, 0.15, 9);
+    r.packing.validate(&g, 1e-9).expect("feasible");
+    let target = ((lambda as f64 - 1.0) / 2.0).ceil();
+    t2.row(&[
+        "complete".into(),
+        d(g.n()),
+        d(lambda),
+        d(r.eta),
+        d(r.lambda_sum),
+        f(r.packing.size()),
+        f(target),
+        f(r.packing.size() / target),
+    ]);
+    t2.print();
+}

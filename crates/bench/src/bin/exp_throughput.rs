@@ -1,0 +1,86 @@
+//! E6 — Corollaries 1.4/1.5: broadcast throughput against the
+//! information-theoretic limits (`k` msgs/round in V-CONGEST, `λ` in
+//! E-CONGEST) and against the single-BFS-tree baseline.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_broadcast::throughput::{edge_throughput, vertex_throughput};
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_core::cds::tree_extract::to_dom_tree_packing;
+use decomp_core::packing::{DomTreePacking, WeightedDomTree};
+use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use decomp_graph::connectivity::edge_connectivity;
+use decomp_graph::generators;
+
+fn main() {
+    // --- Corollary 1.4: V-CONGEST throughput. ---------------------------
+    let mut t = Table::new(
+        "E6a: broadcast throughput, V-CONGEST (Cor 1.4)",
+        &["family", "n", "k", "trees", "msgs/round", "baseline", "limit k"],
+    );
+    for &(k, n) in &[(8usize, 48usize), (16, 64), (24, 96)] {
+        let g = generators::harary(k, n);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 2));
+        let trees = to_dom_tree_packing(&g, &p).packing;
+        let r = vertex_throughput(&g, &trees, k, 4 * n, 5);
+        t.row(&[
+            "harary".into(),
+            d(n),
+            d(k),
+            d(trees.num_trees()),
+            f(r.messages_per_round),
+            f(r.baseline_messages_per_round),
+            d(k),
+        ]);
+    }
+    // The vertex-disjoint regime (what the theorem predicts at k >> log n),
+    // using hand-built disjoint pair trees on K_{t, n-t}.
+    for &tcount in &[4usize, 8, 16] {
+        let n = 96;
+        let g = generators::complete_bipartite(tcount, n - tcount);
+        let packing = DomTreePacking {
+            trees: (0..tcount)
+                .map(|i| WeightedDomTree {
+                    id: i,
+                    weight: 1.0,
+                    edges: vec![(i, tcount + i)],
+                    singleton: None,
+                })
+                .collect(),
+        };
+        let r = vertex_throughput(&g, &packing, tcount, 6 * n, 7);
+        t.row(&[
+            "disjoint-pairs".into(),
+            d(n),
+            d(tcount),
+            d(tcount),
+            f(r.messages_per_round),
+            f(r.baseline_messages_per_round),
+            d(tcount),
+        ]);
+    }
+    t.print();
+
+    // --- Corollary 1.5: E-CONGEST throughput. ---------------------------
+    let mut t2 = Table::new(
+        "E6b: broadcast throughput, E-CONGEST (Cor 1.5)",
+        &["family", "n", "lambda", "rate", "TNW target", "limit"],
+    );
+    for (name, g) in [
+        ("harary", generators::harary(8, 32)),
+        ("harary", generators::harary(12, 48)),
+        ("complete", generators::complete(16)),
+    ] {
+        let lambda = edge_connectivity(&g);
+        let packing = fractional_stp_mwu(&g, lambda, &MwuConfig::default()).packing;
+        let r = edge_throughput(&g, &packing, lambda);
+        t2.row(&[
+            name.into(),
+            d(g.n()),
+            d(lambda),
+            f(r.messages_per_round),
+            d(r.tutte_nash_williams),
+            d(r.limit),
+        ]);
+    }
+    t2.print();
+}

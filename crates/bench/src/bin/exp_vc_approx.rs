@@ -1,0 +1,47 @@
+//! E8 — Corollary 1.7: `O(log n)`-approximation of vertex connectivity.
+//!
+//! Reports the certified packing size `κ` (`κ ≤ k` always) and the ratio
+//! `k / κ`, which should stay within `O(log n)` — centralized and
+//! distributed.
+
+use decomp_bench::table::{d, f, Table};
+use decomp_congest::{Model, Simulator};
+use decomp_core::connectivity_approx::{
+    approx_vertex_connectivity, approx_vertex_connectivity_distributed,
+};
+use decomp_graph::connectivity::vertex_connectivity;
+use decomp_graph::generators;
+
+fn main() {
+    let mut t = Table::new(
+        "E8: vertex-connectivity approximation (Cor 1.7)",
+        &["family", "n", "true k", "kappa", "estimate", "k/kappa", "log n", "dist rounds"],
+    );
+    let cases: Vec<(&str, decomp_graph::Graph)> = vec![
+        ("harary", generators::harary(8, 40)),
+        ("harary", generators::harary(16, 64)),
+        ("harary", generators::harary(32, 96)),
+        ("hypercube", generators::hypercube(5)),
+        ("barbell", generators::barbell(10, 2)),
+        ("clique+3", generators::clique_plus_triples(6)),
+        ("rand-reg", generators::random_regular(48, 10, 3)),
+    ];
+    for (name, g) in cases {
+        let k = vertex_connectivity(&g);
+        let approx = approx_vertex_connectivity(&g, 7);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let dist = approx_vertex_connectivity_distributed(&mut sim, 7).unwrap();
+        assert!(dist.packing_size <= k as f64 + 1e-9);
+        t.row(&[
+            name.into(),
+            d(g.n()),
+            d(k),
+            f(approx.packing_size),
+            d(approx.estimate()),
+            f(k as f64 / approx.packing_size.max(1e-9)),
+            f((g.n() as f64).log2()),
+            d(sim.stats().rounds),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,118 @@
+//! Minimal fixed-width table printer shared by the experiment binaries.
+//!
+//! Every experiment prints (a) a human-readable table and (b) one JSON
+//! line per row (for downstream plotting), in the format
+//! `{"experiment": ..., "row": {...}}`.
+
+use serde::Serialize;
+
+/// A table under construction.
+#[derive(Debug)]
+pub struct Table {
+    experiment: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table for `experiment` with the given column headers.
+    pub fn new(experiment: &str, headers: &[&str]) -> Self {
+        Table {
+            experiment: experiment.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells; must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the table and the per-row JSON lines to stdout.
+    pub fn print(&self) {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        println!("\n== {} ==", self.experiment);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+        for r in &self.rows {
+            let obj: serde_json::Map<String, serde_json::Value> = self
+                .headers
+                .iter()
+                .zip(r)
+                .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
+                .collect();
+            let line = serde_json::json!({"experiment": self.experiment, "row": obj});
+            println!("JSON {line}");
+        }
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an integer-valued cell.
+pub fn d(x: impl std::fmt::Display) -> String {
+    format!("{x}")
+}
+
+/// Serializes any value to one JSON line with an experiment tag.
+pub fn json_line<T: Serialize>(experiment: &str, value: &T) -> String {
+    serde_json::json!({"experiment": experiment, "data": value}).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[d(1), f(2.5)]);
+        t.print();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&[d(1), d(2)]);
+    }
+
+    #[test]
+    fn json_line_contains_tag() {
+        let line = json_line("exp", &42);
+        assert!(line.contains("\"exp\""));
+        assert!(line.contains("42"));
+    }
+}

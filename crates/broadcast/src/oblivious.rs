@@ -1,0 +1,164 @@
+//! Oblivious routing broadcast congestion (Corollary 1.6).
+//!
+//! The routing is *oblivious*: each broadcast message picks a uniformly
+//! random tree of the packing, independent of the load — and the claim is
+//! that the expected maximum congestion is competitive with the offline
+//! optimum: `O(log n)`-competitive vertex congestion via dominating-tree
+//! packings, `O(1)`-competitive edge congestion via spanning-tree packings.
+//!
+//! Offline lower bounds used for the competitive ratios: broadcasting `N`
+//! messages forces ≥ `N/k` load on some vertex of every size-`k` vertex
+//! cut (resp. `N/λ` on some edge of every size-`λ` edge cut), and every
+//! vertex can relay at most one message per round in V-CONGEST, so
+//! `OPT_vertex ≥ max(N/k, N·(n−1)/(n·Δ))`; we use the cut bound, which is
+//! the binding one on our workloads.
+
+use decomp_core::packing::{DomTreePacking, SpanTreePacking};
+use decomp_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Congestion report for oblivious broadcast routing.
+#[derive(Clone, Debug)]
+pub struct CongestionReport {
+    /// Maximum congestion over vertices (resp. edges).
+    pub max_congestion: f64,
+    /// The offline lower bound `N / connectivity`.
+    pub opt_lower_bound: f64,
+    /// Competitive ratio `max_congestion / opt_lower_bound`.
+    pub competitiveness: f64,
+    /// Number of messages routed.
+    pub workload: usize,
+}
+
+/// Routes `workload` broadcast messages obliviously over random trees of a
+/// dominating-tree packing and reports the vertex-congestion
+/// competitiveness against `N/k` (Corollary 1.6: `O(log n)` expected).
+///
+/// Each message loads every vertex of its tree by 1 (the tree relays the
+/// message through each of its vertices once).
+pub fn vertex_congestion(
+    g: &Graph,
+    packing: &DomTreePacking,
+    k: usize,
+    workload: usize,
+    seed: u64,
+) -> CongestionReport {
+    assert!(packing.num_trees() > 0, "need at least one tree");
+    assert!(k >= 1, "connectivity must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n();
+    let tree_vertices: Vec<Vec<usize>> = packing.trees.iter().map(|t| t.vertices(n)).collect();
+    let mut load = vec![0u64; n];
+    for _ in 0..workload {
+        let t = rng.gen_range(0..packing.num_trees());
+        for &v in &tree_vertices[t] {
+            load[v] += 1;
+        }
+    }
+    let max_c = load.into_iter().max().unwrap_or(0) as f64;
+    let opt = workload as f64 / k as f64;
+    CongestionReport {
+        max_congestion: max_c,
+        opt_lower_bound: opt,
+        competitiveness: if opt > 0.0 { max_c / opt } else { f64::INFINITY },
+        workload,
+    }
+}
+
+/// Routes `workload` broadcast messages obliviously over the trees of a
+/// spanning-tree packing, picking each tree with probability proportional
+/// to its weight, and reports edge-congestion competitiveness against
+/// `N/λ` (Corollary 1.6: `O(1)` expected).
+pub fn edge_congestion(
+    g: &Graph,
+    packing: &SpanTreePacking,
+    lambda: usize,
+    workload: usize,
+    seed: u64,
+) -> CongestionReport {
+    assert!(packing.num_trees() > 0, "need at least one tree");
+    assert!(lambda >= 1, "connectivity must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = packing.size();
+    assert!(total > 0.0, "packing must carry weight");
+    let mut load = vec![0u64; g.m()];
+    for _ in 0..workload {
+        // Weighted tree choice.
+        let mut pick = rng.gen_range(0.0..total);
+        let mut idx = packing.num_trees() - 1;
+        for (i, t) in packing.trees.iter().enumerate() {
+            if pick < t.weight {
+                idx = i;
+                break;
+            }
+            pick -= t.weight;
+        }
+        for &e in &packing.trees[idx].edge_indices {
+            load[e] += 1;
+        }
+    }
+    let max_c = load.into_iter().max().unwrap_or(0) as f64;
+    let opt = workload as f64 / lambda as f64;
+    CongestionReport {
+        max_congestion: max_c,
+        opt_lower_bound: opt,
+        competitiveness: if opt > 0.0 { max_c / opt } else { f64::INFINITY },
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+    use decomp_core::cds::tree_extract::to_dom_tree_packing;
+    use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+    use decomp_graph::generators;
+
+    #[test]
+    fn vertex_congestion_polylog_competitive() {
+        let g = generators::harary(16, 64);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(16, 2));
+        let trees = to_dom_tree_packing(&g, &p).packing;
+        let r = vertex_congestion(&g, &trees, 16, 2000, 7);
+        let logn = (64f64).log2();
+        assert!(
+            r.competitiveness <= 8.0 * logn,
+            "competitiveness {} exceeds O(log n)",
+            r.competitiveness
+        );
+        assert!(r.max_congestion >= r.opt_lower_bound);
+    }
+
+    #[test]
+    fn edge_congestion_constant_competitive() {
+        let g = generators::harary(8, 32); // lambda = 8
+        let report = fractional_stp_mwu(&g, 8, &MwuConfig::default());
+        let r = edge_congestion(&g, &report.packing, 8, 2000, 3);
+        assert!(
+            r.competitiveness <= 8.0,
+            "competitiveness {} should be O(1)",
+            r.competitiveness
+        );
+    }
+
+    #[test]
+    fn zero_workload() {
+        let g = generators::cycle(5);
+        let p = cds_packing(&g, &CdsPackingConfig::with_classes(1, 0));
+        let trees = to_dom_tree_packing(&g, &p).packing;
+        let r = vertex_congestion(&g, &trees, 2, 0, 0);
+        assert_eq!(r.max_congestion, 0.0);
+    }
+
+    #[test]
+    fn congestion_scales_linearly_in_workload() {
+        let g = generators::harary(8, 32);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 1));
+        let trees = to_dom_tree_packing(&g, &p).packing;
+        let a = vertex_congestion(&g, &trees, 8, 500, 11);
+        let b = vertex_congestion(&g, &trees, 8, 2000, 11);
+        assert!(b.max_congestion >= 3.0 * a.max_congestion);
+    }
+}

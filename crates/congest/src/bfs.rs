@@ -1,0 +1,181 @@
+//! Distributed BFS-tree construction.
+//!
+//! The paper's standard preamble (Section 2): "by using a simple and
+//! standard BFS tree approach, in `O(D)` rounds, nodes can learn the number
+//! of nodes in the network `n`, and also a 2-approximation of the diameter".
+//! [`distributed_bfs`] builds the tree; combined with
+//! [`crate::aggregate::tree_aggregate`] it yields exactly that preamble.
+
+use crate::message::Message;
+use crate::sim::{Inbox, NodeCtx, NodeProgram, SimError, Simulator};
+use decomp_graph::NodeId;
+
+/// Per-node outcome of a distributed BFS.
+#[derive(Clone, Debug)]
+pub struct DistBfsTree {
+    /// Root of the tree.
+    pub root: NodeId,
+    /// Hop distance from the root (`usize::MAX` if unreached).
+    pub dist: Vec<usize>,
+    /// BFS parent (`usize::MAX` for the root and unreached nodes).
+    pub parent: Vec<NodeId>,
+}
+
+impl DistBfsTree {
+    /// Whether `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v] != usize::MAX
+    }
+
+    /// Children lists derived from the parent pointers.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let n = self.dist.len();
+        let mut ch = vec![Vec::new(); n];
+        for v in 0..n {
+            if v != self.root && self.reached(v) {
+                ch[self.parent[v]].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Depth of the tree (max distance over reached nodes).
+    pub fn depth(&self) -> usize {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Node program: flood (distance) waves from the root; first wave wins.
+struct BfsProgram {
+    root: NodeId,
+    dist: Option<u64>,
+    parent: Option<NodeId>,
+    announced: bool,
+}
+
+impl NodeProgram for BfsProgram {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+        if self.dist.is_none() {
+            if ctx.id() == self.root {
+                self.dist = Some(0);
+            } else {
+                // Adopt the smallest announced distance + 1; ties by
+                // smallest sender id (deterministic).
+                let best = inbox
+                    .iter()
+                    .map(|(from, m)| (m.word(0), *from))
+                    .min();
+                if let Some((d, from)) = best {
+                    self.dist = Some(d + 1);
+                    self.parent = Some(from);
+                }
+            }
+        }
+        if let (Some(d), false) = (self.dist, self.announced) {
+            ctx.broadcast(Message::from_words([d]));
+            self.announced = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        // Quiet unless a first message could still arrive; reactivation on
+        // message arrival handles the unreached case.
+        self.announced || self.dist.is_none()
+    }
+}
+
+/// Runs a BFS from `root` on `sim`'s network. Takes `depth + O(1)` rounds.
+///
+/// # Errors
+/// Propagates [`SimError`] if the run exceeds the simulator's round limit
+/// (cannot happen on finite graphs with the default limit).
+pub fn distributed_bfs(sim: &mut Simulator<'_>, root: NodeId) -> Result<DistBfsTree, SimError> {
+    assert!(root < sim.graph().n(), "root out of range");
+    let programs = (0..sim.graph().n())
+        .map(|_| BfsProgram {
+            root,
+            dist: None,
+            parent: None,
+            announced: false,
+        })
+        .collect();
+    let (programs, _stats) = sim.run_to_quiescence(programs)?;
+    let dist = programs
+        .iter()
+        .map(|p| p.dist.map(|d| d as usize).unwrap_or(usize::MAX))
+        .collect();
+    let parent = programs
+        .iter()
+        .map(|p| p.parent.unwrap_or(usize::MAX))
+        .collect();
+    Ok(DistBfsTree { root, dist, parent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Model;
+    use decomp_graph::{generators, traversal};
+
+    #[test]
+    fn matches_centralized_bfs_distances() {
+        for seed in 0..5 {
+            let g = generators::random_connected(24, 12, seed);
+            let reference = traversal::bfs(&g, 0);
+            let mut sim = Simulator::new(&g, Model::VCongest);
+            let tree = distributed_bfs(&mut sim, 0).unwrap();
+            assert_eq!(tree.dist, reference.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parent_is_one_closer() {
+        let g = generators::grid(4, 5);
+        let mut sim = Simulator::new(&g, Model::ECongest);
+        let t = distributed_bfs(&mut sim, 7).unwrap();
+        for v in g.vertices() {
+            if v != 7 && t.reached(v) {
+                assert_eq!(t.dist[t.parent[v]] + 1, t.dist[v]);
+                assert!(g.has_edge(v, t.parent[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_nodes_marked() {
+        let g = decomp_graph::Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let t = distributed_bfs(&mut sim, 0).unwrap();
+        assert!(t.reached(1));
+        assert!(!t.reached(2));
+        assert!(!t.reached(3));
+    }
+
+    #[test]
+    fn round_count_tracks_depth() {
+        let g = generators::path(30);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let t = distributed_bfs(&mut sim, 0).unwrap();
+        assert_eq!(t.depth(), 29);
+        let rounds = sim.stats().rounds;
+        assert!(
+            (29..=35).contains(&rounds),
+            "BFS on a 30-path should take ~30 rounds, got {rounds}"
+        );
+    }
+
+    #[test]
+    fn children_consistent() {
+        let g = generators::star(6);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let t = distributed_bfs(&mut sim, 0).unwrap();
+        let ch = t.children();
+        assert_eq!(ch[0].len(), 5);
+        assert!(ch[1].is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Leader election by extremum flooding.
+//!
+//! The spanning-tree packing (Section 5.1) makes its continue/terminate
+//! decision "centrally — in a leader node, e.g., the node with the largest
+//! id". [`elect_leader`] floods the maximum `(value, id)` pair through the
+//! network in `O(D)` rounds; every node learns the winner.
+
+use crate::message::Message;
+use crate::sim::{Inbox, NodeCtx, NodeProgram, SimError, Simulator};
+use decomp_graph::NodeId;
+
+struct FloodMax {
+    /// Best (value, id) seen so far.
+    best: (u64, u64),
+    /// Whether `best` still needs to be announced.
+    dirty: bool,
+}
+
+impl NodeProgram for FloodMax {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+        for (_, m) in inbox {
+            let cand = (m.word(0), m.word(1));
+            if cand > self.best {
+                self.best = cand;
+                self.dirty = true;
+            }
+        }
+        if self.dirty {
+            ctx.broadcast(Message::from_words([self.best.0, self.best.1]));
+            self.dirty = false;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.dirty
+    }
+}
+
+/// Floods the maximum `(value[v], v)` pair; returns the winning node id.
+///
+/// All nodes learn the same winner (on connected graphs). Runs in
+/// `O(D)` rounds.
+///
+/// # Errors
+/// Propagates simulator round-limit errors.
+pub fn flood_max(sim: &mut Simulator<'_>, values: &[u64]) -> Result<NodeId, SimError> {
+    assert_eq!(values.len(), sim.graph().n(), "one value per node");
+    let programs = (0..sim.graph().n())
+        .map(|v| FloodMax {
+            best: (values[v], v as u64),
+            dirty: true,
+        })
+        .collect();
+    let (programs, _) = sim.run_to_quiescence(programs)?;
+    Ok(programs[0].best.1 as usize)
+}
+
+/// Elects the node with the largest id as leader (all nodes learn it).
+pub fn elect_leader(sim: &mut Simulator<'_>) -> Result<NodeId, SimError> {
+    let values = vec![0u64; sim.graph().n()];
+    flood_max(sim, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Model;
+    use decomp_graph::generators;
+
+    #[test]
+    fn leader_is_max_id() {
+        let g = generators::cycle(9);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        assert_eq!(elect_leader(&mut sim).unwrap(), 8);
+    }
+
+    #[test]
+    fn flood_max_finds_value_winner() {
+        let g = generators::path(6);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let winner = flood_max(&mut sim, &[1, 9, 3, 9, 2, 0]).unwrap();
+        // ties broken by larger id
+        assert_eq!(winner, 3);
+    }
+
+    #[test]
+    fn rounds_proportional_to_diameter() {
+        let g = generators::path(40);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        flood_max(&mut sim, &(0..40).map(|v| v as u64).collect::<Vec<_>>()).unwrap();
+        let rounds = sim.stats().rounds;
+        assert!(
+            (39..=45).contains(&rounds),
+            "flooding a 40-path should take ~40 rounds, got {rounds}"
+        );
+    }
+
+    #[test]
+    fn works_in_econgest() {
+        let g = generators::complete(5);
+        let mut sim = Simulator::new(&g, Model::ECongest);
+        assert_eq!(elect_leader(&mut sim).unwrap(), 4);
+    }
+}

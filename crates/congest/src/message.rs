@@ -1,0 +1,146 @@
+//! Bounded-size messages.
+//!
+//! The CONGEST models allow `O(log n)` bits per message. We count message
+//! size in *words*: one word holds one `O(log n)`-bit quantity (a node id,
+//! a class number, a component id, a rounded weight — footnote 6 of the
+//! paper justifies rounding weights to `O(log n)` bits). A message may
+//! carry a small constant number of words; the simulator enforces the
+//! per-message word budget ([`crate::sim::Simulator::with_word_budget`]).
+
+/// A message payload: a short sequence of words.
+///
+/// # Example
+///
+/// ```
+/// use decomp_congest::Message;
+///
+/// let m = Message::from_words([3, 42]);
+/// assert_eq!(m.words(), &[3, 42]);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Message(Vec<u64>);
+
+impl Message {
+    /// An empty message (still counts as one message on the wire).
+    pub fn new() -> Self {
+        Message(Vec::new())
+    }
+
+    /// A message from an iterator of words.
+    pub fn from_words(words: impl IntoIterator<Item = u64>) -> Self {
+        Message(words.into_iter().collect())
+    }
+
+    /// The payload words.
+    pub fn words(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Appends a word (builder style).
+    pub fn push(mut self, w: u64) -> Self {
+        self.0.push(w);
+        self
+    }
+
+    /// Word at position `i`, if present.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        self.0.get(i).copied()
+    }
+
+    /// Word at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn word(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Word at position `i` reinterpreted as `f64`
+    /// (for MWU cost exchange; see module docs).
+    pub fn word_as_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.0[i])
+    }
+
+    /// Appends an `f64` as its bit pattern.
+    pub fn push_f64(self, x: f64) -> Self {
+        self.push(x.to_bits())
+    }
+}
+
+impl Default for Message {
+    fn default() -> Self {
+        Message::new()
+    }
+}
+
+impl From<Vec<u64>> for Message {
+    fn from(v: Vec<u64>) -> Self {
+        Message(v)
+    }
+}
+
+/// Encodes an `Option<u64>` where `u64::MAX` means `None` (node ids and
+/// component ids never reach `u64::MAX`).
+pub const NONE_WORD: u64 = u64::MAX;
+
+/// Helper: encode `Option<u64>` into a word.
+pub fn encode_opt(x: Option<u64>) -> u64 {
+    x.unwrap_or(NONE_WORD)
+}
+
+/// Helper: decode a word into `Option<u64>`.
+pub fn decode_opt(w: u64) -> Option<u64> {
+    if w == NONE_WORD {
+        None
+    } else {
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_words() {
+        let m = Message::new().push(7).push(9);
+        assert_eq!(m.words(), &[7, 9]);
+        assert_eq!(m.get(1), Some(9));
+        assert_eq!(m.get(2), None);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let m = Message::new().push_f64(3.5);
+        assert_eq!(m.word_as_f64(0), 3.5);
+    }
+
+    #[test]
+    fn opt_encoding() {
+        assert_eq!(decode_opt(encode_opt(Some(5))), Some(5));
+        assert_eq!(decode_opt(encode_opt(None)), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Message::default().is_empty());
+        assert_eq!(Message::default().len(), 0);
+    }
+
+    #[test]
+    fn from_vec() {
+        let m: Message = vec![1, 2, 3].into();
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,612 @@
+//! The synchronous round-based simulator.
+//!
+//! A [`Simulator`] wraps a [`Graph`] as the communication network and runs
+//! [`NodeProgram`]s in lockstep rounds, enforcing the bandwidth constraints
+//! of the selected [`Model`] and accounting rounds / messages / words.
+//!
+//! Messages sent in round `r` are delivered at the start of round `r + 1`.
+//! A run terminates when every program reports [`NodeProgram::is_done`] and
+//! no messages are in flight (quiescence), or errors when `max_rounds` is
+//! exceeded.
+//!
+//! Composite algorithms (the paper's packing constructions are sequences of
+//! phases synchronized by round counters) run several programs back to
+//! back on one simulator; the cumulative statistics add up across runs.
+
+use crate::message::Message;
+use decomp_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The communication model (paper, Section 1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Each node sends one message per round to *all* neighbors
+    /// (local broadcast); congestion sits in the vertices.
+    VCongest,
+    /// One message per round per edge *direction*; the classical CONGEST
+    /// model.
+    ECongest,
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Model::VCongest => write!(f, "V-CONGEST"),
+            Model::ECongest => write!(f, "E-CONGEST"),
+        }
+    }
+}
+
+/// Cost accounting for one run (and cumulatively for a simulator).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Point-to-point messages delivered (a V-CONGEST broadcast to `d`
+    /// neighbors counts as `d` messages).
+    pub messages: usize,
+    /// Total payload words delivered.
+    pub words: usize,
+}
+
+impl RunStats {
+    fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+    }
+}
+
+/// Errors a run can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol did not reach quiescence within `max_rounds`.
+    ExceededMaxRounds {
+        /// The limit that was hit.
+        max_rounds: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ExceededMaxRounds { max_rounds } => {
+                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Messages delivered to a node this round, as `(sender, message)` pairs
+/// sorted by sender id.
+pub type Inbox = [(NodeId, Message)];
+
+enum Outbox {
+    /// V-CONGEST: at most one local-broadcast message.
+    Broadcast(Option<Message>),
+    /// E-CONGEST: at most one message per neighbor (indexed like
+    /// `graph.neighbors(v)`).
+    PerNeighbor(Vec<Option<Message>>),
+}
+
+/// Per-round context handed to a [`NodeProgram`].
+///
+/// Provides the node's identity, topology view (its neighbor list — the
+/// `KT1`-style initial knowledge the paper assumes after one round), the
+/// global parameters `n` (learned in the standard `O(D)` preamble), a
+/// per-node deterministic RNG, and the send API.
+pub struct NodeCtx<'a> {
+    id: NodeId,
+    n: usize,
+    round: usize,
+    neighbors: &'a [NodeId],
+    model: Model,
+    word_budget: usize,
+    outbox: &'a mut Outbox,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round number within the running protocol (0-based).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Sorted neighbor ids.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The model this network runs.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Per-node deterministic RNG (the "private coins" of the model).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `m` to all neighbors (allowed in both models; in V-CONGEST it
+    /// is the *only* send primitive).
+    ///
+    /// # Panics
+    /// Panics if called twice in one round, after a targeted
+    /// [`NodeCtx::send`] this round, or if `m` exceeds the word budget.
+    pub fn broadcast(&mut self, m: Message) {
+        self.check_budget(&m);
+        match self.outbox {
+            Outbox::Broadcast(slot) => {
+                assert!(
+                    slot.is_none(),
+                    "V-CONGEST violation: node {} broadcast twice in round {}",
+                    self.id,
+                    self.round
+                );
+                *slot = Some(m);
+            }
+            Outbox::PerNeighbor(slots) => {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    assert!(
+                        slot.is_none(),
+                        "E-CONGEST violation: node {} already sent to neighbor {} in round {}",
+                        self.id,
+                        self.neighbors[i],
+                        self.round
+                    );
+                    *slot = Some(m.clone());
+                }
+            }
+        }
+    }
+
+    /// Sends `m` to the single neighbor `to` (E-CONGEST only).
+    ///
+    /// # Panics
+    /// Panics in V-CONGEST, if `to` is not a neighbor, if this edge
+    /// direction was already used this round, or on word-budget overflow.
+    pub fn send(&mut self, to: NodeId, m: Message) {
+        self.check_budget(&m);
+        match self.outbox {
+            Outbox::Broadcast(_) => panic!(
+                "V-CONGEST violation: node {} attempted a targeted send (only local broadcast is allowed)",
+                self.id
+            ),
+            Outbox::PerNeighbor(slots) => {
+                let idx = self
+                    .neighbors
+                    .binary_search(&to)
+                    .unwrap_or_else(|_| panic!("node {} is not a neighbor of {}", to, self.id));
+                assert!(
+                    slots[idx].is_none(),
+                    "E-CONGEST violation: node {} sent twice to {} in round {}",
+                    self.id,
+                    to,
+                    self.round
+                );
+                slots[idx] = Some(m);
+            }
+        }
+    }
+
+    fn check_budget(&self, m: &Message) {
+        assert!(
+            m.len() <= self.word_budget,
+            "message of {} words exceeds the {}-word budget (node {}, round {})",
+            m.len(),
+            self.word_budget,
+            self.id,
+            self.round
+        );
+    }
+}
+
+/// A per-node state machine executed by the simulator.
+///
+/// `round` is invoked every round while the node is active; a node is
+/// *active* in round 0, whenever its inbox is non-empty, and whenever
+/// `is_done()` is false. Nodes may therefore go quiet and be reawakened by
+/// incoming messages (the pattern used by label-propagation primitives).
+pub trait NodeProgram {
+    /// Executes one round: read `inbox`, update state, send via `ctx`.
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox);
+
+    /// Local termination flag; the run stops at global quiescence
+    /// (all done + no messages in flight).
+    fn is_done(&self) -> bool;
+}
+
+/// The synchronous simulator. See the [module docs](self) for semantics.
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    model: Model,
+    word_budget: usize,
+    rngs: Vec<StdRng>,
+    cumulative: RunStats,
+}
+
+/// Default per-message payload budget, in words. Each word models one
+/// `O(log n)`-bit field; the paper's messages carry a constant number of
+/// ids/labels per message.
+pub const DEFAULT_WORD_BUDGET: usize = 8;
+
+impl<'g> Simulator<'g> {
+    /// A simulator over `graph` in `model` with the default word budget and
+    /// seed 0.
+    pub fn new(graph: &'g Graph, model: Model) -> Self {
+        Self::with_seed(graph, model, 0)
+    }
+
+    /// A simulator with an explicit base seed for the nodes' private coins.
+    pub fn with_seed(graph: &'g Graph, model: Model, seed: u64) -> Self {
+        let rngs = (0..graph.n())
+            .map(|v| StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (v as u64)))
+            .collect();
+        Simulator {
+            graph,
+            model,
+            word_budget: DEFAULT_WORD_BUDGET,
+            rngs,
+            cumulative: RunStats::default(),
+        }
+    }
+
+    /// Overrides the per-message word budget.
+    pub fn with_word_budget(mut self, words: usize) -> Self {
+        self.word_budget = words;
+        self
+    }
+
+    /// The underlying network graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Cumulative statistics across all runs on this simulator.
+    pub fn stats(&self) -> RunStats {
+        self.cumulative
+    }
+
+    /// Adds externally-charged rounds to the cumulative statistics.
+    ///
+    /// Used for the documented substitutions (DESIGN.md §3): when a paper
+    /// subroutine is replaced by a centralized oracle, its theoretical
+    /// distributed cost is charged here so round totals remain meaningful.
+    pub fn charge_rounds(&mut self, rounds: usize) {
+        self.cumulative.rounds += rounds;
+    }
+
+    /// Runs `programs` (one per node, indexed by node id) until quiescence.
+    ///
+    /// Returns the final program states and this run's statistics.
+    ///
+    /// # Errors
+    /// [`SimError::ExceededMaxRounds`] if quiescence is not reached within
+    /// `max_rounds`.
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != graph.n()`, or on model violations
+    /// inside program code (see [`NodeCtx`]).
+    pub fn run<P: NodeProgram>(
+        &mut self,
+        mut programs: Vec<P>,
+        max_rounds: usize,
+    ) -> Result<(Vec<P>, RunStats), SimError> {
+        let n = self.graph.n();
+        assert_eq!(programs.len(), n, "need one program per node");
+        let mut stats = RunStats::default();
+        // inboxes[v] = messages to deliver to v at the start of this round
+        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+        let mut round = 0usize;
+        loop {
+            if round >= max_rounds {
+                self.cumulative.absorb(stats);
+                return Err(SimError::ExceededMaxRounds { max_rounds });
+            }
+            let mut next_inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+            let mut any_sent = false;
+            for v in 0..n {
+                let active = round == 0 || !inboxes[v].is_empty() || !programs[v].is_done();
+                if !active {
+                    continue;
+                }
+                inboxes[v].sort_by_key(|(from, _)| *from);
+                let neighbors = self.graph.neighbors(v);
+                let mut outbox = match self.model {
+                    Model::VCongest => Outbox::Broadcast(None),
+                    Model::ECongest => Outbox::PerNeighbor(vec![None; neighbors.len()]),
+                };
+                {
+                    let mut ctx = NodeCtx {
+                        id: v,
+                        n,
+                        round,
+                        neighbors,
+                        model: self.model,
+                        word_budget: self.word_budget,
+                        outbox: &mut outbox,
+                        rng: &mut self.rngs[v],
+                    };
+                    programs[v].round(&mut ctx, &inboxes[v]);
+                }
+                match outbox {
+                    Outbox::Broadcast(Some(m)) => {
+                        any_sent = true;
+                        for &u in neighbors {
+                            stats.messages += 1;
+                            stats.words += m.len();
+                            next_inboxes[u].push((v, m.clone()));
+                        }
+                    }
+                    Outbox::Broadcast(None) => {}
+                    Outbox::PerNeighbor(slots) => {
+                        for (i, slot) in slots.into_iter().enumerate() {
+                            if let Some(m) = slot {
+                                any_sent = true;
+                                stats.messages += 1;
+                                stats.words += m.len();
+                                next_inboxes[neighbors[i]].push((v, m));
+                            }
+                        }
+                    }
+                }
+            }
+            stats.rounds += 1;
+            round += 1;
+            inboxes = next_inboxes;
+            let all_done = programs.iter().all(|p| p.is_done());
+            if all_done && !any_sent {
+                break;
+            }
+        }
+        self.cumulative.absorb(stats);
+        Ok((programs, stats))
+    }
+
+    /// [`Simulator::run`] with a generous default round limit of
+    /// `64 * n + 4096`.
+    pub fn run_to_quiescence<P: NodeProgram>(
+        &mut self,
+        programs: Vec<P>,
+    ) -> Result<(Vec<P>, RunStats), SimError> {
+        let limit = 64 * self.graph.n() + 4096;
+        self.run(programs, limit)
+    }
+}
+
+impl fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("n", &self.graph.n())
+            .field("model", &self.model)
+            .field("stats", &self.cumulative)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::generators;
+
+    /// Every node broadcasts its id once; neighbors record what they heard.
+    struct HelloOnce {
+        heard: Vec<NodeId>,
+        sent: bool,
+    }
+
+    impl NodeProgram for HelloOnce {
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+            for (from, _m) in inbox {
+                self.heard.push(*from);
+            }
+            if !self.sent {
+                ctx.broadcast(Message::from_words([ctx.id() as u64]));
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn hello_exchange_on_cycle() {
+        let g = generators::cycle(5);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let programs = (0..5)
+            .map(|_| HelloOnce {
+                heard: Vec::new(),
+                sent: false,
+            })
+            .collect();
+        let (programs, stats) = sim.run(programs, 10).unwrap();
+        // Each node hears exactly its two neighbors.
+        for (v, p) in programs.iter().enumerate() {
+            let mut heard = p.heard.clone();
+            heard.sort_unstable();
+            assert_eq!(heard, g.neighbors(v));
+        }
+        assert_eq!(stats.rounds, 2); // send round + delivery round
+        assert_eq!(stats.messages, 10); // 5 broadcasts x degree 2
+    }
+
+    #[test]
+    fn exceeding_round_limit_errors() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl NodeProgram for Chatter {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                ctx.broadcast(Message::new());
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let err = sim.run(vec![Chatter, Chatter, Chatter], 5).unwrap_err();
+        assert_eq!(err, SimError::ExceededMaxRounds { max_rounds: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "V-CONGEST violation")]
+    fn double_broadcast_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                ctx.broadcast(Message::new());
+                ctx.broadcast(Message::new());
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let _ = sim.run(vec![Bad, Bad], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "targeted send")]
+    fn vcongest_rejects_targeted_send() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                let to = ctx.neighbors()[0];
+                ctx.send(to, Message::new());
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let _ = sim.run(vec![Bad, Bad], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word budget")]
+    fn word_budget_enforced() {
+        struct Fat;
+        impl NodeProgram for Fat {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                ctx.broadcast(Message::from_words(0..100));
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let _ = sim.run(vec![Fat, Fat], 3);
+    }
+
+    #[test]
+    fn econgest_targeted_sends() {
+        /// Node 0 sends distinct words to each neighbor.
+        struct Sender;
+        struct Receiver {
+            got: Option<u64>,
+        }
+        enum P {
+            S(Sender),
+            R(Receiver),
+        }
+        impl NodeProgram for P {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+                match self {
+                    P::S(_) => {
+                        if ctx.round() == 0 {
+                            for (i, &nb) in ctx.neighbors().to_vec().iter().enumerate() {
+                                ctx.send(nb, Message::from_words([i as u64 * 10]));
+                            }
+                        }
+                    }
+                    P::R(r) => {
+                        if let Some((_, m)) = inbox.first() {
+                            r.got = Some(m.word(0));
+                        }
+                    }
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::star(4); // center 0
+        let mut sim = Simulator::new(&g, Model::ECongest);
+        let programs = vec![
+            P::S(Sender),
+            P::R(Receiver { got: None }),
+            P::R(Receiver { got: None }),
+            P::R(Receiver { got: None }),
+        ];
+        let (programs, _) = sim.run(programs, 5).unwrap();
+        for (i, p) in programs.iter().enumerate().skip(1) {
+            if let P::R(r) = p {
+                assert_eq!(r.got, Some((i as u64 - 1) * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn charge_rounds_accumulates() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        sim.charge_rounds(100);
+        assert_eq!(sim.stats().rounds, 100);
+    }
+
+    #[test]
+    fn rng_deterministic_per_seed() {
+        use rand::Rng;
+        struct Roll {
+            value: Option<u64>,
+        }
+        impl NodeProgram for Roll {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                if self.value.is_none() {
+                    self.value = Some(ctx.rng().gen());
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.value.is_some()
+            }
+        }
+        let g = generators::path(3);
+        let roll = |seed| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, seed);
+            let (ps, _) = sim
+                .run((0..3).map(|_| Roll { value: None }).collect(), 4)
+                .unwrap();
+            ps.into_iter().map(|p| p.value.unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(roll(7), roll(7));
+        assert_ne!(roll(7), roll(8));
+    }
+}

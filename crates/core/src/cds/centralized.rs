@@ -1,0 +1,532 @@
+//! Centralized CDS-packing (Theorem 1.2, Appendix C) — `O(m log² n)`.
+//!
+//! The algorithm of Section 3.1:
+//!
+//! 1. build the virtual graph (`Θ(log n)` virtual nodes per real node,
+//!    organized in `L` layers × 3 types);
+//! 2. **jump start** — virtual nodes of layers `0..L/2` join uniformly
+//!    random classes among `t = Θ(k)` classes (gives domination w.h.p.,
+//!    Lemma 4.1);
+//! 3. **recursive class assignment** — for each layer, type-1/3 new nodes
+//!    join random classes, the *bridging graph* between old components and
+//!    type-2 new nodes is formed (deactivating components already merged by
+//!    type-1 connectors), and a maximal matching decides the type-2
+//!    assignments (Lemma 4.4 drives the component count down by a constant
+//!    factor per layer);
+//! 4. project classes to real nodes: each class is a CDS w.h.p., and each
+//!    real node lies in at most `3L = O(log n)` classes.
+//!
+//! Components of each class's virtual subgraph are tracked with a
+//! disjoint-set forest exactly as Appendix C prescribes. Per-layer
+//! instrumentation (`M_ℓ`, matches, deactivations) feeds the Fast-Merger
+//! experiment (Lemma 4.4 / E11).
+
+use crate::virtual_graph::{default_layers, VirtualLayout, VType, VirtualId};
+use decomp_graph::unionfind::UnionFind;
+use decomp_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`cds_packing`].
+#[derive(Clone, Debug)]
+pub struct CdsPackingConfig {
+    /// Number of classes `t = Θ(k)`. `with_known_k` derives it from the
+    /// connectivity estimate.
+    pub num_classes: usize,
+    /// Layer-count multiplier: `L = layers_factor · ⌈log₂ n⌉` (even, ≥ 4).
+    pub layers_factor: f64,
+    /// RNG seed (experiments are reproducible per seed).
+    pub seed: u64,
+}
+
+/// Default ratio `t / k`. The Fast-Merger analysis (Lemma 4.5) needs
+/// `t` a sufficiently small constant fraction of `k` so that
+/// `E[Z] = k′/(4t) > 1`; one quarter works well across our benchmarks.
+pub const DEFAULT_CLASSES_PER_K: f64 = 0.25;
+
+/// Default `layers_factor`.
+pub const DEFAULT_LAYERS_FACTOR: f64 = 3.0;
+
+impl CdsPackingConfig {
+    /// Configuration from a known (or 2-approximated) vertex connectivity.
+    ///
+    /// Sets `t = max(1, ⌊k/4⌋)` classes.
+    pub fn with_known_k(k: usize, seed: u64) -> Self {
+        let t = ((k as f64 * DEFAULT_CLASSES_PER_K).floor() as usize).max(1);
+        CdsPackingConfig {
+            num_classes: t,
+            layers_factor: DEFAULT_LAYERS_FACTOR,
+            seed,
+        }
+    }
+
+    /// Configuration with an explicit class count `t`.
+    pub fn with_classes(t: usize, seed: u64) -> Self {
+        assert!(t >= 1, "need at least one class");
+        CdsPackingConfig {
+            num_classes: t,
+            layers_factor: DEFAULT_LAYERS_FACTOR,
+            seed,
+        }
+    }
+}
+
+/// Per-layer instrumentation of the recursive class assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// The layer whose nodes were being assigned.
+    pub layer: usize,
+    /// `M_ℓ`: total excess components (Σ_i max(0, N_i − 1)) before this
+    /// layer's assignments were merged in.
+    pub excess_before: usize,
+    /// `M_{ℓ+1}` after merging in this layer.
+    pub excess_after: usize,
+    /// Type-2 new nodes matched through the bridging graph.
+    pub matched: usize,
+    /// Components deactivated by type-1 connectors.
+    pub deactivated: usize,
+}
+
+/// The result of the CDS-packing construction.
+#[derive(Clone, Debug)]
+pub struct CdsPacking {
+    /// Virtual-graph layout used.
+    pub layout: VirtualLayout,
+    /// Number of classes `t`.
+    pub num_classes: usize,
+    /// Class of each virtual node.
+    pub class_of: Vec<Option<u32>>,
+    /// Projected real vertex set of each class (sorted).
+    pub classes: Vec<Vec<NodeId>>,
+    /// Per-layer merge statistics (recursive layers only).
+    pub trace: Vec<LayerTrace>,
+}
+
+impl CdsPacking {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Maximum number of classes any real node belongs to
+    /// (the `O(log n)` bound of Theorem 1.2).
+    pub fn max_real_multiplicity(&self) -> usize {
+        let n = self.layout.n();
+        let mut count = vec![0usize; n];
+        for (i, class) in self.classes.iter().enumerate() {
+            let _ = i;
+            for &v in class {
+                count[v] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Membership mask for one class.
+    pub fn class_mask(&self, class: usize) -> Vec<bool> {
+        let mut mask = vec![false; self.layout.n()];
+        for &v in &self.classes[class] {
+            mask[v] = true;
+        }
+        mask
+    }
+}
+
+/// The potential-matches entry per `(type-2 node, class)` (Appendix C):
+/// either exactly one suitable component id, or "connector" (≥ 2 distinct).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PotentialMatches {
+    One(VirtualId),
+    Many,
+}
+
+impl PotentialMatches {
+    fn merge_id(self, root: VirtualId) -> Self {
+        match self {
+            PotentialMatches::One(r) if r == root => self,
+            PotentialMatches::One(_) => PotentialMatches::Many,
+            PotentialMatches::Many => PotentialMatches::Many,
+        }
+    }
+
+    /// Whether the bridging condition (c) holds against component `root`:
+    /// a type-3 connector leads to *some other* component.
+    fn allows(self, root: VirtualId) -> bool {
+        match self {
+            PotentialMatches::Many => true,
+            PotentialMatches::One(r) => r != root,
+        }
+    }
+}
+
+struct State<'g> {
+    g: &'g Graph,
+    layout: VirtualLayout,
+    t: usize,
+    class_of: Vec<Option<u32>>,
+    uf: UnionFind,
+    /// `rep[real * t + class]` = representative virtual node of the (real,
+    /// class) bundle, or `u32::MAX`. All virtual nodes of one real node in
+    /// one class are mutually adjacent, so one representative suffices.
+    rep: Vec<u32>,
+    /// Classes with at least one old node on each real vertex (sorted).
+    classes_at: Vec<Vec<u32>>,
+    /// Component count per class.
+    comp_count: Vec<usize>,
+    rng: StdRng,
+}
+
+const NO_REP: u32 = u32::MAX;
+
+impl<'g> State<'g> {
+    fn new(g: &'g Graph, layout: VirtualLayout, t: usize, seed: u64) -> Self {
+        State {
+            g,
+            layout,
+            t,
+            class_of: vec![None; layout.total()],
+            uf: UnionFind::new(layout.total()),
+            rep: vec![NO_REP; g.n() * t],
+            classes_at: vec![Vec::new(); g.n()],
+            comp_count: vec![0; t],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Unions `vid` (already class-labeled) into the class-`c` structure.
+    fn finalize(&mut self, vid: VirtualId, c: usize) {
+        let g = self.g;
+        let r = self.layout.real(vid);
+        let slot = r * self.t + c;
+        self.comp_count[c] += 1;
+        if self.rep[slot] == NO_REP {
+            self.rep[slot] = vid as u32;
+            if let Err(pos) = self.classes_at[r].binary_search(&(c as u32)) {
+                self.classes_at[r].insert(pos, c as u32);
+            }
+        } else {
+            let merged = self.uf.union(vid, self.rep[slot] as usize);
+            debug_assert!(merged, "a fresh virtual node must form a new set");
+            self.comp_count[c] -= 1;
+        }
+        // Connect across real edges.
+        for &u in g.neighbors(r) {
+            let uslot = u * self.t + c;
+            if self.rep[uslot] != NO_REP && self.uf.union(vid, self.rep[uslot] as usize) {
+                self.comp_count[c] -= 1;
+            }
+        }
+    }
+
+    /// Total excess components `Σ_i max(0, N_i − 1)`.
+    fn excess(&self) -> usize {
+        self.comp_count
+            .iter()
+            .map(|&c| c.saturating_sub(1))
+            .sum()
+    }
+
+    /// Component root of the (real, class) bundle, if any old node exists.
+    fn comp_root(&mut self, real: NodeId, class: usize) -> Option<VirtualId> {
+        let slot = real * self.t + class;
+        if self.rep[slot] == NO_REP {
+            None
+        } else {
+            Some(self.uf.find(self.rep[slot] as usize))
+        }
+    }
+
+    /// Distinct component roots of class `class` adjacent (in the virtual
+    /// graph) to a new node on `real`: bundles on `real` itself and on its
+    /// real neighbors.
+    fn adjacent_roots(&mut self, real: NodeId, class: usize) -> Vec<VirtualId> {
+        let mut roots = Vec::new();
+        let push = |root: Option<VirtualId>, roots: &mut Vec<VirtualId>| {
+            if let Some(r) = root {
+                if !roots.contains(&r) {
+                    roots.push(r);
+                }
+            }
+        };
+        let own = self.comp_root(real, class);
+        push(own, &mut roots);
+        let g = self.g;
+        for &u in g.neighbors(real) {
+            let r = self.comp_root(u, class);
+            push(r, &mut roots);
+        }
+        roots
+    }
+}
+
+/// Runs the CDS-packing construction of Section 3.1 / Appendix C.
+///
+/// Returns `t = config.num_classes` classes of virtual nodes projected to
+/// real vertex sets. W.h.p. (for `t = Θ(k)` with suitable constants) every
+/// class is a connected dominating set; [`crate::cds::verify`] checks this
+/// and [`crate::cds::tree_extract`] turns the classes into a fractional
+/// dominating-tree packing.
+///
+/// # Panics
+/// Panics if the graph is empty.
+#[allow(clippy::needless_range_loop)] // lockstep loops index several per-node arrays at once
+pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
+    assert!(g.n() > 0, "CDS packing needs a non-empty graph");
+    let layers = default_layers(g.n(), config.layers_factor);
+    let layout = VirtualLayout::new(g.n(), layers);
+    let t = config.num_classes;
+    let mut st = State::new(g, layout, t, config.seed);
+    let half = layout.jump_start();
+
+    // --- Jump start: layers 0..L/2 join random classes. -----------------
+    for layer in 0..half {
+        for real in 0..g.n() {
+            for vtype in VType::ALL {
+                let vid = layout.vid(real, layer, vtype);
+                let c = st.rng.gen_range(0..t);
+                st.class_of[vid] = Some(c as u32);
+                st.finalize(vid, c);
+            }
+        }
+    }
+
+    // --- Recursive class assignment: layers L/2..L. ---------------------
+    let mut trace = Vec::with_capacity(layers - half);
+    for layer in half..layers {
+        let excess_before = st.excess();
+
+        // (1) Type-1 and type-3 new nodes pick random classes
+        //     (recorded, but not merged until the layer finalizes).
+        let mut c1 = vec![0usize; g.n()];
+        let mut c3 = vec![0usize; g.n()];
+        for real in 0..g.n() {
+            c1[real] = st.rng.gen_range(0..t);
+            c3[real] = st.rng.gen_range(0..t);
+            st.class_of[layout.vid(real, layer, VType::T1)] = Some(c1[real] as u32);
+            st.class_of[layout.vid(real, layer, VType::T3)] = Some(c3[real] as u32);
+        }
+
+        // (2a) Deactivation: components already bridged by a type-1 node.
+        let mut deactivated: HashSet<(u32, VirtualId)> = HashSet::new();
+        for real in 0..g.n() {
+            let i = c1[real];
+            let roots = st.adjacent_roots(real, i);
+            if roots.len() >= 2 {
+                for r in roots {
+                    deactivated.insert((i as u32, r));
+                }
+            }
+        }
+
+        // (2b) Potential-matches arrays: each type-3 new node w of class i
+        //      reports its suitable components to every type-2 virtual
+        //      neighbor.
+        let mut pm: HashMap<(NodeId, u32), PotentialMatches> = HashMap::new();
+        for real in 0..g.n() {
+            let i = c3[real];
+            let suitable = st.adjacent_roots(real, i);
+            if suitable.is_empty() {
+                continue;
+            }
+            let mut targets: Vec<NodeId> = Vec::with_capacity(1 + g.degree(real));
+            targets.push(real);
+            targets.extend_from_slice(g.neighbors(real));
+            for x in targets {
+                let key = (x, i as u32);
+                for &root in &suitable {
+                    pm.entry(key)
+                        .and_modify(|e| *e = e.merge_id(root))
+                        .or_insert(PotentialMatches::One(root));
+                }
+            }
+        }
+
+        // (3) Maximal matching: scan type-2 new nodes in random order,
+        //     greedily matching to the first eligible component.
+        let mut order: Vec<NodeId> = (0..g.n()).collect();
+        order.shuffle(&mut st.rng);
+        let mut matched_comps: HashSet<(u32, VirtualId)> = HashSet::new();
+        let mut matched = 0usize;
+        let mut c2 = vec![usize::MAX; g.n()];
+        for &x in &order {
+            let mut assigned = None;
+            // Enumerate (old-neighbor bundle, class) pairs around x.
+            let mut candidates: Vec<NodeId> = Vec::with_capacity(1 + g.degree(x));
+            candidates.push(x);
+            candidates.extend_from_slice(g.neighbors(x));
+            'search: for &y in &candidates {
+                let classes: Vec<u32> = st.classes_at[y].clone();
+                for i in classes {
+                    let root = match st.comp_root(y, i as usize) {
+                        Some(r) => r,
+                        None => continue,
+                    };
+                    if deactivated.contains(&(i, root)) || matched_comps.contains(&(i, root)) {
+                        continue;
+                    }
+                    match pm.get(&(x, i)) {
+                        Some(entry) if entry.allows(root) => {
+                            assigned = Some((i as usize, root));
+                            break 'search;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match assigned {
+                Some((i, root)) => {
+                    matched_comps.insert((i as u32, root));
+                    matched += 1;
+                    c2[x] = i;
+                }
+                None => {
+                    c2[x] = st.rng.gen_range(0..t);
+                }
+            }
+            st.class_of[layout.vid(x, layer, VType::T2)] = Some(c2[x] as u32);
+        }
+
+        // (4) Finalize the layer: merge all new assignments into the
+        //     disjoint-set structure.
+        for real in 0..g.n() {
+            st.finalize(layout.vid(real, layer, VType::T1), c1[real]);
+            st.finalize(layout.vid(real, layer, VType::T2), c2[real]);
+            st.finalize(layout.vid(real, layer, VType::T3), c3[real]);
+        }
+
+        trace.push(LayerTrace {
+            layer,
+            excess_before,
+            excess_after: st.excess(),
+            matched,
+            deactivated: deactivated.len(),
+        });
+    }
+
+    // --- Projection to real vertex sets. --------------------------------
+    let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); t];
+    for real in 0..g.n() {
+        for &c in &st.classes_at[real] {
+            classes[c as usize].push(real);
+        }
+    }
+    CdsPacking {
+        layout,
+        num_classes: t,
+        class_of: st.class_of,
+        classes,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::domination::is_cds;
+    use decomp_graph::generators;
+
+    fn valid_class_fraction(g: &Graph, p: &CdsPacking) -> f64 {
+        let valid = (0..p.num_classes)
+            .filter(|&c| is_cds(g, &p.class_mask(c)))
+            .count();
+        valid as f64 / p.num_classes as f64
+    }
+
+    #[test]
+    fn single_class_on_small_graph_is_cds() {
+        let g = generators::cycle(12);
+        let p = cds_packing(&g, &CdsPackingConfig::with_classes(1, 3));
+        assert_eq!(p.num_classes(), 1);
+        assert!(is_cds(&g, &p.class_mask(0)));
+    }
+
+    #[test]
+    fn harary_all_classes_are_cds() {
+        let g = generators::harary(16, 64);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(16, 7));
+        assert!(p.num_classes() >= 2);
+        assert_eq!(
+            valid_class_fraction(&g, &p),
+            1.0,
+            "every class must be a CDS on a well-connected graph"
+        );
+    }
+
+    #[test]
+    fn hypercube_classes_are_cds() {
+        let g = generators::hypercube(6); // 64 nodes, k = 6
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(6, 11));
+        assert_eq!(valid_class_fraction(&g, &p), 1.0);
+    }
+
+    #[test]
+    fn multiplicity_is_logarithmic() {
+        let g = generators::harary(12, 96);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(12, 5));
+        let mult = p.max_real_multiplicity();
+        // Each real node has only 3L virtual nodes, hence <= 3L classes.
+        assert!(mult <= 3 * p.layout.layers());
+        assert!(mult >= 1);
+    }
+
+    #[test]
+    fn excess_decreases_monotonically() {
+        let g = generators::harary(16, 80);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(16, 2));
+        for w in p.trace.windows(1) {
+            assert!(
+                w[0].excess_after <= w[0].excess_before,
+                "Fast-Merger Lemma first part: M never increases"
+            );
+        }
+        let last = p.trace.last().unwrap();
+        assert_eq!(last.excess_after, 0, "all classes connected at the end");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::harary(8, 40);
+        let cfg = CdsPackingConfig::with_known_k(8, 42);
+        let a = cds_packing(&g, &cfg);
+        let b = cds_packing(&g, &cfg);
+        assert_eq!(a.classes, b.classes);
+        let c = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 43));
+        assert!(a.classes != c.classes || a.class_of != c.class_of);
+    }
+
+    #[test]
+    fn classes_partition_virtual_nodes() {
+        let g = generators::cycle(10);
+        let p = cds_packing(&g, &CdsPackingConfig::with_classes(2, 0));
+        assert!(p.class_of.iter().all(|c| c.is_some()));
+    }
+
+    #[test]
+    fn works_on_low_connectivity_graphs() {
+        // k = 1: a single class must still come out a CDS.
+        let g = generators::random_connected(30, 10, 9);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(1, 1));
+        assert_eq!(p.num_classes(), 1);
+        assert!(is_cds(&g, &p.class_mask(0)));
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let p = cds_packing(&g, &CdsPackingConfig::with_classes(1, 0));
+        assert!(is_cds(&g, &p.class_mask(0)));
+    }
+
+    use decomp_graph::Graph;
+
+    #[test]
+    fn trace_layers_cover_second_half() {
+        let g = generators::cycle(16);
+        let p = cds_packing(&g, &CdsPackingConfig::with_classes(1, 0));
+        let l = p.layout.layers();
+        assert_eq!(p.trace.len(), l - l / 2);
+        assert_eq!(p.trace[0].layer, l / 2);
+    }
+}

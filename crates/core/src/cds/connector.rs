@@ -1,0 +1,284 @@
+//! Connector-path analysis (Section 4.1, Lemma 4.3, Figure 2).
+//!
+//! A *potential connector* for a component `C` of class `i` is a path in
+//! the real graph from `Ψ(C)` to `Ψ(V_ℓ^i ∖ C)` with at most two internal
+//! vertices, where a 2-internal path `s,u,w,t` additionally requires that
+//! `w` has no neighbor in `Ψ(C)` and `u` none in `Ψ(V_ℓ^i ∖ C)`
+//! (minimality, condition (C)).
+//!
+//! Lemma 4.3 (Connector Abundance): while a class dominates and has ≥ 2
+//! components, every component has at least `k` internally vertex-disjoint
+//! connector paths. [`max_disjoint_connectors`] verifies this bound
+//! computationally via a vertex-capacitated flow on the ≤ 4-layer path
+//! structure, and [`enumerate_connectors`] lists the paths for the
+//! Figure 2 reproduction.
+
+use decomp_graph::flow::FlowNetwork;
+use decomp_graph::{Graph, NodeId};
+
+/// Classification of the real vertices relative to one class and one of
+/// its projected components.
+#[derive(Clone, Debug)]
+pub struct ProjectionView {
+    /// `Ψ(C)`: reals in the chosen component's projection.
+    pub in_component: Vec<bool>,
+    /// `Ψ(V_ℓ^i ∖ C)`: reals of the class outside the component.
+    pub in_rest: Vec<bool>,
+}
+
+impl ProjectionView {
+    /// Builds the view from the class's projected component labels:
+    /// `comp_of[v] = Some(label)` for class members.
+    pub fn new(comp_of: &[Option<usize>], component: usize) -> Self {
+        let in_component = comp_of.iter().map(|c| *c == Some(component)).collect();
+        let in_rest = comp_of
+            .iter()
+            .map(|c| c.is_some() && *c != Some(component))
+            .collect();
+        ProjectionView {
+            in_component,
+            in_rest,
+        }
+    }
+}
+
+/// Maximum number of internally vertex-disjoint potential connector paths
+/// for the component described by `view`, under conditions (A), (B), and
+/// (C) of Section 4.1.
+///
+/// Condition (C) makes the structure a 4-layer DAG with *disjoint* vertex
+/// roles — `S`-type internals (adjacent to both sides; short connectors),
+/// `U`-type (component side only; first internal of a long connector), and
+/// `W`-type (rest side only; second internal) — so a vertex-split max-flow
+/// counts the disjoint connectors exactly. Lemma 4.3 asserts this value is
+/// at least `k` whenever the class dominates and has ≥ 2 components.
+pub fn max_disjoint_connectors(g: &Graph, view: &ProjectionView) -> usize {
+    let n = g.n();
+    // Vertex-split internals: in = 2v, out = 2v+1; source = 2n, sink = 2n+1.
+    let source = 2 * n;
+    let sink = 2 * n + 1;
+    let mut net = FlowNetwork::new(2 * n + 2);
+    const INF: i64 = i64::MAX / 8;
+    let internal = |v: usize| !view.in_component[v] && !view.in_rest[v];
+    let adj_comp: Vec<bool> = (0..n)
+        .map(|v| g.neighbors(v).iter().any(|&u| view.in_component[u]))
+        .collect();
+    let adj_rest: Vec<bool> = (0..n)
+        .map(|v| g.neighbors(v).iter().any(|&u| view.in_rest[u]))
+        .collect();
+    for v in 0..n {
+        if !internal(v) {
+            continue;
+        }
+        net.add_arc(2 * v, 2 * v + 1, 1);
+        match (adj_comp[v], adj_rest[v]) {
+            // S-type: short connector through v.
+            (true, true) => {
+                net.add_arc(source, 2 * v, INF);
+                net.add_arc(2 * v + 1, sink, INF);
+            }
+            // U-type: can only start a long connector.
+            (true, false) => {
+                net.add_arc(source, 2 * v, INF);
+            }
+            // W-type: can only finish a long connector.
+            (false, true) => {
+                net.add_arc(2 * v + 1, sink, INF);
+            }
+            (false, false) => {}
+        }
+    }
+    for &(u, v) in g.edges() {
+        for (a, b) in [(u, v), (v, u)] {
+            // U -> W middle hop of a long connector (condition (C): the
+            // first internal must not reach the rest side, the second must
+            // not reach the component side).
+            if internal(a)
+                && internal(b)
+                && adj_comp[a]
+                && !adj_rest[a]
+                && adj_rest[b]
+                && !adj_comp[b]
+            {
+                net.add_arc(2 * a + 1, 2 * b, INF);
+            }
+        }
+    }
+    net.max_flow(source, sink) as usize
+}
+
+/// One potential connector path (real vertices, endpoints included):
+/// `[s, u, t]` (short) or `[s, u, w, t]` (long).
+pub type ConnectorPath = Vec<NodeId>;
+
+/// Enumerates all potential connector paths satisfying conditions
+/// (A), (B), and (C) of Section 4.1 — the object Figure 2 depicts.
+/// Exponential-free: `O(Σ_u deg(u)²)` worst case; intended for small
+/// illustrative instances and the Lemma 4.3 experiment.
+pub fn enumerate_connectors(g: &Graph, view: &ProjectionView) -> Vec<ConnectorPath> {
+    let n = g.n();
+    let internal = |v: usize| !view.in_component[v] && !view.in_rest[v];
+    let adj_comp: Vec<bool> = (0..n)
+        .map(|v| g.neighbors(v).iter().any(|&u| view.in_component[u]))
+        .collect();
+    let adj_rest: Vec<bool> = (0..n)
+        .map(|v| g.neighbors(v).iter().any(|&u| view.in_rest[u]))
+        .collect();
+    let mut paths = Vec::new();
+    for u in 0..n {
+        if !internal(u) || !adj_comp[u] {
+            continue;
+        }
+        let s = *g
+            .neighbors(u)
+            .iter()
+            .find(|&&x| view.in_component[x])
+            .expect("adj_comp implies a component neighbor");
+        if adj_rest[u] {
+            // Short connector: s, u, t.
+            let t = *g
+                .neighbors(u)
+                .iter()
+                .find(|&&x| view.in_rest[x])
+                .expect("adj_rest implies a rest neighbor");
+            paths.push(vec![s, u, t]);
+            continue; // condition (C): no long path through a u that
+                      // already reaches the rest side directly
+        }
+        for &w in g.neighbors(u) {
+            if !internal(w) || !adj_rest[w] {
+                continue;
+            }
+            // Condition (C): w must not also touch Ψ(C) (otherwise a
+            // shorter connector through w exists).
+            if adj_comp[w] {
+                continue;
+            }
+            let t = *g
+                .neighbors(w)
+                .iter()
+                .find(|&&x| view.in_rest[x])
+                .expect("adj_rest implies a rest neighbor");
+            paths.push(vec![s, u, w, t]);
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::generators;
+
+    /// Two class components {0} and {4} at the ends of a path: the middle
+    /// vertices form the connectors.
+    #[test]
+    fn path_has_single_connector() {
+        let g = generators::path(5);
+        let comp_of = vec![Some(0), None, None, None, Some(1)];
+        let view = ProjectionView::new(&comp_of, 0);
+        // 0 -x- 1 - 2 - 3 -x- 4: three internals in a row; only one
+        // disjoint path, and it needs >2 internals — so 0 connectors of
+        // length <= 2 internals? Internals 1,2,3: path 0,1,2,3,4 has 3
+        // internals -> not a potential connector. Max flow = 0.
+        assert_eq!(max_disjoint_connectors(&g, &view), 0);
+        assert!(enumerate_connectors(&g, &view).is_empty());
+    }
+
+    #[test]
+    fn short_connector_found() {
+        // 0 (comp) - 1 (free) - 2 (rest)
+        let g = generators::path(3);
+        let comp_of = vec![Some(0), None, Some(1)];
+        let view = ProjectionView::new(&comp_of, 0);
+        assert_eq!(max_disjoint_connectors(&g, &view), 1);
+        let paths = enumerate_connectors(&g, &view);
+        assert_eq!(paths, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn long_connector_found() {
+        // 0 (comp) - 1 - 2 - 3 (rest)
+        let g = generators::path(4);
+        let comp_of = vec![Some(0), None, None, Some(1)];
+        let view = ProjectionView::new(&comp_of, 0);
+        assert_eq!(max_disjoint_connectors(&g, &view), 1);
+        let paths = enumerate_connectors(&g, &view);
+        assert_eq!(paths, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn condition_c_suppresses_redundant_long_paths() {
+        // Triangle-ish: comp 0, rest 3; internals 1, 2 with edges
+        // 0-1, 1-3 (short through 1) and 0-1,1-2,2-3.
+        let g = decomp_graph::Graph::from_edges(4, [(0, 1), (1, 3), (1, 2), (2, 3)]);
+        let comp_of = vec![Some(0), None, None, Some(1)];
+        let view = ProjectionView::new(&comp_of, 0);
+        let paths = enumerate_connectors(&g, &view);
+        // u = 1 has a short connector; condition (C) forbids the long one
+        // through (1, 2), and vertex 2 alone cannot start a connector
+        // (no component neighbor).
+        assert_eq!(paths, vec![vec![0, 1, 3]]);
+        assert_eq!(max_disjoint_connectors(&g, &view), 1);
+    }
+
+    /// Lemma 4.3 on a clean instance: H_{6,36} (ring power, each vertex
+    /// adjacent to ±1,±2,±3) with a class made of two arcs {0..11} and
+    /// {18..29}. The gaps (12..17, 30..35) have length 6 = 2⌊k/2⌋, so the
+    /// class dominates but the arcs are genuinely disconnected (hop
+    /// distance 7 > 3 between them). Each gap supports exactly 3 disjoint
+    /// long connectors, for a total of k = 6.
+    #[test]
+    fn connector_abundance_on_harary() {
+        let k = 6;
+        let g = generators::harary(k, 36);
+        let comp_of: Vec<Option<usize>> = (0..36)
+            .map(|v| match v {
+                0..=11 => Some(0),
+                18..=29 => Some(1),
+                _ => None,
+            })
+            .collect();
+        // Lemma 4.3's preconditions: the class dominates, >= 2 components,
+        // and the components are not adjacent.
+        let mask: Vec<bool> = comp_of.iter().map(|c| c.is_some()).collect();
+        assert!(decomp_graph::domination::is_dominating_set(&g, &mask));
+        for a in 0..=11usize {
+            for b in 18..=29usize {
+                assert!(!g.has_edge(a, b), "arcs must not touch: ({a},{b})");
+            }
+        }
+        let view = ProjectionView::new(&comp_of, 0);
+        let connectors = max_disjoint_connectors(&g, &view);
+        assert!(
+            connectors >= k,
+            "Lemma 4.3: expected >= {k} disjoint connectors, got {connectors}"
+        );
+        // Sanity: the enumeration finds long connectors in both gaps.
+        let paths = enumerate_connectors(&g, &view);
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn enumeration_is_subset_of_flow_bound() {
+        let g = generators::harary(4, 20);
+        let comp_of: Vec<Option<usize>> = (0..20)
+            .map(|v| {
+                if v % 2 == 0 {
+                    Some(if v < 10 { 0 } else { 1 })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let view = ProjectionView::new(&comp_of, 0);
+        let paths = enumerate_connectors(&g, &view);
+        for p in &paths {
+            assert!(view.in_component[p[0]]);
+            assert!(view.in_rest[*p.last().unwrap()]);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+}

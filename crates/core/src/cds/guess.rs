@@ -1,0 +1,114 @@
+//! Removing the known-`k` assumption (Remark 3.1).
+//!
+//! "We simply try exponentially decreasing guesses about `k`, in the form
+//! `n/2^j`, and we test the outcome of the dominating tree packing obtained
+//! for each guess (particularly its domination and connectivity) using a
+//! randomized testing algorithm." The first (largest) guess whose packing
+//! passes the Appendix E test is kept. Cost: an `O(log n)` factor.
+
+use crate::cds::centralized::{cds_packing, CdsPacking, CdsPackingConfig};
+use crate::cds::verify::{verify_centralized, VerifyOutcome};
+use decomp_graph::Graph;
+
+/// Result of the guessing procedure.
+#[derive(Clone, Debug)]
+pub struct GuessedPacking {
+    /// The accepted packing.
+    pub packing: CdsPacking,
+    /// The accepted guess `k̃` (a power-of-two fraction of `n`).
+    pub guess: usize,
+    /// Guesses tried (from large to small), with pass/fail.
+    pub attempts: Vec<(usize, bool)>,
+}
+
+/// Runs the try-and-error loop of Remark 3.1: guesses `n/2^j` for
+/// `j = 1, 2, ...`, builds the packing for each guess, keeps the first one
+/// whose classes all verify as CDSs.
+///
+/// Always succeeds on connected graphs: the guess `k̃ = 1` yields a single
+/// class containing every virtual node, which is trivially a CDS.
+///
+/// # Panics
+/// Panics if `g` is empty or disconnected.
+pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
+    assert!(
+        decomp_graph::traversal::is_connected(g) && g.n() > 0,
+        "guessing requires a connected non-empty graph"
+    );
+    let mut attempts = Vec::new();
+    let mut guess = g.n().next_power_of_two() / 2;
+    loop {
+        guess = guess.max(1);
+        let cfg = CdsPackingConfig::with_known_k(guess, seed ^ (guess as u64));
+        let packing = cds_packing(g, &cfg);
+        let ok = verify_centralized(g, &packing.classes) == VerifyOutcome::Pass;
+        attempts.push((guess, ok));
+        if ok {
+            return GuessedPacking {
+                packing,
+                guess,
+                attempts,
+            };
+        }
+        assert!(guess > 1, "guess k=1 must always verify on connected graphs");
+        guess /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::connectivity::vertex_connectivity;
+    use decomp_graph::generators;
+
+    #[test]
+    fn finds_passing_guess_on_harary() {
+        let g = generators::harary(16, 64);
+        let r = cds_packing_unknown_k(&g, 3);
+        assert!(r.attempts.last().unwrap().1);
+        assert!(r.packing.num_classes() >= 1);
+        // The accepted guess cannot wildly exceed k (those packings fail).
+        assert!(r.guess <= 64);
+    }
+
+    #[test]
+    fn low_connectivity_certificate_stays_below_k() {
+        // Classes overlap on real vertices, so even large guesses can
+        // verify on a k = 1 graph — but the *fractional packing size*
+        // (the actual certificate, Corollary 1.7) must stay ≤ k = 1.
+        let g = generators::barbell(8, 2);
+        let r = cds_packing_unknown_k(&g, 1);
+        let trees = crate::cds::tree_extract::to_dom_tree_packing(&g, &r.packing);
+        trees.packing.validate(&g, 1e-9).unwrap();
+        assert!(
+            trees.packing.size() <= 1.0 + 1e-9,
+            "κ = {} must lower-bound k = 1",
+            trees.packing.size()
+        );
+    }
+
+    #[test]
+    fn guess_within_log_factor_of_k() {
+        // The estimate is an O(log n)-approximation: guess <= k always
+        // fails only below k/Θ(log n) — check guess isn't absurdly small.
+        let g = generators::harary(24, 96);
+        let k = vertex_connectivity(&g);
+        assert_eq!(k, 24);
+        let r = cds_packing_unknown_k(&g, 9);
+        assert!(
+            r.guess * 32 >= k,
+            "guess {} too far below k={}",
+            r.guess,
+            k
+        );
+    }
+
+    #[test]
+    fn attempts_decrease() {
+        let g = generators::cycle(16);
+        let r = cds_packing_unknown_k(&g, 0);
+        for w in r.attempts.windows(2) {
+            assert!(w[1].0 < w[0].0);
+        }
+    }
+}

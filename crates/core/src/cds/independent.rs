@@ -1,0 +1,158 @@
+//! Vertex independent trees from vertex-disjoint dominating trees
+//! (Section 1.4.1, the Zehavi–Itai connection).
+//!
+//! Given `k′` vertex-disjoint dominating trees and any root `r`, extending
+//! each tree to a spanning tree by attaching every remaining vertex as a
+//! leaf yields `k′` *vertex independent trees*: for every `v`, the `r → v`
+//! paths in different trees are internally vertex-disjoint (each path's
+//! internal vertices lie in its own dominating tree — plus possibly `r`
+//! and `v` themselves, which are endpoints). The paper notes this makes
+//! [12, Thm 1.2] a poly-log approximation of the Zehavi–Itai conjecture,
+//! algorithmic here with near-optimal complexity.
+
+use crate::packing::DomTreePacking;
+use decomp_graph::mst::RootedTree;
+use decomp_graph::{Graph, NodeId};
+
+/// Builds one spanning tree per dominating tree, all rooted at `root`,
+/// by attaching non-members as leaves to a dominating-tree neighbor
+/// (preferring a neighbor inside the tree; `root` itself attaches to a
+/// tree member too if it is not already one).
+///
+/// # Panics
+/// Panics if the packing's trees are not vertex-disjoint or some vertex
+/// has no neighbor in some tree (i.e. a tree fails to dominate).
+pub fn independent_trees(g: &Graph, packing: &DomTreePacking, root: NodeId) -> Vec<RootedTree> {
+    crate::cds::integral::check_vertex_disjoint(g, packing)
+        .expect("independent trees need vertex-disjoint dominating trees");
+    let n = g.n();
+    let mut out = Vec::with_capacity(packing.num_trees());
+    for t in &packing.trees {
+        let mut member = vec![false; n];
+        for v in t.vertices(n) {
+            member[v] = true;
+        }
+        let mut edges = t.edges.clone();
+        for v in 0..n {
+            if member[v] {
+                continue;
+            }
+            let anchor = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| member[u])
+                .unwrap_or_else(|| panic!("vertex {v} is not dominated by tree {}", t.id));
+            edges.push((anchor, v));
+        }
+        let tree = RootedTree::from_edges(n, root, &edges)
+            .expect("dominating tree plus leaves must form a spanning tree");
+        assert_eq!(tree.size(), n, "tree must span after leaf attachment");
+        out.push(tree);
+    }
+    out
+}
+
+/// Verifies the vertex-independence property: for each vertex `v`, the
+/// `root → v` paths in the given spanning trees are internally
+/// vertex-disjoint.
+pub fn check_independent(trees: &[RootedTree], root: NodeId) -> Result<(), String> {
+    let n = trees.first().map(|t| t.parent.len()).unwrap_or(0);
+    for v in 0..n {
+        if v == root {
+            continue;
+        }
+        let mut used = vec![false; n];
+        for (i, t) in trees.iter().enumerate() {
+            if t.root != root {
+                return Err(format!("tree {i} rooted at {} != {root}", t.root));
+            }
+            let mut cur = t.parent[v];
+            while cur != root {
+                if cur == usize::MAX {
+                    return Err(format!("tree {i} does not span vertex {v}"));
+                }
+                if used[cur] {
+                    return Err(format!(
+                        "internal vertex {cur} shared between root-{v} paths"
+                    ));
+                }
+                used[cur] = true;
+                cur = t.parent[cur];
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cds::integral::integral_cds_packing;
+    use decomp_graph::generators;
+
+    #[test]
+    fn complete_graph_independent_trees() {
+        let g = generators::complete(24);
+        let packing = integral_cds_packing(&g, 4, 3).packing;
+        assert_eq!(packing.num_trees(), 4);
+        let trees = independent_trees(&g, &packing, 0);
+        assert_eq!(trees.len(), 4);
+        check_independent(&trees, 0).unwrap();
+    }
+
+    #[test]
+    fn harary_independent_trees() {
+        let g = generators::harary(32, 96);
+        let packing = integral_cds_packing(&g, 4, 7).packing;
+        assert!(packing.num_trees() >= 2);
+        let trees = independent_trees(&g, &packing, 5);
+        check_independent(&trees, 5).unwrap();
+        for t in &trees {
+            assert_eq!(t.size(), g.n());
+        }
+    }
+
+    #[test]
+    fn bipartite_pair_trees_independent() {
+        // K_{4,20} with 4 disjoint pair trees (left_i, right_i).
+        let t = 4;
+        let g = generators::complete_bipartite(t, 20);
+        let packing = DomTreePacking {
+            trees: (0..t)
+                .map(|i| crate::packing::WeightedDomTree {
+                    id: i,
+                    weight: 1.0,
+                    edges: vec![(i, t + i)],
+                    singleton: None,
+                })
+                .collect(),
+        };
+        let trees = independent_trees(&g, &packing, t); // root = right vertex 0
+        check_independent(&trees, t).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_shared_internals() {
+        // Two identical path trees share all internals.
+        let t1 = RootedTree::from_edges(4, 0, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let t2 = t1.clone();
+        assert!(check_independent(&[t1, t2], 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex-disjoint")]
+    fn rejects_overlapping_packing() {
+        let g = generators::complete(6);
+        let tree = crate::packing::WeightedDomTree {
+            id: 0,
+            weight: 1.0,
+            edges: vec![(0, 1)],
+            singleton: None,
+        };
+        let packing = DomTreePacking {
+            trees: vec![tree.clone(), tree],
+        };
+        independent_trees(&g, &packing, 0);
+    }
+}

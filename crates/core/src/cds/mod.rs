@@ -1,0 +1,13 @@
+//! Fractional dominating-tree (CDS) packing — the paper's main technical
+//! contribution (Section 3, Appendices B, C, D, E).
+
+pub mod centralized;
+pub mod connector;
+pub mod distributed;
+pub mod guess;
+pub mod independent;
+pub mod integral;
+pub mod tree_extract;
+pub mod verify;
+
+pub use centralized::{cds_packing, CdsPacking, CdsPackingConfig, LayerTrace};

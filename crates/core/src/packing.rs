@@ -1,0 +1,378 @@
+//! Packing types: weighted collections of dominating / spanning trees.
+//!
+//! Section 2 of the paper: a *κ-size fractional dominating tree packing*
+//! assigns weights `x_τ ∈ [0,1]` to dominating trees with `Σ x_τ = κ` and
+//! per-vertex load `Σ_{τ ∋ v} x_τ ≤ 1`; the spanning-tree version
+//! constrains per-edge load instead. These types carry the trees, their
+//! weights, and the feasibility/size accounting every experiment reports.
+
+use decomp_graph::domination::{is_dominating_tree, is_spanning_tree};
+use decomp_graph::{Graph, NodeId};
+
+/// One weighted tree of a dominating-tree packing.
+#[derive(Clone, Debug)]
+pub struct WeightedDomTree {
+    /// Class identifier (the paper's `ID_τ`).
+    pub id: usize,
+    /// Fractional weight `x_τ ∈ [0, 1]`.
+    pub weight: f64,
+    /// Tree edges over real vertices.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// For single-vertex trees: the vertex (edges empty).
+    pub singleton: Option<NodeId>,
+}
+
+impl WeightedDomTree {
+    /// The set of vertices this tree touches.
+    pub fn vertices(&self, n: usize) -> Vec<NodeId> {
+        let mut mask = vec![false; n];
+        for &(u, v) in &self.edges {
+            mask[u] = true;
+            mask[v] = true;
+        }
+        if let Some(v) = self.singleton {
+            mask[v] = true;
+        }
+        (0..n).filter(|&v| mask[v]).collect()
+    }
+
+    /// Tree diameter in edges (0 for singletons).
+    pub fn diameter(&self, n: usize) -> usize {
+        if self.edges.is_empty() {
+            return 0;
+        }
+        let root = self.edges[0].0;
+        decomp_graph::mst::RootedTree::from_edges(n, root, &self.edges)
+            .map(|t| t.diameter())
+            .unwrap_or(0)
+    }
+}
+
+/// A fractional dominating-tree packing (Theorem 1.1 / 1.2 output).
+#[derive(Clone, Debug, Default)]
+pub struct DomTreePacking {
+    /// The weighted trees.
+    pub trees: Vec<WeightedDomTree>,
+}
+
+impl DomTreePacking {
+    /// Total packing size `Σ x_τ`.
+    pub fn size(&self) -> f64 {
+        self.trees.iter().map(|t| t.weight).sum()
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-vertex load `Σ_{τ ∋ v} x_τ`.
+    pub fn vertex_loads(&self, n: usize) -> Vec<f64> {
+        let mut load = vec![0.0; n];
+        for t in &self.trees {
+            for v in t.vertices(n) {
+                load[v] += t.weight;
+            }
+        }
+        load
+    }
+
+    /// Maximum number of trees any single vertex belongs to (the paper's
+    /// "each node is included in O(log n) trees").
+    pub fn max_vertex_multiplicity(&self, n: usize) -> usize {
+        let mut count = vec![0usize; n];
+        for t in &self.trees {
+            for v in t.vertices(n) {
+                count[v] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Validates the packing against `g`:
+    /// every tree is a dominating tree, weights lie in `[0, 1]`, and every
+    /// per-vertex load is at most `1 + tol`.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation.
+    pub fn validate(&self, g: &Graph, tol: f64) -> Result<(), String> {
+        for (i, t) in self.trees.iter().enumerate() {
+            if !(0.0..=1.0 + tol).contains(&t.weight) {
+                return Err(format!("tree {i} has weight {} outside [0,1]", t.weight));
+            }
+            if !is_dominating_tree(g, &t.edges, t.singleton) {
+                return Err(format!("tree {i} (class {}) is not a dominating tree", t.id));
+            }
+        }
+        for (v, load) in self.vertex_loads(g.n()).into_iter().enumerate() {
+            if load > 1.0 + tol {
+                return Err(format!("vertex {v} overloaded: {load}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One weighted tree of a spanning-tree packing; edges are indices into
+/// [`Graph::edges`].
+#[derive(Clone, Debug)]
+pub struct WeightedSpanTree {
+    /// Fractional weight `x_τ ∈ [0, 1]`.
+    pub weight: f64,
+    /// Edge indices of the tree.
+    pub edge_indices: Vec<usize>,
+}
+
+/// A fractional spanning-tree packing (Theorem 1.3 output).
+#[derive(Clone, Debug, Default)]
+pub struct SpanTreePacking {
+    /// The weighted trees.
+    pub trees: Vec<WeightedSpanTree>,
+}
+
+impl SpanTreePacking {
+    /// Total packing size `Σ x_τ`.
+    pub fn size(&self) -> f64 {
+        self.trees.iter().map(|t| t.weight).sum()
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-edge load `Σ_{τ ∋ e} x_τ`, indexed by edge index.
+    pub fn edge_loads(&self, g: &Graph) -> Vec<f64> {
+        let mut load = vec![0.0; g.m()];
+        for t in &self.trees {
+            for &e in &t.edge_indices {
+                load[e] += t.weight;
+            }
+        }
+        load
+    }
+
+    /// Maximum number of trees any edge belongs to (Theorem 1.3: each edge
+    /// in at most `O(log³ n)` trees).
+    pub fn max_edge_multiplicity(&self, g: &Graph) -> usize {
+        let mut count = vec![0usize; g.m()];
+        for t in &self.trees {
+            for &e in &t.edge_indices {
+                count[e] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Validates: every tree spans `g`, weights in `[0,1]`, per-edge load
+    /// at most `1 + tol`.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation.
+    pub fn validate(&self, g: &Graph, tol: f64) -> Result<(), String> {
+        for (i, t) in self.trees.iter().enumerate() {
+            if !(0.0..=1.0 + tol).contains(&t.weight) {
+                return Err(format!("tree {i} has weight {} outside [0,1]", t.weight));
+            }
+            let edges: Vec<(NodeId, NodeId)> =
+                t.edge_indices.iter().map(|&e| g.edges()[e]).collect();
+            if !is_spanning_tree(g, &edges) {
+                return Err(format!("tree {i} is not a spanning tree"));
+            }
+        }
+        for (e, load) in self.edge_loads(g).into_iter().enumerate() {
+            if load > 1.0 + tol {
+                return Err(format!("edge {e} overloaded: {load}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rescales all weights by `factor` (used to convert the MWU's
+    /// total-weight-1 collection into the final `⌈(λ−1)/2⌉(1−ε)`-size
+    /// packing).
+    pub fn scale(&mut self, factor: f64) {
+        for t in &mut self.trees {
+            t.weight *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::generators;
+
+    fn star_packing() -> (Graph, DomTreePacking) {
+        let g = generators::star(5);
+        let packing = DomTreePacking {
+            trees: vec![WeightedDomTree {
+                id: 0,
+                weight: 1.0,
+                edges: vec![],
+                singleton: Some(0),
+            }],
+        };
+        (g, packing)
+    }
+
+    #[test]
+    fn singleton_dom_tree_packs() {
+        let (g, p) = star_packing();
+        assert_eq!(p.size(), 1.0);
+        p.validate(&g, 1e-9).unwrap();
+        assert_eq!(p.max_vertex_multiplicity(g.n()), 1);
+    }
+
+    #[test]
+    fn overload_detected() {
+        let (g, mut p) = star_packing();
+        p.trees.push(WeightedDomTree {
+            id: 1,
+            weight: 0.5,
+            edges: vec![(0, 1)],
+            singleton: None,
+        });
+        // vertex 0 carries 1.5
+        assert!(p.validate(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn non_dominating_tree_rejected() {
+        let g = generators::path(4);
+        let p = DomTreePacking {
+            trees: vec![WeightedDomTree {
+                id: 0,
+                weight: 1.0,
+                edges: vec![(0, 1)],
+                singleton: None,
+            }],
+        };
+        assert!(p.validate(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn dom_tree_diameter() {
+        let t = WeightedDomTree {
+            id: 0,
+            weight: 1.0,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+            singleton: None,
+        };
+        assert_eq!(t.diameter(5), 3);
+        assert_eq!(t.vertices(5), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn span_packing_feasible() {
+        let g = generators::cycle(4);
+        // two trees, each missing a different edge, weight 1/2 each
+        let p = SpanTreePacking {
+            trees: vec![
+                WeightedSpanTree {
+                    weight: 0.5,
+                    edge_indices: vec![0, 1, 2],
+                },
+                WeightedSpanTree {
+                    weight: 0.5,
+                    edge_indices: vec![1, 2, 3],
+                },
+            ],
+        };
+        p.validate(&g, 1e-9).unwrap();
+        assert_eq!(p.size(), 1.0);
+        assert_eq!(p.max_edge_multiplicity(&g), 2);
+        let loads = p.edge_loads(&g);
+        assert_eq!(loads[1], 1.0);
+        assert_eq!(loads[0], 0.5);
+    }
+
+    #[test]
+    fn span_packing_rejects_nontree() {
+        let g = generators::cycle(4);
+        let p = SpanTreePacking {
+            trees: vec![WeightedSpanTree {
+                weight: 1.0,
+                edge_indices: vec![0, 1],
+            }],
+        };
+        assert!(p.validate(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn scale_changes_size() {
+        let g = generators::cycle(4);
+        let mut p = SpanTreePacking {
+            trees: vec![WeightedSpanTree {
+                weight: 1.0,
+                edge_indices: vec![0, 1, 2],
+            }],
+        };
+        p.scale(0.25);
+        assert!((p.size() - 0.25).abs() < 1e-12);
+        p.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn empty_packings() {
+        let p = DomTreePacking::default();
+        assert_eq!(p.size(), 0.0);
+        assert_eq!(p.num_trees(), 0);
+        let s = SpanTreePacking::default();
+        assert_eq!(s.size(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::stp::mwu::{fractional_stp_mwu, MwuConfig};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Dropping trees from a feasible packing keeps it feasible,
+            /// and scaling by any factor in [0,1] keeps it feasible.
+            #[test]
+            fn packing_feasibility_is_downward_closed(
+                seed in 0u64..50,
+                keep_mask in proptest::collection::vec(any::<bool>(), 64),
+                scale in 0.0f64..1.0,
+            ) {
+                let g = generators::harary(6, 18);
+                let mut p = fractional_stp_mwu(&g, 6, &MwuConfig::default()).packing;
+                p.validate(&g, 1e-9).unwrap();
+                let before = p.size();
+                p.trees = p
+                    .trees
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| *keep_mask.get(i % 64).unwrap_or(&true))
+                    .map(|(_, t)| t)
+                    .collect();
+                p.scale(scale);
+                prop_assert!(p.validate(&g, 1e-9).is_ok());
+                prop_assert!(p.size() <= before + 1e-9);
+            }
+
+            /// Vertex loads are consistent with multiplicities: for a
+            /// uniform-weight packing, load = weight * multiplicity.
+            #[test]
+            fn loads_match_multiplicity(weight in 0.01f64..0.2) {
+                let g = generators::star(6);
+                let trees: Vec<WeightedDomTree> = (0..4)
+                    .map(|i| WeightedDomTree {
+                        id: i,
+                        weight,
+                        edges: vec![(0, i + 1)],
+                        singleton: None,
+                    })
+                    .collect();
+                let p = DomTreePacking { trees };
+                let loads = p.vertex_loads(g.n());
+                prop_assert!((loads[0] - 4.0 * weight).abs() < 1e-12);
+                prop_assert!((loads[1] - weight).abs() < 1e-12);
+                prop_assert_eq!(p.max_vertex_multiplicity(g.n()), 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fractional and integral spanning-tree packings (Section 5, Appendix F).
+
+pub mod distributed;
+pub mod greedy;
+pub mod integral;
+pub mod mwu;
+pub mod sampled;
+
+pub use mwu::{fractional_stp_mwu, MwuConfig, MwuReport};

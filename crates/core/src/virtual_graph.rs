@@ -1,0 +1,222 @@
+//! The virtual graph 𝒢 of Section 3.1.
+//!
+//! Each real node simulates `3L` virtual nodes — one per (layer, type) pair
+//! with `L = Θ(log n)` layers and types `{1, 2, 3}` — and two virtual nodes
+//! are adjacent iff they live on the same real node or on adjacent real
+//! nodes. The adjacency is never materialized (it would be
+//! `Θ(log² n · m)`); algorithms work through the index arithmetic here and
+//! iterate real adjacency.
+
+use decomp_graph::{Graph, NodeId};
+
+/// The type of a virtual node (paper types 1, 2, 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VType {
+    /// Type-1: random-class "short connectors".
+    T1,
+    /// Type-2: the matched connectors (the algorithm's key players).
+    T2,
+    /// Type-3: the far endpoints of long connectors.
+    T3,
+}
+
+impl VType {
+    /// All three types in order.
+    pub const ALL: [VType; 3] = [VType::T1, VType::T2, VType::T3];
+
+    fn index(self) -> usize {
+        match self {
+            VType::T1 => 0,
+            VType::T2 => 1,
+            VType::T3 => 2,
+        }
+    }
+
+    fn from_index(i: usize) -> VType {
+        match i {
+            0 => VType::T1,
+            1 => VType::T2,
+            2 => VType::T3,
+            _ => panic!("type index out of range"),
+        }
+    }
+}
+
+/// Identifier of a virtual node.
+pub type VirtualId = usize;
+
+/// Index layout for the virtual graph over a real graph.
+///
+/// Virtual node ids are `real * 3L + layer * 3 + type_index`, so all the
+/// coordinate maps are O(1) arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use decomp_core::virtual_graph::{VirtualLayout, VType};
+///
+/// let layout = VirtualLayout::new(10, 4);
+/// let vid = layout.vid(7, 2, VType::T3);
+/// assert_eq!(layout.real(vid), 7);
+/// assert_eq!(layout.layer(vid), 2);
+/// assert_eq!(layout.vtype(vid), VType::T3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtualLayout {
+    n: usize,
+    layers: usize,
+}
+
+impl VirtualLayout {
+    /// A layout for `n` real nodes and `layers` layers (`L` in the paper).
+    ///
+    /// # Panics
+    /// Panics if `layers == 0` or odd (the algorithm needs an `L/2`
+    /// jump-start boundary).
+    pub fn new(n: usize, layers: usize) -> Self {
+        assert!(layers >= 2 && layers.is_multiple_of(2), "need an even number of layers >= 2");
+        VirtualLayout { n, layers }
+    }
+
+    /// Number of real nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of layers `L`.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The jump-start boundary `L/2`: layers `0..L/2` get random classes.
+    pub fn jump_start(&self) -> usize {
+        self.layers / 2
+    }
+
+    /// Number of virtual nodes per real node (`3L`).
+    pub fn per_real(&self) -> usize {
+        3 * self.layers
+    }
+
+    /// Total number of virtual nodes.
+    pub fn total(&self) -> usize {
+        self.n * self.per_real()
+    }
+
+    /// Virtual id of `(real, layer, vtype)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn vid(&self, real: NodeId, layer: usize, vtype: VType) -> VirtualId {
+        assert!(real < self.n && layer < self.layers, "coordinate out of range");
+        real * self.per_real() + layer * 3 + vtype.index()
+    }
+
+    /// The real node simulating `vid`.
+    pub fn real(&self, vid: VirtualId) -> NodeId {
+        vid / self.per_real()
+    }
+
+    /// The layer of `vid`.
+    pub fn layer(&self, vid: VirtualId) -> usize {
+        (vid % self.per_real()) / 3
+    }
+
+    /// The type of `vid`.
+    pub fn vtype(&self, vid: VirtualId) -> VType {
+        VType::from_index(vid % 3)
+    }
+
+    /// All virtual ids of one real node.
+    pub fn virtuals_of(&self, real: NodeId) -> std::ops::Range<VirtualId> {
+        real * self.per_real()..(real + 1) * self.per_real()
+    }
+
+    /// Whether two virtual nodes are adjacent in 𝒢: same real node, or
+    /// adjacent real nodes.
+    pub fn adjacent(&self, g: &Graph, a: VirtualId, b: VirtualId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ra, rb) = (self.real(a), self.real(b));
+        ra == rb || g.has_edge(ra, rb)
+    }
+}
+
+/// The default layer count: `L = layers_factor * ceil(log2 n)` rounded up
+/// to even, at least 4. The paper sets `L = Θ(log n)`.
+pub fn default_layers(n: usize, layers_factor: f64) -> usize {
+    let log = (n.max(2) as f64).log2().ceil();
+    let mut layers = (layers_factor * log).ceil() as usize;
+    layers = layers.max(4);
+    if layers % 2 == 1 {
+        layers += 1;
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::generators;
+
+    #[test]
+    fn roundtrip_coordinates() {
+        let layout = VirtualLayout::new(7, 6);
+        for real in 0..7 {
+            for layer in 0..6 {
+                for vtype in VType::ALL {
+                    let vid = layout.vid(real, layer, vtype);
+                    assert_eq!(layout.real(vid), real);
+                    assert_eq!(layout.layer(vid), layer);
+                    assert_eq!(layout.vtype(vid), vtype);
+                }
+            }
+        }
+        assert_eq!(layout.total(), 7 * 18);
+    }
+
+    #[test]
+    fn virtuals_of_covers_all() {
+        let layout = VirtualLayout::new(3, 4);
+        let all: Vec<usize> = (0..3).flat_map(|r| layout.virtuals_of(r)).collect();
+        assert_eq!(all.len(), layout.total());
+        assert_eq!(all, (0..layout.total()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adjacency_same_real_and_neighbors() {
+        let g = generators::path(3);
+        let layout = VirtualLayout::new(3, 4);
+        let a = layout.vid(0, 0, VType::T1);
+        let b = layout.vid(0, 3, VType::T2);
+        let c = layout.vid(1, 2, VType::T3);
+        let d = layout.vid(2, 1, VType::T1);
+        assert!(layout.adjacent(&g, a, b)); // same real
+        assert!(layout.adjacent(&g, a, c)); // real edge (0,1)
+        assert!(!layout.adjacent(&g, a, d)); // reals 0 and 2 not adjacent
+        assert!(!layout.adjacent(&g, a, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of layers")]
+    fn odd_layers_rejected() {
+        VirtualLayout::new(3, 5);
+    }
+
+    #[test]
+    fn default_layers_even_and_logarithmic() {
+        for n in [2, 10, 100, 1000, 100_000] {
+            let l = default_layers(n, 2.0);
+            assert!(l % 2 == 0 && l >= 4);
+            assert!(l <= 2 * ((n as f64).log2().ceil() as usize) + 4);
+        }
+        assert_eq!(default_layers(2, 2.0) % 2, 0);
+    }
+
+    #[test]
+    fn jump_start_is_half() {
+        let layout = VirtualLayout::new(5, 8);
+        assert_eq!(layout.jump_start(), 4);
+    }
+}

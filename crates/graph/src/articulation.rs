@@ -1,0 +1,165 @@
+//! Articulation points and bridges (Tarjan's low-link algorithm).
+//!
+//! The `k = 1` boundary cases of the decomposition (barbells, bridges) are
+//! detected here; also serves as an independent oracle for
+//! `vertex_connectivity(g) == 1` in the test suite.
+
+use crate::graph::{Graph, NodeId};
+
+/// Output of the low-link computation.
+#[derive(Clone, Debug)]
+pub struct CutStructure {
+    /// Vertices whose removal disconnects their component.
+    pub articulation_points: Vec<NodeId>,
+    /// Edges (as `(u, v)` with `u < v`) whose removal disconnects.
+    pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+/// Computes articulation points and bridges of `g` (iterative DFS, all
+/// components).
+pub fn cut_structure(g: &Graph) -> CutStructure {
+    let n = g.n();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_ap = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0usize;
+
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (vertex, neighbor index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < g.degree(v) {
+                let u = g.neighbors(v)[*idx];
+                *idx += 1;
+                if disc[u] == usize::MAX {
+                    parent[u] = v;
+                    if v == start {
+                        root_children += 1;
+                    }
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push((u, 0));
+                } else if u != parent[v] {
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] >= disc[p] && p != start {
+                        is_ap[p] = true;
+                    }
+                    if low[v] > disc[p] {
+                        bridges.push((p.min(v), p.max(v)));
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_ap[start] = true;
+        }
+    }
+    bridges.sort_unstable();
+    CutStructure {
+        articulation_points: (0..n).filter(|&v| is_ap[v]).collect(),
+        bridges,
+    }
+}
+
+/// Whether `g` is 2-vertex-connected (connected, `n >= 3`, and no
+/// articulation point).
+pub fn is_biconnected(g: &Graph) -> bool {
+    g.n() >= 3
+        && crate::traversal::is_connected(g)
+        && cut_structure(g).articulation_points.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_interior_are_articulation() {
+        let g = generators::path(5);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![1, 2, 3]);
+        assert_eq!(cs.bridges.len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_none() {
+        let g = generators::cycle(6);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn barbell_bridge_detected() {
+        let g = generators::barbell(4, 0);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges, vec![(3, 4)]);
+        assert_eq!(cs.articulation_points, vec![3, 4]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let g = generators::star(5);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![0]);
+        assert_eq!(cs.bridges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![1, 4]);
+    }
+
+    use crate::Graph;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Cross-oracle: a connected graph with n >= 3 has an articulation
+        /// point iff vertex connectivity is exactly 1.
+        #[test]
+        fn agrees_with_vertex_connectivity(seed in 0u64..300) {
+            let g = generators::random_connected(12, 6, seed);
+            let k = crate::connectivity::vertex_connectivity(&g);
+            let has_ap = !cut_structure(&g).articulation_points.is_empty();
+            prop_assert_eq!(has_ap, k == 1, "k = {}", k);
+        }
+
+        /// Removing a bridge disconnects; removing a non-bridge does not.
+        #[test]
+        fn bridges_are_exactly_disconnecting_edges(seed in 0u64..200) {
+            let g = generators::random_connected(10, 4, seed);
+            let cs = cut_structure(&g);
+            for &(u, v) in g.edges() {
+                let h = g.edge_subgraph(|a, b| (a, b) != (u.min(v), u.max(v)));
+                let disconnects = !crate::traversal::is_connected(&h);
+                prop_assert_eq!(
+                    disconnects,
+                    cs.bridges.contains(&(u.min(v), u.max(v))),
+                    "edge ({}, {})", u, v
+                );
+            }
+        }
+    }
+}

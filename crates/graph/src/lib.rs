@@ -1,0 +1,45 @@
+//! # decomp-graph
+//!
+//! Graph substrate for the connectivity-decomposition reproduction of
+//! Censor-Hillel, Ghaffari & Kuhn, *Distributed Connectivity Decomposition*
+//! (PODC 2014).
+//!
+//! This crate provides everything the paper's algorithms assume of the
+//! underlying graph machinery:
+//!
+//! * a compact undirected [`Graph`] representation with a builder,
+//! * graph [`generators`] covering all families used in the experiments
+//!   (Harary graphs, random regular graphs, `G(n,p)`, hypercubes, the
+//!   clique-plus-triples counterexample, diameter-controlled families, ...),
+//! * classical algorithms: [`traversal`] (BFS/DFS/components/diameter),
+//!   [`mst`] (Kruskal/Prim), [`flow`] (Dinic), exact edge/vertex
+//!   [`connectivity`] with Menger path extraction, [`domination`] checks,
+//!   greedy maximal [`matching`], and Karger edge [`sample`] splitting,
+//! * a [`unionfind`] disjoint-set forest.
+//!
+//! # Example
+//!
+//! ```
+//! use decomp_graph::generators;
+//! use decomp_graph::connectivity;
+//!
+//! // A Harary graph H_{4,16} is exactly 4-connected.
+//! let g = generators::harary(4, 16);
+//! assert_eq!(connectivity::vertex_connectivity(&g), 4);
+//! assert_eq!(connectivity::edge_connectivity(&g), 4);
+//! ```
+
+pub mod articulation;
+pub mod connectivity;
+pub mod domination;
+pub mod flow;
+pub mod generators;
+pub mod graph;
+pub mod matching;
+pub mod mst;
+pub mod sample;
+pub mod sparsecert;
+pub mod traversal;
+pub mod unionfind;
+
+pub use graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,220 @@
+//! Maximal matching on bipartite "bridging" structures.
+//!
+//! Step (3) of the recursive class assignment finds a *maximal* matching in
+//! the bridging graph (any maximal matching is a 2-approximation of the
+//! maximum one — the property Lemma 4.4 relies on). The centralized packing
+//! uses [`greedy_maximal_matching`] directly; the distributed packing
+//! simulates Luby-style randomized matching, and the tests here cross-check
+//! both against [`maximum_bipartite_matching`] (Hopcroft–Karp-light
+//! augmenting paths).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A bipartite graph between `left` vertices `0..nl` and `right` vertices
+/// `0..nr`, given as adjacency lists of the left side.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    /// `adj[l]` = right-neighbors of left vertex `l`.
+    pub adj: Vec<Vec<usize>>,
+    /// Number of right vertices.
+    pub nr: usize,
+}
+
+impl Bipartite {
+    /// A bipartite graph with `nl` left and `nr` right vertices, no edges.
+    pub fn new(nl: usize, nr: usize) -> Self {
+        Bipartite {
+            adj: vec![Vec::new(); nl],
+            nr,
+        }
+    }
+
+    /// Adds edge `(l, r)`.
+    ///
+    /// # Panics
+    /// Panics if `l` or `r` out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len() && r < self.nr, "edge out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn nl(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Greedy maximal matching scanning left vertices in a seeded random order.
+/// Returns `mate_of_left[l] = Some(r)` assignments.
+pub fn greedy_maximal_matching(b: &Bipartite, seed: u64) -> Vec<Option<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..b.nl()).collect();
+    order.shuffle(&mut rng);
+    let mut right_taken = vec![false; b.nr];
+    let mut mate = vec![None; b.nl()];
+    for l in order {
+        for &r in &b.adj[l] {
+            if !right_taken[r] {
+                right_taken[r] = true;
+                mate[l] = Some(r);
+                break;
+            }
+        }
+    }
+    mate
+}
+
+/// Maximum bipartite matching via repeated augmenting paths (Kuhn's
+/// algorithm). `O(V·E)` — used as a test oracle and in the Lemma 4.5
+/// experiment.
+pub fn maximum_bipartite_matching(b: &Bipartite) -> Vec<Option<usize>> {
+    let mut mate_r: Vec<Option<usize>> = vec![None; b.nr];
+    let mut mate_l: Vec<Option<usize>> = vec![None; b.nl()];
+
+    fn try_augment(
+        b: &Bipartite,
+        l: usize,
+        visited: &mut [bool],
+        mate_r: &mut [Option<usize>],
+        mate_l: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &b.adj[l] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            let free = match mate_r[r] {
+                None => true,
+                Some(l2) => try_augment(b, l2, visited, mate_r, mate_l),
+            };
+            if free {
+                mate_r[r] = Some(l);
+                mate_l[l] = Some(r);
+                return true;
+            }
+        }
+        false
+    }
+
+    for l in 0..b.nl() {
+        let mut visited = vec![false; b.nr];
+        try_augment(b, l, &mut visited, &mut mate_r, &mut mate_l);
+    }
+    mate_l
+}
+
+/// Size of a matching given as left assignments.
+pub fn matching_size(mate: &[Option<usize>]) -> usize {
+    mate.iter().filter(|m| m.is_some()).count()
+}
+
+/// Checks that `mate` is a valid matching of `b` (edges exist, right side
+/// not reused) and that it is maximal (no free edge remains).
+pub fn check_maximal_matching(b: &Bipartite, mate: &[Option<usize>]) -> Result<(), String> {
+    if mate.len() != b.nl() {
+        return Err("assignment length mismatch".into());
+    }
+    let mut right_used = vec![false; b.nr];
+    for (l, m) in mate.iter().enumerate() {
+        if let Some(r) = m {
+            if !b.adj[l].contains(r) {
+                return Err(format!("matched pair ({l}, {r}) is not an edge"));
+            }
+            if right_used[*r] {
+                return Err(format!("right vertex {r} matched twice"));
+            }
+            right_used[*r] = true;
+        }
+    }
+    for (l, m) in mate.iter().enumerate() {
+        if m.is_none() {
+            for &r in &b.adj[l] {
+                if !right_used[r] {
+                    return Err(format!("matching not maximal: free edge ({l}, {r})"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> Bipartite {
+        let mut b = Bipartite::new(3, 3);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 2);
+        b
+    }
+
+    #[test]
+    fn greedy_is_valid_and_maximal() {
+        let b = diamond();
+        for seed in 0..8 {
+            let m = greedy_maximal_matching(&b, seed);
+            check_maximal_matching(&b, &m).unwrap();
+        }
+    }
+
+    #[test]
+    fn maximum_on_diamond_is_three() {
+        let b = diamond();
+        let m = maximum_bipartite_matching(&b);
+        assert_eq!(matching_size(&m), 3);
+        check_maximal_matching(&b, &m).unwrap();
+    }
+
+    #[test]
+    fn empty_bipartite() {
+        let b = Bipartite::new(0, 0);
+        assert_eq!(matching_size(&greedy_maximal_matching(&b, 0)), 0);
+        assert_eq!(matching_size(&maximum_bipartite_matching(&b)), 0);
+    }
+
+    #[test]
+    fn no_edges() {
+        let b = Bipartite::new(3, 3);
+        let m = greedy_maximal_matching(&b, 1);
+        assert_eq!(matching_size(&m), 0);
+        check_maximal_matching(&b, &m).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bogus() {
+        let b = diamond();
+        assert!(check_maximal_matching(&b, &[Some(2), None, None]).is_err()); // non-edge
+        assert!(check_maximal_matching(&b, &[Some(0), Some(0), None]).is_err()); // reuse
+        assert!(check_maximal_matching(&b, &[None, None, None]).is_err()); // not maximal
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any maximal matching is at least half the maximum (the 1/2
+        /// bound Lemma 4.4's proof uses).
+        #[test]
+        fn maximal_at_least_half_maximum(
+            edges in proptest::collection::vec((0usize..8, 0usize..8), 0..30),
+            seed in 0u64..16,
+        ) {
+            let mut b = Bipartite::new(8, 8);
+            let mut seen = std::collections::HashSet::new();
+            for (l, r) in edges {
+                if seen.insert((l, r)) {
+                    b.add_edge(l, r);
+                }
+            }
+            let greedy = greedy_maximal_matching(&b, seed);
+            prop_assert!(check_maximal_matching(&b, &greedy).is_ok());
+            let maximum = maximum_bipartite_matching(&b);
+            prop_assert!(2 * matching_size(&greedy) >= matching_size(&maximum));
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The lower-bound graph family (Appendix G.1, Figure 3).
+//!
+//! `H(X,Y)` for `X, Y ⊆ [h]` (elements `1..=h`):
+//!
+//! * `h + 1` paths of `2ℓ` *heavy* nodes `(p, q)`, `p ∈ {0..h}`,
+//!   `q ∈ 1..=2ℓ`, each of weight `w`;
+//! * light nodes `a`, `b` (joined by an edge), `u_x` for `x ∈ X`,
+//!   `v_y` for `y ∈ Y`;
+//! * left encoding: `x ∈ X` → `(0,1) − u_x − (x,1)`; `x ∉ X` →
+//!   `(0,1) − (x,1)` directly; right encoding symmetric via `v_y` at
+//!   column `2ℓ`;
+//! * `a` is adjacent to every `u_x` and every `(p, q)` with `q ≤ ℓ`;
+//!   `b` to every `v_y` and every `(p, q)` with `q > ℓ` — giving
+//!   diameter 3.
+//!
+//! `G(X,Y)` replaces each weight-`w` node by a `w`-clique and each edge by
+//! a complete bipartite bundle (Lemma G.4 transfers the cut structure).
+
+use decomp_graph::{Graph, GraphBuilder, NodeId};
+use std::collections::BTreeSet;
+
+/// Parameters of the family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LbParams {
+    /// Universe size `h` (paths `1..=h` plus path 0).
+    pub h: usize,
+    /// Half path length `ℓ` (paths have `2ℓ` heavy nodes).
+    pub ell: usize,
+    /// Weight `w` of heavy nodes (clique size in `G(X,Y)`).
+    pub w: usize,
+}
+
+impl LbParams {
+    /// Number of vertices of `G(X, Y)` (depends on `|X| + |Y|`).
+    pub fn g_size(&self, x_size: usize, y_size: usize) -> usize {
+        (self.h + 1) * 2 * self.ell * self.w + 2 + x_size + y_size
+    }
+}
+
+/// Semantic vertex of `H(X, Y)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LbNode {
+    /// Heavy path node `(p, q)`, `p ∈ 0..=h`, `q ∈ 1..=2ℓ`.
+    Path {
+        /// Path index.
+        p: usize,
+        /// Column, `1..=2ℓ`.
+        q: usize,
+    },
+    /// The left hub.
+    A,
+    /// The right hub.
+    B,
+    /// Left encoder `u_x`, `x ∈ X`.
+    U(usize),
+    /// Right encoder `v_y`, `y ∈ Y`.
+    V(usize),
+}
+
+/// The weighted graph `H(X,Y)` with its node weights and semantic map.
+#[derive(Clone, Debug)]
+pub struct WeightedInstance {
+    /// The graph over indices `0..n_H`.
+    pub graph: Graph,
+    /// Weight per vertex (`w` for heavy nodes, 1 otherwise).
+    pub weights: Vec<usize>,
+    /// Semantic identity per vertex.
+    pub labels: Vec<LbNode>,
+}
+
+/// The unweighted blow-up `G(X,Y)` with bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The graph.
+    pub graph: Graph,
+    /// Parameters used.
+    pub params: LbParams,
+    /// For each `G` vertex, the `H` node it came from.
+    pub origin: Vec<LbNode>,
+    /// The input sets.
+    pub x: BTreeSet<usize>,
+    /// The input sets.
+    pub y: BTreeSet<usize>,
+}
+
+impl Instance {
+    /// All `G`-vertices expanded from one `H`-node.
+    pub fn vertices_of(&self, node: LbNode) -> Vec<NodeId> {
+        (0..self.graph.n())
+            .filter(|&v| self.origin[v] == node)
+            .collect()
+    }
+
+    /// The 4 light vertices `{a, b, u_z, v_z}` for `z = X ∩ Y`, if the
+    /// inputs intersect (Lemma G.4's unique minimum cut).
+    pub fn canonical_cut(&self) -> Option<Vec<NodeId>> {
+        let z = self.x.intersection(&self.y).next().copied()?;
+        let mut cut = self.vertices_of(LbNode::A);
+        cut.extend(self.vertices_of(LbNode::B));
+        cut.extend(self.vertices_of(LbNode::U(z)));
+        cut.extend(self.vertices_of(LbNode::V(z)));
+        Some(cut)
+    }
+}
+
+fn h_nodes(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> Vec<LbNode> {
+    let mut labels = Vec::new();
+    for p in 0..=params.h {
+        for q in 1..=2 * params.ell {
+            labels.push(LbNode::Path { p, q });
+        }
+    }
+    labels.push(LbNode::A);
+    labels.push(LbNode::B);
+    for &xv in x {
+        labels.push(LbNode::U(xv));
+    }
+    for &yv in y {
+        labels.push(LbNode::V(yv));
+    }
+    labels
+}
+
+fn h_edges(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> Vec<(LbNode, LbNode)> {
+    let (h, ell) = (params.h, params.ell);
+    let mut edges: Vec<(LbNode, LbNode)> = Vec::new();
+    let path = |p: usize, q: usize| LbNode::Path { p, q };
+    // Paths.
+    for p in 0..=h {
+        for q in 1..2 * ell {
+            edges.push((path(p, q), path(p, q + 1)));
+        }
+    }
+    // Left encoding.
+    for xv in 1..=h {
+        if x.contains(&xv) {
+            edges.push((LbNode::U(xv), path(0, 1)));
+            edges.push((LbNode::U(xv), path(xv, 1)));
+        } else {
+            edges.push((path(0, 1), path(xv, 1)));
+        }
+    }
+    // Right encoding.
+    for yv in 1..=h {
+        if y.contains(&yv) {
+            edges.push((LbNode::V(yv), path(0, 2 * ell)));
+            edges.push((LbNode::V(yv), path(yv, 2 * ell)));
+        } else {
+            edges.push((path(0, 2 * ell), path(yv, 2 * ell)));
+        }
+    }
+    // Hubs.
+    edges.push((LbNode::A, LbNode::B));
+    for &xv in x {
+        edges.push((LbNode::A, LbNode::U(xv)));
+    }
+    for &yv in y {
+        edges.push((LbNode::B, LbNode::V(yv)));
+    }
+    for p in 0..=h {
+        for q in 1..=2 * ell {
+            if q <= ell {
+                edges.push((LbNode::A, path(p, q)));
+            } else {
+                edges.push((LbNode::B, path(p, q)));
+            }
+        }
+    }
+    edges
+}
+
+/// Builds the weighted instance `H(X,Y)`.
+///
+/// # Panics
+/// Panics if parameters are degenerate or inputs exceed `[h]`.
+pub fn build_h(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> WeightedInstance {
+    validate(params, x, y);
+    let labels = h_nodes(params, x, y);
+    let index: std::collections::HashMap<LbNode, usize> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    let mut b = GraphBuilder::new(labels.len());
+    for (s, t) in h_edges(params, x, y) {
+        b.try_add_edge(index[&s], index[&t]);
+    }
+    let weights = labels
+        .iter()
+        .map(|l| match l {
+            LbNode::Path { .. } => params.w,
+            _ => 1,
+        })
+        .collect();
+    WeightedInstance {
+        graph: b.build(),
+        weights,
+        labels,
+    }
+}
+
+/// Builds the unweighted blow-up `G(X,Y)`.
+///
+/// # Panics
+/// Panics if parameters are degenerate or inputs exceed `[h]`.
+pub fn build_g(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> Instance {
+    validate(params, x, y);
+    let labels = h_nodes(params, x, y);
+    // Expand: heavy nodes -> w copies; light -> 1 copy.
+    let mut origin = Vec::new();
+    let mut first_copy: std::collections::HashMap<LbNode, usize> = Default::default();
+    let mut copies: std::collections::HashMap<LbNode, usize> = Default::default();
+    for &l in &labels {
+        let c = match l {
+            LbNode::Path { .. } => params.w,
+            _ => 1,
+        };
+        first_copy.insert(l, origin.len());
+        copies.insert(l, c);
+        for _ in 0..c {
+            origin.push(l);
+        }
+    }
+    let mut b = GraphBuilder::new(origin.len());
+    // Cliques for heavy nodes.
+    for &l in &labels {
+        let (start, c) = (first_copy[&l], copies[&l]);
+        for i in 0..c {
+            for j in (i + 1)..c {
+                b.add_edge(start + i, start + j);
+            }
+        }
+    }
+    // Complete bipartite bundles for edges.
+    for (s, t) in h_edges(params, x, y) {
+        let (ss, sc) = (first_copy[&s], copies[&s]);
+        let (ts, tc) = (first_copy[&t], copies[&t]);
+        for i in 0..sc {
+            for j in 0..tc {
+                b.try_add_edge(ss + i, ts + j);
+            }
+        }
+    }
+    Instance {
+        graph: b.build(),
+        params: *params,
+        origin,
+        x: x.clone(),
+        y: y.clone(),
+    }
+}
+
+fn validate(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) {
+    assert!(params.h >= 1 && params.ell >= 1 && params.w >= 1, "degenerate parameters");
+    for &e in x.iter().chain(y.iter()) {
+        assert!((1..=params.h).contains(&e), "input element {e} outside [h]");
+    }
+}
+
+/// The round lower bound of Theorem G.2:
+/// `Ω(√(n / (α k log n)))`, with the constant set to 1.
+pub fn round_lower_bound(n: usize, alpha: f64, k: usize) -> f64 {
+    let n = n.max(2) as f64;
+    (n / (alpha * k as f64 * n.log2())).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::connectivity::vertex_connectivity;
+    use decomp_graph::traversal::{diameter, is_connected};
+
+    fn setof(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    const P: LbParams = LbParams { h: 4, ell: 2, w: 6 };
+
+    #[test]
+    fn h_is_connected_diameter_3() {
+        let inst = build_h(&P, &setof(&[1, 3]), &setof(&[2, 3]));
+        assert!(is_connected(&inst.graph));
+        assert!(diameter(&inst.graph).unwrap() <= 3);
+    }
+
+    #[test]
+    fn g_size_formula() {
+        let x = setof(&[1, 3]);
+        let y = setof(&[2]);
+        let inst = build_g(&P, &x, &y);
+        assert_eq!(inst.graph.n(), P.g_size(2, 1));
+        assert!(is_connected(&inst.graph));
+        assert!(diameter(&inst.graph).unwrap() <= 3);
+    }
+
+    #[test]
+    fn lemma_g4_disjoint_inputs_high_connectivity() {
+        // X ∩ Y = ∅: every vertex cut has size >= w.
+        let inst = build_g(&P, &setof(&[1, 2]), &setof(&[3, 4]));
+        let k = vertex_connectivity(&inst.graph);
+        assert!(k >= P.w, "connectivity {k} must be >= w = {}", P.w);
+    }
+
+    #[test]
+    fn lemma_g4_intersecting_inputs_cut_of_four() {
+        // X ∩ Y = {3}: the cut {a, b, u_3, v_3} has size 4.
+        let inst = build_g(&P, &setof(&[1, 3]), &setof(&[3, 4]));
+        let k = vertex_connectivity(&inst.graph);
+        assert_eq!(k, 4, "Lemma G.4: minimum cut must be exactly 4");
+        // And the canonical cut indeed disconnects.
+        let cut = inst.canonical_cut().unwrap();
+        assert_eq!(cut.len(), 4);
+        let keep: Vec<usize> = (0..inst.graph.n()).filter(|v| !cut.contains(v)).collect();
+        let (sub, _) = inst.graph.induced_subgraph(&keep);
+        assert!(!is_connected(&sub), "removing {{a,b,u_z,v_z}} must disconnect");
+    }
+
+    #[test]
+    fn empty_inputs_high_connectivity() {
+        let inst = build_g(&P, &BTreeSet::new(), &BTreeSet::new());
+        assert!(vertex_connectivity(&inst.graph) >= P.w);
+    }
+
+    #[test]
+    fn intersection_isolates_path_z() {
+        // After removing the canonical cut, path z's cliques form their own
+        // component (Lemma G.3's proof).
+        let inst = build_g(&P, &setof(&[2]), &setof(&[2]));
+        let cut = inst.canonical_cut().unwrap();
+        let keep: Vec<usize> = (0..inst.graph.n()).filter(|v| !cut.contains(v)).collect();
+        let (sub, map) = inst.graph.induced_subgraph(&keep);
+        let (labels, count) = decomp_graph::traversal::connected_components(&sub);
+        assert_eq!(count, 2);
+        // All path-2 vertices share a component, all others the other one.
+        let comp_of = |orig: usize| {
+            let new = map.iter().position(|&o| o == orig).unwrap();
+            labels[new]
+        };
+        let path2: Vec<usize> = (0..inst.graph.n())
+            .filter(|&v| matches!(inst.origin[v], LbNode::Path { p: 2, .. }))
+            .collect();
+        let c0 = comp_of(path2[0]);
+        for &v in &path2 {
+            assert_eq!(comp_of(v), c0);
+        }
+        let other: Vec<usize> = keep
+            .iter()
+            .copied()
+            .filter(|&v| !path2.contains(&v))
+            .collect();
+        let c1 = comp_of(other[0]);
+        assert_ne!(c0, c1);
+        for &v in &other {
+            assert_eq!(comp_of(v), c1);
+        }
+    }
+
+    #[test]
+    fn vertices_of_counts() {
+        let inst = build_g(&P, &setof(&[1]), &setof(&[1]));
+        assert_eq!(inst.vertices_of(LbNode::A).len(), 1);
+        assert_eq!(inst.vertices_of(LbNode::Path { p: 0, q: 1 }).len(), P.w);
+        assert_eq!(inst.vertices_of(LbNode::U(1)).len(), 1);
+        assert!(inst.vertices_of(LbNode::U(2)).is_empty());
+    }
+
+    #[test]
+    fn round_lower_bound_monotone_in_n() {
+        assert!(round_lower_bound(10_000, 2.0, 4) > round_lower_bound(100, 2.0, 4));
+        assert!(round_lower_bound(10_000, 2.0, 4) > round_lower_bound(10_000, 2.0, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_inputs() {
+        build_g(&P, &setof(&[9]), &BTreeSet::new());
+    }
+}

@@ -1,0 +1,18 @@
+//! # decomp-lowerbound
+//!
+//! Appendix G of the paper: the lower-bound graph family and the
+//! communication-complexity reduction behind Theorem G.2 ("distinguishing
+//! networks with vertex connectivity ≤ k from ≥ αk requires
+//! `Ω(√(n/(αk log n)))` rounds in V-CONGEST, even at diameter 3").
+//!
+//! * [`construction`] — the weighted family `H(X,Y)` and its unweighted
+//!   blow-up `G(X,Y)` (Figure 3), with the Lemma G.3/G.4 cut structure:
+//!   vertex connectivity ≥ `w` when `X ∩ Y = ∅` and exactly 4 (the cut
+//!   `{a, b, u_z, v_z}`) when `X ∩ Y = {z}`;
+//! * [`simulation`] — the Alice/Bob two-party simulation of Lemmas
+//!   G.5/G.6 (a `T`-round protocol yields a `2BT`-bit two-party protocol)
+//!   and two concrete distinguishing protocols whose costs bracket the
+//!   `Ω(√(n/(αk log n)))` bound.
+
+pub mod construction;
+pub mod simulation;

@@ -1,0 +1,218 @@
+//! The two-party simulation and concrete distinguishing protocols
+//! (Appendix G.2, Lemmas G.5/G.6, Theorem G.2).
+//!
+//! Lemma G.6: for `T ≤ ℓ`, Alice (who knows the left part `V'_A(0)`) and
+//! Bob (who knows `V'_B(0)`) can simulate any `T`-round protocol on
+//! `G(X,Y)` by exchanging only the messages of the hub nodes `a` and `b` —
+//! `2BT` bits total. Since set disjointness needs `Ω(h)` bits, any
+//! protocol that distinguishes the connectivity-4 instances from the
+//! connectivity-`w` ones needs `T = Ω(h / B)` rounds.
+//!
+//! [`simulate_two_party`] performs this simulation mechanically for the
+//! natural *hub-relay* disjointness protocol and reports the exchanged
+//! bits; [`path_relay_rounds`] measures the alternative that avoids the
+//! hubs by sending each element's bit down its own path (`Θ(ℓ)` rounds).
+//! Balancing `h / B` against `ℓ` at `h = Θ(ℓ log n)` yields Theorem G.2's
+//! `Ω(√(n / (αk log n)))`, which [`distinguishing_cost`] evaluates.
+
+use crate::construction::{Instance, LbParams};
+use std::collections::BTreeSet;
+
+/// Transcript of the Alice/Bob simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoPartyTranscript {
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Total bits Alice received (node `b`'s messages).
+    pub bits_from_bob: usize,
+    /// Total bits Bob received (node `a`'s messages).
+    pub bits_from_alice: usize,
+}
+
+impl TwoPartyTranscript {
+    /// Total cross bits (the `2BT` of Lemma G.6).
+    pub fn total_bits(&self) -> usize {
+        self.bits_from_bob + self.bits_from_alice
+    }
+}
+
+/// Bits per message (`B = Θ(log n)` in the model).
+pub fn bandwidth_bits(n: usize) -> usize {
+    (n.max(2) as f64).log2().ceil() as usize * 4
+}
+
+/// The hub-relay disjointness protocol, simulated as a two-party protocol
+/// per Lemma G.5/G.6: node `a` learns `X` locally (it is adjacent to every
+/// `u_x`), then streams the indicator vector of `X` to `b` over the `a–b`
+/// edge at `B` bits per round; `b` compares against `Y` and streams the
+/// verdict back. Alice simulates the left half, Bob the right half; the
+/// only communicated bits are `a`'s and `b`'s messages.
+///
+/// Returns the transcript and the found intersection element (if any).
+pub fn simulate_two_party(
+    params: &LbParams,
+    x: &BTreeSet<usize>,
+    y: &BTreeSet<usize>,
+    n_for_bandwidth: usize,
+) -> (TwoPartyTranscript, Option<usize>) {
+    let b_bits = bandwidth_bits(n_for_bandwidth);
+    // a streams h indicator bits to b: ceil(h / B) rounds, B bits each.
+    let rounds_stream = params.h.div_ceil(b_bits);
+    let mut bits_from_alice = 0;
+    let mut found = None;
+    for r in 0..rounds_stream {
+        let lo = r * b_bits + 1;
+        let hi = ((r + 1) * b_bits).min(params.h);
+        bits_from_alice += hi - lo + 1;
+        for e in lo..=hi {
+            if x.contains(&e) && y.contains(&e) {
+                found = Some(e);
+            }
+        }
+    }
+    // b answers with the element id (one message of B bits).
+    let transcript = TwoPartyTranscript {
+        rounds: rounds_stream + 1,
+        bits_from_bob: b_bits,
+        bits_from_alice,
+    };
+    (transcript, found)
+}
+
+/// Rounds of the *path-relay* protocol that avoids the hub bottleneck:
+/// each path `x` carries the bit `x ∈ X` from its left end to its right
+/// end (`2ℓ − 1` hops, all paths in parallel), the right end combines with
+/// `x ∈ Y`, and the verdict floods back through the diameter-3 hub
+/// structure. This is the protocol the `T ≤ ℓ` restriction of Lemma G.5
+/// rules out for fast algorithms.
+pub fn path_relay_rounds(params: &LbParams) -> usize {
+    2 * params.ell - 1 + 3
+}
+
+/// The best achievable distinguishing cost on `G(X,Y)`:
+/// `min(path-relay, hub-relay)` rounds, which at the theorem's parameter
+/// balance matches `Ω(√(n / (αk log n)))` up to constants.
+pub fn distinguishing_cost(params: &LbParams, n: usize) -> usize {
+    let hub = params.h.div_ceil(bandwidth_bits(n)) + 1;
+    hub.min(path_relay_rounds(params))
+}
+
+/// Instantiates Theorem G.2's parameter balance for a target `n` and
+/// connectivity bound `αk`: `ℓ = h / log₂ n`, `w = αk + 1`, with `h`
+/// chosen so the vertex count lands near `n`. Returns the parameters and
+/// the realized `n`.
+pub fn theorem_g2_params(n_target: usize, alpha_k: usize) -> (LbParams, usize) {
+    let logn = (n_target.max(4) as f64).log2();
+    let w = alpha_k + 1;
+    // n ≈ (h+1) · 2ℓ · w with ℓ = h / log n  =>  h ≈ sqrt(n · log n / (2w)).
+    let h = ((n_target as f64 * logn / (2.0 * w as f64)).sqrt().ceil() as usize).max(2);
+    let ell = (h as f64 / logn).ceil() as usize;
+    let params = LbParams {
+        h,
+        ell: ell.max(1),
+        w,
+    };
+    let realized = params.g_size(0, 0) + 2; // typical |X|+|Y| is O(h) light nodes
+    (params, realized)
+}
+
+/// End-to-end check used by the experiment binary: the distinguishing
+/// protocols really do tell the two instance families apart.
+pub fn instances_distinguishable(
+    params: &LbParams,
+    x: &BTreeSet<usize>,
+    y: &BTreeSet<usize>,
+) -> bool {
+    let (_, found) = simulate_two_party(params, x, y, 1 << 12);
+    let truly_intersect = x.intersection(y).next().is_some();
+    found.is_some() == truly_intersect
+}
+
+/// Convenience: the canonical pair of instances for a given parameter set
+/// (one intersecting, one disjoint), used by tests and the figure example.
+pub fn canonical_instances(params: &LbParams) -> (Instance, Instance) {
+    let half: BTreeSet<usize> = (1..=params.h / 2).collect();
+    let other: BTreeSet<usize> = (params.h / 2 + 1..=params.h).collect();
+    let disjoint = crate::construction::build_g(params, &half, &other);
+    let mut with_z = other.clone();
+    with_z.insert(1);
+    let mut x2 = half.clone();
+    x2.insert(1);
+    let intersecting = crate::construction::build_g(params, &x2, &with_z);
+    (disjoint, intersecting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::connectivity::vertex_connectivity;
+
+    fn setof(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn two_party_finds_intersection() {
+        let p = LbParams { h: 64, ell: 4, w: 3 };
+        let (t, found) = simulate_two_party(&p, &setof(&[5, 9]), &setof(&[9, 30]), 1024);
+        assert_eq!(found, Some(9));
+        assert!(t.total_bits() >= 64, "must stream the whole universe");
+    }
+
+    #[test]
+    fn two_party_reports_disjoint() {
+        let p = LbParams { h: 32, ell: 4, w: 3 };
+        let (_, found) = simulate_two_party(&p, &setof(&[1, 2]), &setof(&[3, 4]), 1024);
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn cross_bits_lower_bounded_by_h() {
+        // Lemma G.6 + Razborov: the transcript carries Ω(h) bits.
+        for h in [32, 128, 512] {
+            let p = LbParams { h, ell: 2, w: 2 };
+            let (t, _) = simulate_two_party(&p, &setof(&[1]), &setof(&[1]), 4096);
+            assert!(t.total_bits() >= h, "h={h}: bits {}", t.total_bits());
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_h_over_bandwidth() {
+        let n = 4096;
+        let b = bandwidth_bits(n);
+        let p = LbParams { h: 10 * b, ell: 2, w: 2 };
+        let (t, _) = simulate_two_party(&p, &setof(&[1]), &setof(&[2]), n);
+        assert!((10..=12).contains(&t.rounds), "rounds {}", t.rounds);
+    }
+
+    #[test]
+    fn theorem_params_produce_correct_cut_gap() {
+        let (p, _) = theorem_g2_params(600, 4);
+        let (disjoint, intersecting) = canonical_instances(&p);
+        assert!(vertex_connectivity(&disjoint.graph) >= p.w);
+        assert_eq!(vertex_connectivity(&intersecting.graph), 4);
+    }
+
+    #[test]
+    fn distinguishing_cost_grows_with_n() {
+        let (p1, n1) = theorem_g2_params(400, 4);
+        let (p2, n2) = theorem_g2_params(6400, 4);
+        let c1 = distinguishing_cost(&p1, n1);
+        let c2 = distinguishing_cost(&p2, n2);
+        assert!(c2 > c1, "cost must grow: {c1} -> {c2}");
+    }
+
+    #[test]
+    fn distinguishability_holds_across_inputs() {
+        let p = LbParams { h: 16, ell: 2, w: 3 };
+        assert!(instances_distinguishable(&p, &setof(&[1, 5]), &setof(&[5])));
+        assert!(instances_distinguishable(&p, &setof(&[1, 2]), &setof(&[3])));
+    }
+
+    #[test]
+    fn path_relay_linear_in_ell() {
+        let a = path_relay_rounds(&LbParams { h: 4, ell: 10, w: 2 });
+        let b = path_relay_rounds(&LbParams { h: 4, ell: 40, w: 2 });
+        assert_eq!(b - a, 60);
+    }
+}

@@ -1,0 +1,36 @@
+//! Reproduces Figure 3: the lower-bound construction `H(X,Y)` /
+//! `G(X,Y)` of Appendix G, printed as DOT (pipe into graphviz to render)
+//! together with its verified cut structure.
+//!
+//! Run with `cargo run --release --example figure_lowerbound`.
+
+use connectivity_decomposition::graph::connectivity::vertex_connectivity;
+use connectivity_decomposition::lowerbound::construction::{build_g, build_h, LbParams};
+use std::collections::BTreeSet;
+
+fn main() {
+    // Figure 3's proportions: h = ℓ = 6 in the paper; a small readable
+    // instance here.
+    let params = LbParams { h: 4, ell: 2, w: 4 };
+    let x: BTreeSet<usize> = [2, 3].into();
+    let y: BTreeSet<usize> = [1, 3].into(); // intersection {3}
+
+    let h_inst = build_h(&params, &x, &y);
+    println!("// H(X,Y): weighted instance, X = {x:?}, Y = {y:?}");
+    println!("// node weights: {:?}", h_inst.weights);
+    println!("{}", h_inst.graph.to_dot("H_XY"));
+
+    let g_inst = build_g(&params, &x, &y);
+    let k = vertex_connectivity(&g_inst.graph);
+    println!("// G(X,Y): unweighted blow-up, n = {}", g_inst.graph.n());
+    println!("// vertex connectivity = {k} (Lemma G.4: exactly 4 since X ∩ Y = {{3}})");
+    let cut = g_inst.canonical_cut().expect("intersecting instance");
+    println!("// canonical minimum cut {{a, b, u_3, v_3}} = vertices {cut:?}");
+
+    let disjoint = build_g(&params, &[2usize, 4].into(), &[1usize, 3].into());
+    println!(
+        "// disjoint instance: vertex connectivity = {} (Lemma G.4: >= w = {})",
+        vertex_connectivity(&disjoint.graph),
+        params.w,
+    );
+}

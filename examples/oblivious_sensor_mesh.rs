@@ -1,0 +1,52 @@
+//! Scenario: oblivious broadcast routing in a wireless sensor mesh.
+//!
+//! A random geometric graph models a dense sensor deployment. Messages
+//! must be broadcast without any load coordination (oblivious routing,
+//! Corollary 1.6): each message independently picks a random tree of the
+//! decomposition, and the resulting congestion stays competitive with the
+//! offline optimum — `O(log n)` for vertex congestion, `O(1)` for edge
+//! congestion.
+//!
+//! Run with `cargo run --release --example oblivious_sensor_mesh`.
+
+use connectivity_decomposition::broadcast::oblivious::{edge_congestion, vertex_congestion};
+use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
+use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use connectivity_decomposition::graph::{connectivity, generators, traversal};
+
+fn main() {
+    // Dense deployment: 80 sensors, radio radius 0.35.
+    let g = generators::random_geometric(80, 0.35, 2026);
+    assert!(traversal::is_connected(&g), "deployment must be connected");
+    let k = connectivity::vertex_connectivity(&g);
+    let lambda = connectivity::edge_connectivity(&g);
+    println!(
+        "sensor mesh: n = {}, m = {}, k = {k}, lambda = {lambda}, diameter = {}",
+        g.n(),
+        g.m(),
+        traversal::diameter(&g).unwrap()
+    );
+
+    let workload = 4000;
+
+    // Vertex-congestion side (V-CONGEST, dominating trees).
+    let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 5));
+    let trees = to_dom_tree_packing(&g, &packing);
+    let vc = vertex_congestion(&g, &trees.packing, k, workload, 11);
+    println!(
+        "oblivious vertex congestion: max {} vs OPT >= {:.1} -> {:.2}-competitive (log n = {:.1})",
+        vc.max_congestion,
+        vc.opt_lower_bound,
+        vc.competitiveness,
+        (g.n() as f64).log2()
+    );
+
+    // Edge-congestion side (E-CONGEST, spanning trees).
+    let stp = fractional_stp_mwu(&g, lambda, &MwuConfig::default());
+    let ec = edge_congestion(&g, &stp.packing, lambda, workload, 13);
+    println!(
+        "oblivious edge congestion:   max {} vs OPT >= {:.1} -> {:.2}-competitive (target O(1))",
+        ec.max_congestion, ec.opt_lower_bound, ec.competitiveness
+    );
+}

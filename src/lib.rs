@@ -1,0 +1,33 @@
+//! # connectivity-decomposition
+//!
+//! Umbrella crate for the reproduction of *Distributed Connectivity
+//! Decomposition* (Censor-Hillel, Ghaffari & Kuhn, PODC 2014).
+//!
+//! Re-exports the workspace crates so that examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate (generators, flow, exact connectivity, MST);
+//! * [`congest`] — synchronous V-CONGEST / E-CONGEST simulator;
+//! * [`core`] — the paper's contribution: fractional dominating-tree (CDS)
+//!   packing, fractional/integral spanning-tree packing, verification, and
+//!   vertex-connectivity approximation;
+//! * [`broadcast`] — applications: gossiping, throughput, oblivious routing;
+//! * [`lowerbound`] — Appendix G's lower-bound construction and two-party
+//!   simulation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use connectivity_decomposition::graph::generators;
+//! use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+//!
+//! let g = generators::harary(8, 64);
+//! let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 1));
+//! assert!(packing.num_classes() > 0);
+//! ```
+
+pub use decomp_broadcast as broadcast;
+pub use decomp_congest as congest;
+pub use decomp_core as core;
+pub use decomp_graph as graph;
+pub use decomp_lowerbound as lowerbound;

@@ -1,0 +1,64 @@
+//! Distributed and centralized implementations must produce the same
+//! *kind* of object with the same guarantees (the random choices differ,
+//! so outputs are compared through their invariants, not bitwise).
+
+use connectivity_decomposition::congest::{Model, Simulator};
+use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::distributed::cds_packing_distributed;
+use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
+use connectivity_decomposition::core::cds::verify::{verify_centralized, VerifyOutcome};
+use connectivity_decomposition::core::stp::distributed::distributed_stp_mwu;
+use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use connectivity_decomposition::graph::generators;
+
+#[test]
+fn cds_both_sides_valid_and_same_shape() {
+    let g = generators::harary(8, 40);
+    let cfg = CdsPackingConfig::with_known_k(8, 6);
+
+    let central = cds_packing(&g, &cfg);
+    let mut sim = Simulator::new(&g, Model::VCongest);
+    let distributed = cds_packing_distributed(&mut sim, &cfg).unwrap();
+
+    for p in [&central, &distributed] {
+        assert_eq!(p.num_classes(), cfg.num_classes);
+        assert_eq!(verify_centralized(&g, &p.classes), VerifyOutcome::Pass);
+        assert!(p.max_real_multiplicity() <= 3 * p.layout.layers());
+        let trees = to_dom_tree_packing(&g, p);
+        trees.packing.validate(&g, 1e-9).unwrap();
+    }
+    assert!(sim.stats().rounds > 0, "distributed run must spend rounds");
+}
+
+#[test]
+fn stp_both_sides_meet_target() {
+    let g = generators::harary(4, 16); // lambda = 4, target = 2
+    let central = fractional_stp_mwu(&g, 4, &MwuConfig::default());
+    let mut sim = Simulator::new(&g, Model::ECongest);
+    let distributed = distributed_stp_mwu(&mut sim, 4, &MwuConfig::default()).unwrap();
+    for r in [&central, &distributed] {
+        r.packing.validate(&g, 1e-9).unwrap();
+        assert!(
+            r.packing.size() >= 2.0 * (1.0 - 0.6) - 1e-9,
+            "size {}",
+            r.packing.size()
+        );
+    }
+}
+
+#[test]
+fn distributed_rounds_scale_with_instance() {
+    // Rounds must grow with n on a diameter-controlled family.
+    let rounds_for = |len: usize| {
+        let g = generators::thick_path(4, len);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(4, 2)).unwrap();
+        sim.stats().rounds
+    };
+    let short = rounds_for(4);
+    let long = rounds_for(12);
+    assert!(
+        long > short,
+        "larger diameter must cost more rounds: {short} vs {long}"
+    );
+}

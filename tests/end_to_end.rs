@@ -1,0 +1,87 @@
+//! End-to-end integration: decomposition → verification → dissemination,
+//! across crates (graph substrate, core algorithms, broadcast apps).
+
+use connectivity_decomposition::broadcast::gossip::gossip_via_trees;
+use connectivity_decomposition::broadcast::oblivious::vertex_congestion;
+use connectivity_decomposition::broadcast::throughput::edge_throughput;
+use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
+use connectivity_decomposition::core::cds::verify::{
+    membership_of, verify_centralized, verify_distributed, VerifyOutcome,
+};
+use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use connectivity_decomposition::congest::{Model, Simulator};
+use connectivity_decomposition::graph::{connectivity, generators};
+
+#[test]
+fn vertex_pipeline_harary() {
+    let g = generators::harary(12, 60);
+    let k = connectivity::vertex_connectivity(&g);
+    assert_eq!(k, 12);
+
+    // Decompose.
+    let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 4));
+    // Verify (both testers agree).
+    assert_eq!(verify_centralized(&g, &packing.classes), VerifyOutcome::Pass);
+    let membership = membership_of(&packing.classes, g.n());
+    let mut sim = Simulator::new(&g, Model::VCongest);
+    assert_eq!(
+        verify_distributed(&mut sim, &membership, packing.num_classes(), 1).unwrap(),
+        VerifyOutcome::Pass
+    );
+    // Extract and validate trees.
+    let trees = to_dom_tree_packing(&g, &packing);
+    assert!(trees.invalid_classes.is_empty());
+    trees.packing.validate(&g, 1e-9).unwrap();
+    // κ <= k (cut bound).
+    assert!(trees.packing.size() <= k as f64 + 1e-9);
+
+    // Disseminate.
+    let origins: Vec<usize> = (0..g.n()).collect();
+    let gossip = gossip_via_trees(&g, &trees.packing, &origins, 2);
+    assert_eq!(gossip.num_messages, g.n());
+
+    // Oblivious congestion sane.
+    let cong = vertex_congestion(&g, &trees.packing, k, 1000, 3);
+    assert!(cong.max_congestion >= cong.opt_lower_bound);
+}
+
+#[test]
+fn edge_pipeline_harary() {
+    let g = generators::harary(8, 40);
+    let lambda = connectivity::edge_connectivity(&g);
+    assert_eq!(lambda, 8);
+    let report = fractional_stp_mwu(&g, lambda, &MwuConfig::default());
+    report.packing.validate(&g, 1e-9).unwrap();
+    let tput = edge_throughput(&g, &report.packing, lambda);
+    assert!(tput.messages_per_round >= tput.tutte_nash_williams as f64 * (1.0 - 0.6));
+    assert!(tput.messages_per_round <= lambda as f64);
+}
+
+#[test]
+fn invalid_packings_rejected_end_to_end() {
+    // A deliberately broken "packing": one class that misses domination.
+    let g = generators::star(8);
+    let classes = vec![vec![1usize], vec![0usize]];
+    assert_eq!(
+        verify_centralized(&g, &classes),
+        VerifyOutcome::DominationFailure
+    );
+    let membership = membership_of(&classes, g.n());
+    let mut sim = Simulator::new(&g, Model::VCongest);
+    assert_eq!(
+        verify_distributed(&mut sim, &membership, 2, 5).unwrap(),
+        VerifyOutcome::DominationFailure
+    );
+}
+
+#[test]
+fn unknown_k_pipeline() {
+    let g = generators::hypercube(5);
+    let r = connectivity_decomposition::core::cds::guess::cds_packing_unknown_k(&g, 9);
+    assert_eq!(verify_centralized(&g, &r.packing.classes), VerifyOutcome::Pass);
+    let trees = to_dom_tree_packing(&g, &r.packing);
+    trees.packing.validate(&g, 1e-9).unwrap();
+    let k = connectivity::vertex_connectivity(&g);
+    assert!(trees.packing.size() <= k as f64 + 1e-9);
+}

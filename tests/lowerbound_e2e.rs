@@ -1,0 +1,55 @@
+//! Lower-bound pipeline: construction → exact connectivity oracle →
+//! two-party simulation, across the lowerbound / graph crates.
+
+use connectivity_decomposition::graph::connectivity::vertex_connectivity;
+use connectivity_decomposition::graph::traversal::diameter;
+use connectivity_decomposition::lowerbound::construction::{
+    build_g, round_lower_bound, LbParams,
+};
+use connectivity_decomposition::lowerbound::simulation::{
+    distinguishing_cost, simulate_two_party, theorem_g2_params,
+};
+use std::collections::BTreeSet;
+
+#[test]
+fn cut_dichotomy_drives_disjointness_decision() {
+    let p = LbParams { h: 5, ell: 2, w: 6 };
+    for (x, y) in [
+        (vec![1usize, 2], vec![4usize, 5]), // disjoint
+        (vec![1, 3], vec![3, 5]),           // intersect at 3
+    ] {
+        let xs: BTreeSet<usize> = x.iter().copied().collect();
+        let ys: BTreeSet<usize> = y.iter().copied().collect();
+        let inst = build_g(&p, &xs, &ys);
+        let k = vertex_connectivity(&inst.graph);
+        let intersects = xs.intersection(&ys).next().is_some();
+        if intersects {
+            assert_eq!(k, 4, "intersecting inputs must give the 4-cut");
+        } else {
+            assert!(k >= p.w, "disjoint inputs must stay {}-connected", p.w);
+        }
+        // Deciding connectivity therefore decides disjointness — the
+        // two-party protocol agrees with the graph-side ground truth.
+        let (_, found) = simulate_two_party(&p, &xs, &ys, inst.graph.n());
+        assert_eq!(found.is_some(), intersects);
+        assert!(diameter(&inst.graph).unwrap() <= 3);
+    }
+}
+
+#[test]
+fn theorem_g2_scaling_shape() {
+    // The achievable distinguishing cost must grow at least like the
+    // theorem's bound (up to constants) along the parameter family.
+    let mut prev_cost = 0usize;
+    for n in [500usize, 4000, 32_000] {
+        let (p, n_real) = theorem_g2_params(n, 4);
+        let cost = distinguishing_cost(&p, n_real);
+        let bound = round_lower_bound(n_real, 1.0, 4);
+        assert!(
+            cost as f64 + 1.0 >= bound / 4.0,
+            "cost {cost} must not fall far below the bound {bound}"
+        );
+        assert!(cost >= prev_cost, "cost must not shrink with n");
+        prev_cost = cost;
+    }
+}

@@ -1,0 +1,63 @@
+//! Spanning-tree packing pipeline across crates: exact connectivity →
+//! MWU / sampled / integral packings → throughput & congestion.
+
+use connectivity_decomposition::broadcast::oblivious::edge_congestion;
+use connectivity_decomposition::core::stp::integral::{check_integral_stp, integral_stp};
+use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use connectivity_decomposition::core::stp::sampled::sampled_stp;
+use connectivity_decomposition::graph::{connectivity, generators};
+
+#[test]
+fn mwu_size_tracks_lambda() {
+    let mut last = 0.0;
+    for lambda in [2usize, 4, 8] {
+        let g = generators::harary(lambda, 24);
+        assert_eq!(connectivity::edge_connectivity(&g), lambda);
+        let r = fractional_stp_mwu(&g, lambda, &MwuConfig::default());
+        r.packing.validate(&g, 1e-9).unwrap();
+        assert!(
+            r.packing.size() >= last - 1e-9,
+            "size must be monotone in lambda"
+        );
+        last = r.packing.size();
+    }
+    assert!(last >= 4.0 * (1.0 - 0.6));
+}
+
+#[test]
+fn sampled_pipeline_on_dense_graph() {
+    let g = generators::complete(40);
+    let r = sampled_stp(&g, 0.15, 5);
+    r.packing.validate(&g, 1e-9).unwrap();
+    assert!(r.packing.size() >= 1.0);
+}
+
+#[test]
+fn integral_trees_support_congestion_free_routing() {
+    let g = generators::complete(32); // lambda = 31
+    let r = integral_stp(&g, 31, 2.0, 3);
+    check_integral_stp(&g, &r.trees).unwrap();
+    assert!(r.trees.len() >= 2);
+    // Edge-disjoint trees: total per-edge usage across trees is <= 1.
+    let mut used = vec![0usize; g.m()];
+    for t in &r.trees {
+        for &e in t {
+            used[e] += 1;
+        }
+    }
+    assert!(used.into_iter().all(|u| u <= 1));
+}
+
+#[test]
+fn congestion_pipeline() {
+    let g = generators::harary(6, 30);
+    let lambda = connectivity::edge_connectivity(&g);
+    let packing = fractional_stp_mwu(&g, lambda, &MwuConfig::default()).packing;
+    let r = edge_congestion(&g, &packing, lambda, 3000, 7);
+    // O(1)-competitiveness with a generous constant.
+    assert!(
+        r.competitiveness <= 10.0,
+        "competitiveness {}",
+        r.competitiveness
+    );
+}
