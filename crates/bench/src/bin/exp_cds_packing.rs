@@ -43,8 +43,18 @@ fn main() {
     let mut t = Table::new(
         "E1: dominating-tree packing (Thm 1.1/1.2)",
         &[
-            "family", "n", "m", "k", "t", "valid", "invalid", "mult", "3L(bound)",
-            "kappa", "k/log n", "maxdiam",
+            "family",
+            "n",
+            "m",
+            "k",
+            "t",
+            "valid",
+            "invalid",
+            "mult",
+            "3L(bound)",
+            "kappa",
+            "k/log n",
+            "maxdiam",
         ],
     );
     for &k in &[8usize, 16, 32, 64] {

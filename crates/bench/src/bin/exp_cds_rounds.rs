@@ -16,7 +16,16 @@ use decomp_graph::{generators, traversal};
 fn main() {
     let mut t = Table::new(
         "E3: distributed rounds (Thm 1.1)",
-        &["family", "n", "D", "k", "rounds", "msgs", "D+sqrt(n)", "lb D+sqrt(n)/k"],
+        &[
+            "family",
+            "n",
+            "D",
+            "k",
+            "rounds",
+            "msgs",
+            "D+sqrt(n)",
+            "lb D+sqrt(n)/k",
+        ],
     );
     let cases: Vec<(&str, decomp_graph::Graph, usize)> = vec![
         ("harary", generators::harary(8, 32), 8),

@@ -13,7 +13,13 @@ fn main() {
         "E2: centralized runtime scaling (Thm 1.2)",
         &["n", "m", "k", "time_ms", "us_per_m", "us_per_mlog2n"],
     );
-    for &(n, k) in &[(64usize, 16usize), (128, 24), (256, 32), (512, 48), (1024, 64)] {
+    for &(n, k) in &[
+        (64usize, 16usize),
+        (128, 24),
+        (256, 32),
+        (512, 48),
+        (1024, 64),
+    ] {
         let g = generators::harary(k, n);
         let cfg = CdsPackingConfig::with_known_k(k, 5);
         let start = Instant::now();

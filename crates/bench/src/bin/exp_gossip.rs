@@ -11,7 +11,16 @@ use decomp_graph::generators;
 fn main() {
     let mut t = Table::new(
         "E9: gossiping (Cor A.1)",
-        &["family", "n", "k", "N", "eta", "rounds", "baseline", "bound eta+(N+n)/k"],
+        &[
+            "family",
+            "n",
+            "k",
+            "N",
+            "eta",
+            "rounds",
+            "baseline",
+            "bound eta+(N+n)/k",
+        ],
     );
     // Constructed packings.
     for &(k, n, mult) in &[(8usize, 48usize, 1usize), (16, 64, 2), (16, 64, 4)] {
@@ -68,7 +77,14 @@ fn main() {
     // V-CONGEST protocol on the same workload.
     let mut t2 = Table::new(
         "E9b: schedule simulation vs message-passing protocol",
-        &["family", "n", "N", "schedule rounds", "protocol rounds", "complete"],
+        &[
+            "family",
+            "n",
+            "N",
+            "schedule rounds",
+            "protocol rounds",
+            "complete",
+        ],
     );
     let g = generators::harary(8, 48);
     let p = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 2));

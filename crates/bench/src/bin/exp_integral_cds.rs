@@ -11,7 +11,13 @@ fn main() {
     let mut t = Table::new(
         "E13: integral CDS packing + independent trees (Sec 1.2 / 1.4.1)",
         &[
-            "family", "n", "k", "kappa(1/2)", "groups", "disjoint trees", "failed",
+            "family",
+            "n",
+            "k",
+            "kappa(1/2)",
+            "groups",
+            "disjoint trees",
+            "failed",
             "independent ok",
         ],
     );
@@ -27,7 +33,9 @@ fn main() {
         let kappa = decomp_graph::sample::sampled_vertex_connectivity(&g, 2, 11);
         let r = integral_cds_packing(&g, groups, 7);
         check_vertex_disjoint(&g, &r.packing).expect("vertex-disjoint");
-        r.packing.validate(&g, 1e-9).expect("feasible integral packing");
+        r.packing
+            .validate(&g, 1e-9)
+            .expect("feasible integral packing");
         let indep_ok = if r.packing.num_trees() >= 1 {
             let trees = independent_trees(&g, &r.packing, 0);
             check_independent(&trees, 0).is_ok()

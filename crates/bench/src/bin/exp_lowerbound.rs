@@ -43,21 +43,21 @@ fn main() {
     // --- Round scaling (Theorem G.2). ------------------------------------
     let mut t2 = Table::new(
         "E10b: distinguishing cost vs theorem bound (Thm G.2)",
-        &["n_target", "alpha*k", "h", "ell", "cost(rounds)", "bound sqrt(n/(ak log n))"],
+        &[
+            "n_target",
+            "alpha*k",
+            "h",
+            "ell",
+            "cost(rounds)",
+            "bound sqrt(n/(ak log n))",
+        ],
     );
     for &n_target in &[400usize, 1600, 6400, 25_600, 102_400] {
         let alpha_k = 4;
         let (p, n_real) = theorem_g2_params(n_target, alpha_k);
         let cost = distinguishing_cost(&p, n_real);
         let bound = round_lower_bound(n_real, 1.0, alpha_k);
-        t2.row(&[
-            d(n_target),
-            d(alpha_k),
-            d(p.h),
-            d(p.ell),
-            d(cost),
-            f(bound),
-        ]);
+        t2.row(&[d(n_target), d(alpha_k), d(p.h), d(p.ell), d(cost), f(bound)]);
     }
     t2.print();
 
@@ -89,5 +89,8 @@ fn main() {
     let (dis, int) = canonical_instances(&p);
     assert!(vertex_connectivity(&dis.graph) >= p.w);
     assert_eq!(vertex_connectivity(&int.graph), 4);
-    println!("\ncanonical instances verified: k(disjoint) >= {}, k(intersecting) = 4", p.w);
+    println!(
+        "\ncanonical instances verified: k(disjoint) >= {}, k(intersecting) = 4",
+        p.w
+    );
 }

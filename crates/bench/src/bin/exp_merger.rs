@@ -16,12 +16,19 @@ fn main() {
     // covering only ~half the vertices, and watch the excess decay.
     let mut t = Table::new(
         "E11a: Fast Merger (Lemma 4.4): per-layer excess components",
-        &["k", "t", "n", "layer", "M_before", "M_after", "decay", "matched", "deactivated"],
+        &[
+            "k",
+            "t",
+            "n",
+            "layer",
+            "M_before",
+            "M_after",
+            "decay",
+            "matched",
+            "deactivated",
+        ],
     );
-    for &(k, tcls, n, seed) in &[
-        (48usize, 60usize, 384usize, 1u64),
-        (64, 80, 512, 2),
-    ] {
+    for &(k, tcls, n, seed) in &[(48usize, 60usize, 384usize, 1u64), (64, 80, 512, 2)] {
         let g = generators::harary(k, n);
         let cfg = CdsPackingConfig {
             num_classes: tcls,

@@ -16,7 +16,15 @@ fn main() {
     let workload = 5000;
     let mut t = Table::new(
         "E7a: oblivious vertex congestion (Cor 1.6)",
-        &["family", "n", "k", "max-cong", "opt(N/k)", "competitiveness", "log n"],
+        &[
+            "family",
+            "n",
+            "k",
+            "max-cong",
+            "opt(N/k)",
+            "competitiveness",
+            "log n",
+        ],
     );
     for &(k, n) in &[(8usize, 48usize), (16, 64), (32, 96), (64, 160)] {
         let g = generators::harary(k, n);
@@ -60,7 +68,14 @@ fn main() {
 
     let mut t2 = Table::new(
         "E7b: oblivious edge congestion (Cor 1.6)",
-        &["family", "n", "lambda", "max-cong", "opt(N/l)", "competitiveness"],
+        &[
+            "family",
+            "n",
+            "lambda",
+            "max-cong",
+            "opt(N/l)",
+            "competitiveness",
+        ],
     );
     for (name, g) in [
         ("harary", generators::harary(8, 32)),

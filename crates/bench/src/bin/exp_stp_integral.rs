@@ -10,7 +10,15 @@ use decomp_graph::generators;
 fn main() {
     let mut t = Table::new(
         "E5: integral packing (Ω(λ/log n))",
-        &["family", "n", "lambda", "eta", "trees", "failed", "lambda/logn"],
+        &[
+            "family",
+            "n",
+            "lambda",
+            "eta",
+            "trees",
+            "failed",
+            "lambda/logn",
+        ],
     );
     let cases: Vec<(&str, decomp_graph::Graph)> = vec![
         ("complete", generators::complete(24)),

@@ -14,8 +14,17 @@ fn main() {
     let mut t = Table::new(
         "E4: spanning-tree packing (Thm 1.3)",
         &[
-            "family", "n", "m", "lambda", "target", "size", "ratio", "maxload",
-            "edge-mult", "log3n", "iters",
+            "family",
+            "n",
+            "m",
+            "lambda",
+            "target",
+            "size",
+            "ratio",
+            "maxload",
+            "edge-mult",
+            "log3n",
+            "iters",
         ],
     );
     let cases: Vec<(&str, decomp_graph::Graph)> = vec![
@@ -28,7 +37,14 @@ fn main() {
     ];
     for (name, g) in cases {
         let lambda = edge_connectivity(&g);
-        let report = fractional_stp_mwu(&g, lambda, &MwuConfig { epsilon: eps, max_iterations: None });
+        let report = fractional_stp_mwu(
+            &g,
+            lambda,
+            &MwuConfig {
+                epsilon: eps,
+                max_iterations: None,
+            },
+        );
         report.packing.validate(&g, 1e-9).expect("feasible");
         let target = ((lambda as f64 - 1.0) / 2.0).ceil().max(1.0);
         let loads = report.packing.edge_loads(&g);
@@ -53,7 +69,16 @@ fn main() {
     // Sampled generalization (Section 5.2) on a large-λ instance.
     let mut t2 = Table::new(
         "E4b: Karger-sampled packing (Sec 5.2)",
-        &["family", "n", "lambda", "eta", "lambda_sum", "size", "target", "ratio"],
+        &[
+            "family",
+            "n",
+            "lambda",
+            "eta",
+            "lambda_sum",
+            "size",
+            "target",
+            "ratio",
+        ],
     );
     let g = generators::complete(48); // lambda = 47
     let lambda = 47;

@@ -15,7 +15,15 @@ fn main() {
     // --- Corollary 1.4: V-CONGEST throughput. ---------------------------
     let mut t = Table::new(
         "E6a: broadcast throughput, V-CONGEST (Cor 1.4)",
-        &["family", "n", "k", "trees", "msgs/round", "baseline", "limit k"],
+        &[
+            "family",
+            "n",
+            "k",
+            "trees",
+            "msgs/round",
+            "baseline",
+            "limit k",
+        ],
     );
     for &(k, n) in &[(8usize, 48usize), (16, 64), (24, 96)] {
         let g = generators::harary(k, n);

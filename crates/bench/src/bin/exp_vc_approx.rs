@@ -15,7 +15,16 @@ use decomp_graph::generators;
 fn main() {
     let mut t = Table::new(
         "E8: vertex-connectivity approximation (Cor 1.7)",
-        &["family", "n", "true k", "kappa", "estimate", "k/kappa", "log n", "dist rounds"],
+        &[
+            "family",
+            "n",
+            "true k",
+            "kappa",
+            "estimate",
+            "k/kappa",
+            "log n",
+            "dist rounds",
+        ],
     );
     let cases: Vec<(&str, decomp_graph::Graph)> = vec![
         ("harary", generators::harary(8, 40)),

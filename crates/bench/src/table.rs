@@ -3,8 +3,32 @@
 //! Every experiment prints (a) a human-readable table and (b) one JSON
 //! line per row (for downstream plotting), in the format
 //! `{"experiment": ..., "row": {...}}`.
+//!
+//! JSON is emitted by a hand-rolled escaper rather than serde: the build
+//! environment has no crates registry, and the only values serialized
+//! here are strings and displayable scalars.
 
-use serde::Serialize;
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted JSON string literal for `s`.
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
 
 /// A table under construction.
 #[derive(Debug)]
@@ -58,19 +82,25 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             println!("{}", fmt_row(r));
         }
         for r in &self.rows {
-            let obj: serde_json::Map<String, serde_json::Value> = self
+            let obj = self
                 .headers
                 .iter()
                 .zip(r)
-                .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
-                .collect();
-            let line = serde_json::json!({"experiment": self.experiment, "row": obj});
-            println!("JSON {line}");
+                .map(|(h, c)| format!("{}: {}", json_string(h), json_string(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "JSON {{\"experiment\": {}, \"row\": {{{obj}}}}}",
+                json_string(&self.experiment)
+            );
         }
     }
 }
@@ -85,9 +115,20 @@ pub fn d(x: impl std::fmt::Display) -> String {
     format!("{x}")
 }
 
-/// Serializes any value to one JSON line with an experiment tag.
-pub fn json_line<T: Serialize>(experiment: &str, value: &T) -> String {
-    serde_json::json!({"experiment": experiment, "data": value}).to_string()
+/// Serializes a displayable value to one JSON line with an experiment
+/// tag. Finite numbers are emitted verbatim; everything else (strings,
+/// NaN, infinities) is emitted as an escaped JSON string so the line
+/// always parses.
+pub fn json_line<T: std::fmt::Display>(experiment: &str, value: &T) -> String {
+    let raw = value.to_string();
+    let data = match raw.parse::<f64>() {
+        Ok(x) if x.is_finite() => raw,
+        _ => json_string(&raw),
+    };
+    format!(
+        "{{\"experiment\": {}, \"data\": {data}}}",
+        json_string(experiment)
+    )
 }
 
 #[cfg(test)]
@@ -114,5 +155,23 @@ mod tests {
         let line = json_line("exp", &42);
         assert!(line.contains("\"exp\""));
         assert!(line.contains("42"));
+    }
+
+    #[test]
+    fn json_line_quotes_non_numeric_values() {
+        assert_eq!(
+            json_line("exp", &"harary"),
+            "{\"experiment\": \"exp\", \"data\": \"harary\"}"
+        );
+        assert_eq!(
+            json_line("exp", &f64::NAN),
+            "{\"experiment\": \"exp\", \"data\": \"NaN\"}"
+        );
+    }
+
+    #[test]
+    fn escaping_is_json_safe() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

@@ -155,7 +155,11 @@ pub fn gossip_via_trees(
 
 /// Baseline: the same workload over a single BFS spanning tree (the
 /// pre-decomposition state of the art the paper contrasts with).
-pub fn gossip_single_tree_baseline(g: &Graph, origins: &[MessageOrigin], seed: u64) -> GossipReport {
+pub fn gossip_single_tree_baseline(
+    g: &Graph,
+    origins: &[MessageOrigin],
+    seed: u64,
+) -> GossipReport {
     let bfs = decomp_graph::traversal::bfs(g, 0);
     let edges: Vec<(NodeId, NodeId)> = bfs.tree_edges();
     let packing = DomTreePacking {

@@ -97,8 +97,7 @@ pub fn gossip_protocol(
             membership[v].push(t as u32);
         }
     }
-    let mut injections: Vec<std::collections::VecDeque<(u64, u64)>> =
-        vec![Default::default(); n];
+    let mut injections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
     for (i, &origin) in origins.iter().enumerate() {
         let tree = rng.gen_range(0..packing.num_trees()) as u64;
         injections[origin].push_back((i as u64, tree));
@@ -114,9 +113,7 @@ pub fn gossip_protocol(
         .collect();
     let mut sim = Simulator::with_seed(g, Model::VCongest, seed);
     let (programs, stats) = sim.run(programs, 64 * (n + origins.len()) + 4096)?;
-    let complete = programs
-        .iter()
-        .all(|p| p.received.len() == origins.len());
+    let complete = programs.iter().all(|p| p.received.len() == origins.len());
     Ok(DistGossipReport {
         rounds: stats.rounds,
         complete,

@@ -61,7 +61,11 @@ pub fn vertex_congestion(
     CongestionReport {
         max_congestion: max_c,
         opt_lower_bound: opt,
-        competitiveness: if opt > 0.0 { max_c / opt } else { f64::INFINITY },
+        competitiveness: if opt > 0.0 {
+            max_c / opt
+        } else {
+            f64::INFINITY
+        },
         workload,
     }
 }
@@ -103,7 +107,11 @@ pub fn edge_congestion(
     CongestionReport {
         max_congestion: max_c,
         opt_lower_bound: opt,
-        competitiveness: if opt > 0.0 { max_c / opt } else { f64::INFINITY },
+        competitiveness: if opt > 0.0 {
+            max_c / opt
+        } else {
+            f64::INFINITY
+        },
         workload,
     }
 }

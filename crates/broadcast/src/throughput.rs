@@ -69,7 +69,11 @@ pub struct EdgeThroughputReport {
 ///
 /// # Panics
 /// Panics if the packing is infeasible on `g`.
-pub fn edge_throughput(g: &Graph, packing: &SpanTreePacking, lambda: usize) -> EdgeThroughputReport {
+pub fn edge_throughput(
+    g: &Graph,
+    packing: &SpanTreePacking,
+    lambda: usize,
+) -> EdgeThroughputReport {
     packing
         .validate(g, 1e-6)
         .expect("throughput requires a feasible packing");

@@ -69,11 +69,13 @@ impl NodeProgram for AggregateProgram {
                     self.acc = self.op.combine(self.acc, m.word(2));
                     self.received_children += 1;
                 }
-                TAG_DOWN if Some(m.word(1) as usize) == self.parent
+                TAG_DOWN
+                    if Some(m.word(1) as usize) == self.parent
                     // Only accept the result from our own tree parent.
-                    && self.result.is_none() => {
-                        self.result = Some(m.word(2));
-                    }
+                    && self.result.is_none() =>
+                {
+                    self.result = Some(m.word(2));
+                }
                 _ => {}
             }
         }
@@ -144,9 +146,7 @@ pub fn tree_aggregate(
     let (programs, _) = sim.run_to_quiescence(programs)?;
     let root_result = programs[tree.root].result.expect("root must finish");
     debug_assert!(
-        programs
-            .iter()
-            .all(|p| p.result == Some(root_result)),
+        programs.iter().all(|p| p.result == Some(root_result)),
         "all nodes must agree on the aggregate"
     );
     Ok(root_result)
@@ -180,7 +180,7 @@ mod tests {
     fn sum_counts_nodes() {
         let g = generators::random_connected(20, 10, 3);
         let (mut sim, tree) = setup(&g);
-        let total = tree_aggregate(&mut sim, &tree, AggOp::Sum, &vec![1; 20]).unwrap();
+        let total = tree_aggregate(&mut sim, &tree, AggOp::Sum, &[1; 20]).unwrap();
         assert_eq!(total, 20);
     }
 

@@ -66,10 +66,7 @@ impl NodeProgram for BfsProgram {
             } else {
                 // Adopt the smallest announced distance + 1; ties by
                 // smallest sender id (deterministic).
-                let best = inbox
-                    .iter()
-                    .map(|(from, m)| (m.word(0), *from))
-                    .min();
+                let best = inbox.iter().map(|(from, m)| (m.word(0), *from)).min();
                 if let Some((d, from)) = best {
                     self.dist = Some(d + 1);
                     self.parent = Some(from);

@@ -86,7 +86,10 @@ pub fn component_labels(
                 sub_neighbors[u].binary_search(&v).is_ok(),
                 "asymmetric subgraph adjacency at ({u}, {v})"
             );
-            assert!(active[u] && active[v], "subgraph edge touches inactive node");
+            assert!(
+                active[u] && active[v],
+                "subgraph edge touches inactive node"
+            );
         }
     }
     let programs = (0..n)
@@ -112,7 +115,11 @@ pub fn component_labels(
 /// invocation: `min(D', D + √n · log* n)` where `D'` bounds the component
 /// diameters. Experiments report this next to the measured rounds of the
 /// label-propagation substitute.
-pub fn thurimella_round_cost(n: usize, network_diameter: usize, component_diameter: usize) -> usize {
+pub fn thurimella_round_cost(
+    n: usize,
+    network_diameter: usize,
+    component_diameter: usize,
+) -> usize {
     let log_star = {
         let mut x = n as f64;
         let mut c = 0usize;

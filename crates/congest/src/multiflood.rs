@@ -153,12 +153,7 @@ mod tests {
         // Path 0-1-2-3; key 7 held by all; min value should spread.
         let g = generators::path(4);
         let mut sim = Simulator::new(&g, Model::VCongest);
-        let tables = tables_from(&[
-            &[(7, 30)],
-            &[(7, 10)],
-            &[(7, 20)],
-            &[(7, 40)],
-        ]);
+        let tables = tables_from(&[&[(7, 30)], &[(7, 10)], &[(7, 20)], &[(7, 40)]]);
         let out = multikey_flood(&mut sim, tables, Combine::Min).unwrap();
         for t in &out {
             assert_eq!(t[&7], 10);
@@ -183,8 +178,9 @@ mod tests {
     fn max_combine() {
         let g = generators::cycle(5);
         let mut sim = Simulator::new(&g, Model::VCongest);
-        let tables: Vec<HashMap<u64, u64>> =
-            (0..5).map(|v| [(1u64, v as u64)].into_iter().collect()).collect();
+        let tables: Vec<HashMap<u64, u64>> = (0..5)
+            .map(|v| [(1u64, v as u64)].into_iter().collect())
+            .collect();
         let out = multikey_flood(&mut sim, tables, Combine::Max).unwrap();
         for t in &out {
             assert_eq!(t[&1], 4);

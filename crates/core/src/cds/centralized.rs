@@ -21,7 +21,7 @@
 //! instrumentation (`M_ℓ`, matches, deactivations) feeds the Fast-Merger
 //! experiment (Lemma 4.4 / E11).
 
-use crate::virtual_graph::{default_layers, VirtualLayout, VType, VirtualId};
+use crate::virtual_graph::{default_layers, VType, VirtualId, VirtualLayout};
 use decomp_graph::unionfind::UnionFind;
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -222,10 +222,7 @@ impl<'g> State<'g> {
 
     /// Total excess components `Σ_i max(0, N_i − 1)`.
     fn excess(&self) -> usize {
-        self.comp_count
-            .iter()
-            .map(|&c| c.saturating_sub(1))
-            .sum()
+        self.comp_count.iter().map(|&c| c.saturating_sub(1)).sum()
     }
 
     /// Component root of the (real, class) bundle, if any old node exists.

@@ -24,7 +24,7 @@
 //! All component-wide steps run as real message-passing floods.
 
 use crate::cds::centralized::{CdsPacking, CdsPackingConfig, LayerTrace};
-use crate::virtual_graph::{default_layers, VirtualLayout, VType};
+use crate::virtual_graph::{default_layers, VType, VirtualLayout};
 use decomp_congest::multiflood::{multikey_flood, Combine};
 use decomp_congest::{Model, SimError, Simulator};
 use decomp_graph::NodeId;
@@ -47,7 +47,11 @@ pub fn cds_packing_distributed(
     sim: &mut Simulator<'_>,
     config: &CdsPackingConfig,
 ) -> Result<CdsPacking, SimError> {
-    assert_eq!(sim.model(), Model::VCongest, "Theorem 1.1 is a V-CONGEST result");
+    assert_eq!(
+        sim.model(),
+        Model::VCongest,
+        "Theorem 1.1 is a V-CONGEST result"
+    );
     let n = sim.graph().n();
     assert!(n > 0, "CDS packing needs a non-empty graph");
     let layers = default_layers(n, config.layers_factor);
@@ -140,8 +144,8 @@ pub fn cds_packing_distributed(
             }
         }
         sim.charge_rounds(1); // connector announcement meta-round
-        // Component-wide OR: every member of a component must learn the
-        // flag, so all members participate with default 0.
+                              // Component-wide OR: every member of a component must learn the
+                              // flag, so all members participate with default 0.
         let or_tables: Vec<HashMap<u64, u64>> = (0..n)
             .map(|v| {
                 let mut tbl: HashMap<u64, u64> = comp[v]
@@ -167,8 +171,7 @@ pub fn cds_packing_distributed(
             for v in 0..n {
                 for (&c, &cid) in &comp[v] {
                     let key = comp_key(c as u32, cid);
-                    if deactivated_flags[v].get(&key).copied().unwrap_or(0) == 1
-                        && seen.insert(key)
+                    if deactivated_flags[v].get(&key).copied().unwrap_or(0) == 1 && seen.insert(key)
                     {
                         deactivated_count += 1;
                     }
@@ -262,7 +265,7 @@ pub fn cds_packing_distributed(
                 break;
             }
             sim.charge_rounds(1); // proposal meta-round
-            // Old nodes adjacent to proposers seed the component-wide max.
+                                  // Old nodes adjacent to proposers seed the component-wide max.
             let mut max_tables: Vec<HashMap<u64, u64>> = (0..n)
                 .map(|v| {
                     comp[v]
@@ -284,7 +287,7 @@ pub fn cds_packing_distributed(
             }
             let accepted = multikey_flood(sim, max_tables, Combine::Max)?;
             sim.charge_rounds(1); // acceptance announcement meta-round
-            // Winners join; losers prune accepted components from lists.
+                                  // Winners join; losers prune accepted components from lists.
             for x in 0..n {
                 if let Some((class, cid, val)) = proposals[x] {
                     let key = comp_key(class, cid);
@@ -304,9 +307,8 @@ pub fn cds_packing_distributed(
             }
             // Prune matched components from every list.
             for x in 0..n {
-                lists[x].retain(|&(class, cid)| {
-                    !matched_components.contains(&comp_key(class, cid))
-                });
+                lists[x]
+                    .retain(|&(class, cid)| !matched_components.contains(&comp_key(class, cid)));
             }
         }
         // Unmatched type-2 nodes pick random classes.
@@ -388,8 +390,7 @@ mod tests {
     fn distributed_packing_classes_are_cds() {
         let g = generators::harary(12, 48);
         let mut sim = Simulator::new(&g, Model::VCongest);
-        let p =
-            cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(12, 3)).unwrap();
+        let p = cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(12, 3)).unwrap();
         assert!(p.num_classes() >= 2);
         assert_eq!(verify_centralized(&g, &p.classes), VerifyOutcome::Pass);
         assert!(sim.stats().rounds > 0);
@@ -400,8 +401,7 @@ mod tests {
     fn hypercube_distributed() {
         let g = generators::hypercube(5); // 32 nodes, k = 5
         let mut sim = Simulator::new(&g, Model::VCongest);
-        let p =
-            cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(5, 7)).unwrap();
+        let p = cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(5, 7)).unwrap();
         assert_eq!(verify_centralized(&g, &p.classes), VerifyOutcome::Pass);
     }
 

@@ -50,7 +50,10 @@ pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
                 attempts,
             };
         }
-        assert!(guess > 1, "guess k=1 must always verify on connected graphs");
+        assert!(
+            guess > 1,
+            "guess k=1 must always verify on connected graphs"
+        );
         guess /= 2;
     }
 }
@@ -95,12 +98,7 @@ mod tests {
         let k = vertex_connectivity(&g);
         assert_eq!(k, 24);
         let r = cds_packing_unknown_k(&g, 9);
-        assert!(
-            r.guess * 32 >= k,
-            "guess {} too far below k={}",
-            r.guess,
-            k
-        );
+        assert!(r.guess * 32 >= k, "guess {} too far below k={}", r.guess, k);
     }
 
     #[test]

@@ -110,10 +110,7 @@ mod tests {
         let g = generators::hypercube(6);
         let p = cds_packing(&g, &CdsPackingConfig::with_known_k(6, 5));
         let ex = to_dom_tree_packing(&g, &p);
-        let mult = ex
-            .packing
-            .max_vertex_multiplicity(g.n())
-            .max(1);
+        let mult = ex.packing.max_vertex_multiplicity(g.n()).max(1);
         assert!((ex.tree_weight - 1.0 / mult as f64).abs() < 1e-12);
         for t in &ex.packing.trees {
             assert_eq!(t.weight, ex.tree_weight);

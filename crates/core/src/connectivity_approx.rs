@@ -69,10 +69,8 @@ pub fn approx_vertex_connectivity_distributed(
     let mut guess = g.n().next_power_of_two() / 2;
     loop {
         guess = guess.max(1);
-        let cfg = crate::cds::centralized::CdsPackingConfig::with_known_k(
-            guess,
-            seed ^ (guess as u64),
-        );
+        let cfg =
+            crate::cds::centralized::CdsPackingConfig::with_known_k(guess, seed ^ (guess as u64));
         let packing = crate::cds::distributed::cds_packing_distributed(sim, &cfg)?;
         let membership = crate::cds::verify::membership_of(&packing.classes, g.n());
         let outcome = crate::cds::verify::verify_distributed(

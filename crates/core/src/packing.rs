@@ -101,7 +101,10 @@ impl DomTreePacking {
                 return Err(format!("tree {i} has weight {} outside [0,1]", t.weight));
             }
             if !is_dominating_tree(g, &t.edges, t.singleton) {
-                return Err(format!("tree {i} (class {}) is not a dominating tree", t.id));
+                return Err(format!(
+                    "tree {i} (class {}) is not a dominating tree",
+                    t.id
+                ));
             }
         }
         for (v, load) in self.vertex_loads(g.n()).into_iter().enumerate() {

@@ -37,7 +37,11 @@ pub fn distributed_stp_mwu(
     lambda: usize,
     config: &MwuConfig,
 ) -> Result<MwuReport, SimError> {
-    assert_eq!(sim.model(), Model::ECongest, "Theorem 1.3 is an E-CONGEST result");
+    assert_eq!(
+        sim.model(),
+        Model::ECongest,
+        "Theorem 1.3 is an E-CONGEST result"
+    );
     let g = sim.graph().clone();
     assert!(
         decomp_graph::traversal::is_connected(&g),
@@ -162,12 +166,10 @@ pub fn distributed_sampled_stp(
                     g.edge_index(u, v).expect("partition edge exists in g")
                 })
                 .collect();
-            packing
-                .trees
-                .push(crate::packing::WeightedSpanTree {
-                    weight: tree.weight,
-                    edge_indices,
-                });
+            packing.trees.push(crate::packing::WeightedSpanTree {
+                weight: tree.weight,
+                edge_indices,
+            });
         }
     }
     // Lemma 5.1 charge: (D + sqrt(n·λ)/log n · log* n) · log³ n.
@@ -175,10 +177,9 @@ pub fn distributed_sampled_stp(
     let d = decomp_graph::traversal::diameter_2approx(g).unwrap_or(g.n()) as f64;
     let logn = n.log2();
     let log_star = 4.0; // effectively constant at any practical n
-    let charge = ((d + (n * lambda_total.max(1) as f64).sqrt() / logn * log_star)
-        * logn
-        * logn
-        * logn) as usize;
+    let charge =
+        ((d + (n * lambda_total.max(1) as f64).sqrt() / logn * log_star) * logn * logn * logn)
+            as usize;
     Ok(DistSampledReport {
         packing,
         eta,

@@ -127,9 +127,9 @@ impl MwuDriver {
         let mut terminated = false;
 
         let blend = |collection: &mut HashMap<Vec<usize>, f64>,
-                         x: &mut Vec<f64>,
-                         tree: Vec<usize>,
-                         gamma: f64| {
+                     x: &mut Vec<f64>,
+                     tree: Vec<usize>,
+                     gamma: f64| {
             for xe in x.iter_mut() {
                 *xe *= 1.0 - gamma;
             }
@@ -249,7 +249,10 @@ pub fn fractional_stp_mwu(g: &Graph, lambda: usize, config: &MwuConfig) -> MwuRe
     );
     let driver = MwuDriver::new(g.n(), g.m(), lambda, config.epsilon, config.max_iterations);
     let first = minimum_spanning_forest(g, |_| 1.0);
-    assert!(first.is_spanning_tree(g), "connected graph must have an MST");
+    assert!(
+        first.is_spanning_tree(g),
+        "connected graph must have an MST"
+    );
     let outcome: Result<MwuOutcome, std::convert::Infallible> =
         driver.run(first.edge_indices, |_z, cost, x| {
             let mst = minimum_spanning_forest(g, |e| cost[e]);
@@ -302,11 +305,7 @@ mod tests {
         let (lambda, r) = run(&g, 0.1);
         assert_eq!(lambda, 8);
         r.packing.validate(&g, 1e-9).unwrap();
-        assert!(
-            r.packing.size() >= 4.0 * 0.4,
-            "size {}",
-            r.packing.size()
-        );
+        assert!(r.packing.size() >= 4.0 * 0.4, "size {}", r.packing.size());
     }
 
     #[test]

@@ -125,7 +125,13 @@ mod tests {
         let expected: f64 = r
             .subgraphs
             .iter()
-            .map(|&(l, _)| if l >= 1 { ((l as f64 - 1.0) / 2.0).ceil().max(1.0) } else { 0.0 })
+            .map(|&(l, _)| {
+                if l >= 1 {
+                    ((l as f64 - 1.0) / 2.0).ceil().max(1.0)
+                } else {
+                    0.0
+                }
+            })
             .sum();
         assert!(
             r.packing.size() >= expected * 0.5,

@@ -74,7 +74,10 @@ impl VirtualLayout {
     /// Panics if `layers == 0` or odd (the algorithm needs an `L/2`
     /// jump-start boundary).
     pub fn new(n: usize, layers: usize) -> Self {
-        assert!(layers >= 2 && layers.is_multiple_of(2), "need an even number of layers >= 2");
+        assert!(
+            layers >= 2 && layers.is_multiple_of(2),
+            "need an even number of layers >= 2"
+        );
         VirtualLayout { n, layers }
     }
 
@@ -108,7 +111,10 @@ impl VirtualLayout {
     /// # Panics
     /// Panics on out-of-range coordinates.
     pub fn vid(&self, real: NodeId, layer: usize, vtype: VType) -> VirtualId {
-        assert!(real < self.n && layer < self.layers, "coordinate out of range");
+        assert!(
+            real < self.n && layer < self.layers,
+            "coordinate out of range"
+        );
         real * self.per_real() + layer * 3 + vtype.index()
     }
 
@@ -208,7 +214,7 @@ mod tests {
     fn default_layers_even_and_logarithmic() {
         for n in [2, 10, 100, 1000, 100_000] {
             let l = default_layers(n, 2.0);
-            assert!(l % 2 == 0 && l >= 4);
+            assert!(l.is_multiple_of(2) && l >= 4);
             assert!(l <= 2 * ((n as f64).log2().ceil() as usize) + 4);
         }
         assert_eq!(default_layers(2, 2.0) % 2, 0);

@@ -269,7 +269,6 @@ pub fn vertex_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>
             }
             // advance: from v_in go through split arc to v_out
             cur = if next.is_multiple_of(2) {
-                
                 out[next].pop().expect("split arc missing")
             } else {
                 next
@@ -489,9 +488,7 @@ mod tests {
             let cut = minimum_edge_cut(&g).expect("n > 1");
             assert_eq!(cut.len(), expect);
             let cut_set: std::collections::HashSet<usize> = cut.into_iter().collect();
-            let h = g.edge_subgraph(|u, v| {
-                !cut_set.contains(&g.edge_index(u, v).unwrap())
-            });
+            let h = g.edge_subgraph(|u, v| !cut_set.contains(&g.edge_index(u, v).unwrap()));
             assert!(!crate::traversal::is_connected(&h));
         }
     }

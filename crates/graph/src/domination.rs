@@ -141,13 +141,13 @@ mod tests {
     #[test]
     fn full_set_is_cds_when_connected() {
         let g = generators::cycle(5);
-        assert!(is_cds(&g, &vec![true; 5]));
+        assert!(is_cds(&g, &[true; 5]));
     }
 
     #[test]
     fn empty_set_is_not_cds() {
         let g = generators::cycle(5);
-        assert!(!is_cds(&g, &vec![false; 5]));
+        assert!(!is_cds(&g, &[false; 5]));
     }
 
     #[test]

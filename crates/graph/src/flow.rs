@@ -288,7 +288,8 @@ mod tests {
         // Two internally disjoint paths 0-1-3 and 0-2-3.
         let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
         let mut net = vertex_split_digraph(&g, 0, 3);
-        assert_eq!(net.max_flow(2 * 0 + 1, 2 * 3), 2);
+        // Source is v_out(0) = 1, sink is v_in(3) = 6 in the split digraph.
+        assert_eq!(net.max_flow(1, 6), 2);
     }
 
     #[test]

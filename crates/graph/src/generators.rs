@@ -191,8 +191,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let start = harary(d, n);
     let mut edges: Vec<(NodeId, NodeId)> = start.edges().to_vec();
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
-        edges.iter().copied().collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
     let key = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
     let swaps = 16 * n * d;
     let mut performed = 0usize;
@@ -240,9 +239,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 pub fn clique_plus_triples(c: usize) -> Graph {
     assert!(c >= 3, "need a clique of size >= 3");
     let triples: Vec<(usize, usize, usize)> = (0..c)
-        .flat_map(|a| {
-            ((a + 1)..c).flat_map(move |b2| ((b2 + 1)..c).map(move |d| (a, b2, d)))
-        })
+        .flat_map(|a| ((a + 1)..c).flat_map(move |b2| ((b2 + 1)..c).map(move |d| (a, b2, d))))
         .collect();
     let n = c + triples.len();
     let mut b = GraphBuilder::new(n);

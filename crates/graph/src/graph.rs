@@ -5,7 +5,6 @@
 //! often than they mutate the structure, so construction goes through
 //! [`GraphBuilder`] and the finished graph is immutable.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -33,7 +32,9 @@ pub type NodeId = usize;
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(0, 2));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+// serde derives dropped: the build environment has no crates registry, so
+// serialization is hand-rolled where needed (see decomp-bench's table module).
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
     offsets: Vec<usize>,

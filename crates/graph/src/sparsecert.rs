@@ -76,9 +76,7 @@ mod tests {
         let g = generators::complete(8);
         let fd = forest_decomposition(&g);
         for i in 1..=fd.num_forests {
-            let f = g.edge_subgraph(|u, v| {
-                fd.forest_of[g.edge_index(u, v).unwrap()] == i
-            });
+            let f = g.edge_subgraph(|u, v| fd.forest_of[g.edge_index(u, v).unwrap()] == i);
             // A forest has no cycle: every component has |E| = |V| - 1.
             let mut uf = crate::unionfind::UnionFind::new(f.n());
             for &(u, v) in f.edges() {

@@ -204,7 +204,7 @@ mod tests {
         let g = generators::cycle(8);
         assert_eq!(diameter(&g), Some(4));
         let approx = diameter_2approx(&g).unwrap();
-        assert!(approx >= 4 && approx <= 8);
+        assert!((4..=8).contains(&approx));
     }
 
     #[test]

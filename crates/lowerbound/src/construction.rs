@@ -176,11 +176,8 @@ fn h_edges(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> Vec<(
 pub fn build_h(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> WeightedInstance {
     validate(params, x, y);
     let labels = h_nodes(params, x, y);
-    let index: std::collections::HashMap<LbNode, usize> = labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (l, i))
-        .collect();
+    let index: std::collections::HashMap<LbNode, usize> =
+        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let mut b = GraphBuilder::new(labels.len());
     for (s, t) in h_edges(params, x, y) {
         b.try_add_edge(index[&s], index[&t]);
@@ -251,7 +248,10 @@ pub fn build_g(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) -> I
 }
 
 fn validate(params: &LbParams, x: &BTreeSet<usize>, y: &BTreeSet<usize>) {
-    assert!(params.h >= 1 && params.ell >= 1 && params.w >= 1, "degenerate parameters");
+    assert!(
+        params.h >= 1 && params.ell >= 1 && params.w >= 1,
+        "degenerate parameters"
+    );
     for &e in x.iter().chain(y.iter()) {
         assert!((1..=params.h).contains(&e), "input element {e} outside [h]");
     }
@@ -312,7 +312,10 @@ mod tests {
         assert_eq!(cut.len(), 4);
         let keep: Vec<usize> = (0..inst.graph.n()).filter(|v| !cut.contains(v)).collect();
         let (sub, _) = inst.graph.induced_subgraph(&keep);
-        assert!(!is_connected(&sub), "removing {{a,b,u_z,v_z}} must disconnect");
+        assert!(
+            !is_connected(&sub),
+            "removing {{a,b,u_z,v_z}} must disconnect"
+        );
     }
 
     #[test]

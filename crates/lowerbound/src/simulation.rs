@@ -153,7 +153,11 @@ mod tests {
 
     #[test]
     fn two_party_finds_intersection() {
-        let p = LbParams { h: 64, ell: 4, w: 3 };
+        let p = LbParams {
+            h: 64,
+            ell: 4,
+            w: 3,
+        };
         let (t, found) = simulate_two_party(&p, &setof(&[5, 9]), &setof(&[9, 30]), 1024);
         assert_eq!(found, Some(9));
         assert!(t.total_bits() >= 64, "must stream the whole universe");
@@ -161,7 +165,11 @@ mod tests {
 
     #[test]
     fn two_party_reports_disjoint() {
-        let p = LbParams { h: 32, ell: 4, w: 3 };
+        let p = LbParams {
+            h: 32,
+            ell: 4,
+            w: 3,
+        };
         let (_, found) = simulate_two_party(&p, &setof(&[1, 2]), &setof(&[3, 4]), 1024);
         assert_eq!(found, None);
     }
@@ -180,7 +188,11 @@ mod tests {
     fn rounds_scale_with_h_over_bandwidth() {
         let n = 4096;
         let b = bandwidth_bits(n);
-        let p = LbParams { h: 10 * b, ell: 2, w: 2 };
+        let p = LbParams {
+            h: 10 * b,
+            ell: 2,
+            w: 2,
+        };
         let (t, _) = simulate_two_party(&p, &setof(&[1]), &setof(&[2]), n);
         assert!((10..=12).contains(&t.rounds), "rounds {}", t.rounds);
     }
@@ -204,15 +216,27 @@ mod tests {
 
     #[test]
     fn distinguishability_holds_across_inputs() {
-        let p = LbParams { h: 16, ell: 2, w: 3 };
+        let p = LbParams {
+            h: 16,
+            ell: 2,
+            w: 3,
+        };
         assert!(instances_distinguishable(&p, &setof(&[1, 5]), &setof(&[5])));
         assert!(instances_distinguishable(&p, &setof(&[1, 2]), &setof(&[3])));
     }
 
     #[test]
     fn path_relay_linear_in_ell() {
-        let a = path_relay_rounds(&LbParams { h: 4, ell: 10, w: 2 });
-        let b = path_relay_rounds(&LbParams { h: 4, ell: 40, w: 2 });
+        let a = path_relay_rounds(&LbParams {
+            h: 4,
+            ell: 10,
+            w: 2,
+        });
+        let b = path_relay_rounds(&LbParams {
+            h: 4,
+            ell: 40,
+            w: 2,
+        });
         assert_eq!(b - a, 60);
     }
 }

@@ -1,0 +1,133 @@
+//! Packing-invariant assertion helpers.
+//!
+//! Each helper encodes one of the paper's guarantees as a reusable check,
+//! so every suite asserts the same thing the same way and failures carry
+//! the fixture context in their message.
+
+use crate::TOL;
+use decomp_core::cds::centralized::CdsPacking;
+use decomp_core::cds::tree_extract::ExtractedTrees;
+use decomp_core::cds::verify::{verify_centralized, VerifyOutcome};
+use decomp_core::packing::SpanTreePacking;
+use decomp_graph::domination::is_cds;
+use decomp_graph::Graph;
+
+/// The CDS packing invariants of Theorem 1.1 / Appendix C:
+///
+/// 1. every virtual node is assigned a class,
+/// 2. real-node multiplicity is bounded by `3L`,
+/// 3. the per-layer excess-component count never grows,
+/// 4. every class verifies as a connected dominating set.
+///
+/// `ctx` is prefixed to every failure message (fixture name, seed, ...).
+pub fn assert_cds_packing_invariants(g: &Graph, p: &CdsPacking, ctx: &str) {
+    assert!(
+        p.class_of.iter().all(|c| c.is_some()),
+        "{ctx}: unassigned virtual node"
+    );
+    assert!(
+        p.max_real_multiplicity() <= 3 * p.layout.layers(),
+        "{ctx}: multiplicity {} exceeds 3L = {}",
+        p.max_real_multiplicity(),
+        3 * p.layout.layers()
+    );
+    for tr in &p.trace {
+        assert!(
+            tr.excess_after <= tr.excess_before,
+            "{ctx}: excess grew at layer {}",
+            tr.layer
+        );
+    }
+    assert_eq!(
+        verify_centralized(g, &p.classes),
+        VerifyOutcome::Pass,
+        "{ctx}: class verification"
+    );
+}
+
+/// Feasibility of an extracted dominating-tree packing plus the cut
+/// bound: a fractional dominating-tree packing has size at most `κ(G)`
+/// (Theorem 1.1's upper limit — every tree must dominate, so each tree
+/// hits every vertex cut).
+pub fn assert_dom_tree_packing_feasible(
+    g: &Graph,
+    trees: &ExtractedTrees,
+    kappa: usize,
+    ctx: &str,
+) {
+    trees
+        .packing
+        .validate(g, TOL)
+        .unwrap_or_else(|e| panic!("{ctx}: infeasible dominating-tree packing: {e}"));
+    assert!(
+        trees.packing.size() <= kappa as f64 + TOL,
+        "{ctx}: packing size {} exceeds kappa {}",
+        trees.packing.size(),
+        kappa
+    );
+    // Every packed tree must itself be a CDS (the extractor's contract).
+    for (i, t) in trees.packing.trees.iter().enumerate() {
+        let mut mask = vec![false; g.n()];
+        for v in t.vertices(g.n()) {
+            mask[v] = true;
+        }
+        assert!(is_cds(g, &mask), "{ctx}: packed tree {i} is not a CDS");
+    }
+}
+
+/// Feasibility of a fractional spanning-tree packing plus the
+/// Tutte–Nash-Williams cut bound `Σ x_τ ≤ λ(G)` (every spanning tree
+/// crosses every edge cut at least once) and an explicit lower target
+/// (`(1-ε)·⌈(λ-1)/2⌉`-style guarantees, passed in by the caller).
+pub fn assert_span_tree_packing_feasible(
+    g: &Graph,
+    packing: &SpanTreePacking,
+    lambda: usize,
+    min_size: f64,
+    ctx: &str,
+) {
+    packing
+        .validate(g, TOL)
+        .unwrap_or_else(|e| panic!("{ctx}: infeasible spanning-tree packing: {e}"));
+    assert!(
+        packing.size() <= lambda as f64 + TOL,
+        "{ctx}: packing size {} exceeds lambda {}",
+        packing.size(),
+        lambda
+    );
+    assert!(
+        packing.size() >= min_size - TOL,
+        "{ctx}: packing size {} below target {min_size}",
+        packing.size()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+    use decomp_core::cds::tree_extract::to_dom_tree_packing;
+    use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+
+    #[test]
+    fn helpers_accept_a_known_good_pipeline() {
+        let f = &fixtures::standard()[1]; // harary_k8_n40
+        let p = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 1));
+        assert_cds_packing_invariants(&f.graph, &p, &f.name);
+        let trees = to_dom_tree_packing(&f.graph, &p);
+        assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &f.name);
+        let r = fractional_stp_mwu(&f.graph, f.lambda, &MwuConfig::default());
+        assert_span_tree_packing_feasible(&f.graph, &r.packing, f.lambda, 1.0, &f.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds kappa")]
+    fn dom_bound_rejects_inflated_packing() {
+        let f = &fixtures::standard()[0]; // harary_k4_n24
+        let p = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 1));
+        let trees = to_dom_tree_packing(&f.graph, &p);
+        // Claim kappa = 0: any non-empty packing must violate the bound.
+        assert_dom_tree_packing_feasible(&f.graph, &trees, 0, &f.name);
+    }
+}

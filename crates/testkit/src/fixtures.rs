@@ -1,0 +1,163 @@
+//! The fixed fixture roster every integration suite runs against.
+//!
+//! Each [`Fixture`] couples a deterministically generated graph with its
+//! *exact* vertex and edge connectivity, computed once by the substrate's
+//! flow-based oracles at construction time. Random families use seeds
+//! that are compile-time constants, so the instances are identical in
+//! every run and every PR.
+
+use decomp_graph::{connectivity, generators, Graph};
+
+/// The graph families the paper's experiments exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Harary graph `H_{k,n}` — exactly `k`-connected with `⌈kn/2⌉` edges.
+    Harary,
+    /// Random `d`-regular graph (fixed seed).
+    RandomRegular,
+    /// `d`-dimensional hypercube — `d`-connected, diameter `d`.
+    Hypercube,
+    /// Clustered / lollipop-style graph: dense cliques joined by a thin
+    /// bridge (barbell); connectivity 1, the fragile end of the spectrum.
+    Clustered,
+}
+
+impl Family {
+    /// All families, in roster order.
+    pub const ALL: [Family; 4] = [
+        Family::Harary,
+        Family::RandomRegular,
+        Family::Hypercube,
+        Family::Clustered,
+    ];
+}
+
+/// One deterministic test instance with known ground truth.
+pub struct Fixture {
+    /// Human-readable identifier, also used as the golden-registry key
+    /// prefix (e.g. `harary_k8_n40`).
+    pub name: String,
+    pub family: Family,
+    pub graph: Graph,
+    /// Exact vertex connectivity `κ(G)` (flow oracle).
+    pub kappa: usize,
+    /// Exact edge connectivity `λ(G)` (flow oracle).
+    pub lambda: usize,
+}
+
+impl Fixture {
+    fn new(name: impl Into<String>, family: Family, graph: Graph) -> Self {
+        let kappa = connectivity::vertex_connectivity(&graph);
+        let lambda = connectivity::edge_connectivity(&graph);
+        Fixture {
+            name: name.into(),
+            family,
+            graph,
+            kappa,
+            lambda,
+        }
+    }
+}
+
+/// The full roster: every family at the sizes the suites are tuned for.
+/// Order and contents are stable — golden values key off fixture names.
+pub fn standard() -> Vec<Fixture> {
+    let mut out = Vec::new();
+    for &(k, n) in &[(4usize, 24usize), (8, 40), (12, 48)] {
+        out.push(Fixture::new(
+            format!("harary_k{k}_n{n}"),
+            Family::Harary,
+            generators::harary(k, n),
+        ));
+    }
+    for &(n, d, seed) in &[(24usize, 4usize, 11u64), (36, 6, 11)] {
+        out.push(Fixture::new(
+            format!("random_regular_n{n}_d{d}"),
+            Family::RandomRegular,
+            generators::random_regular(n, d, seed),
+        ));
+    }
+    for d in [4u32, 5] {
+        out.push(Fixture::new(
+            format!("hypercube_d{d}"),
+            Family::Hypercube,
+            generators::hypercube(d),
+        ));
+    }
+    out.push(Fixture::new(
+        "clustered_barbell_c8_b3",
+        Family::Clustered,
+        generators::barbell(8, 3),
+    ));
+    out
+}
+
+/// Fixtures small enough for CONGEST-simulator runs (every family still
+/// represented).
+pub fn small() -> Vec<Fixture> {
+    standard()
+        .into_iter()
+        .filter(|f| f.graph.n() <= 40)
+        .collect()
+}
+
+/// Connected fixtures with `κ ≥ 2` — the preconditions of the CDS/STP
+/// pipelines (the clustered family stays in [`standard`] for the
+/// fragile-input paths).
+pub fn well_connected() -> Vec<Fixture> {
+    standard().into_iter().filter(|f| f.kappa >= 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_stable_and_ground_truth_matches_formulas() {
+        let fixtures = standard();
+        assert_eq!(fixtures.len(), 8);
+        for f in &fixtures {
+            match f.family {
+                // Harary H_{k,n} and the d-cube are exactly k/d-connected.
+                Family::Harary | Family::Hypercube => {
+                    assert_eq!(f.kappa, f.lambda, "{}", f.name);
+                }
+                // A barbell has a cut vertex and a bridge.
+                Family::Clustered => {
+                    assert_eq!(f.kappa, 1, "{}", f.name);
+                    assert_eq!(f.lambda, 1, "{}", f.name);
+                }
+                Family::RandomRegular => {
+                    assert!(f.kappa >= 1 && f.kappa <= f.lambda, "{}", f.name);
+                }
+            }
+            assert!(f.kappa <= f.lambda, "{}: kappa > lambda", f.name);
+        }
+        assert_eq!(fixtures[0].kappa, 4);
+        assert_eq!(fixtures[1].kappa, 8);
+        assert_eq!(fixtures[2].kappa, 12);
+    }
+
+    #[test]
+    fn rosters_are_deterministic_across_calls() {
+        let a = standard();
+        let b = standard();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph.edges(), y.graph.edges());
+            assert_eq!(x.kappa, y.kappa);
+            assert_eq!(x.lambda, y.lambda);
+        }
+    }
+
+    #[test]
+    fn every_family_survives_the_small_filter() {
+        let small = small();
+        for fam in Family::ALL {
+            assert!(
+                small.iter().any(|f| f.family == fam),
+                "family {fam:?} missing from small roster"
+            );
+        }
+    }
+}

@@ -23,7 +23,10 @@ fn main() {
         ("random 10-regular", generators::random_regular(64, 10, 9)),
         ("clique + triples", generators::clique_plus_triples(6)),
     ];
-    println!("{:<26} {:>7} {:>9} {:>9} {:>12}", "topology", "true k", "kappa", "estimate", "dist rounds");
+    println!(
+        "{:<26} {:>7} {:>9} {:>9} {:>12}",
+        "topology", "true k", "kappa", "estimate", "dist rounds"
+    );
     for (name, g) in portfolio {
         let true_k = connectivity::vertex_connectivity(&g);
         let approx = approx_vertex_connectivity(&g, 11);

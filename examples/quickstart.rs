@@ -14,11 +14,18 @@ fn main() {
     let g = generators::harary(16, 96);
     let k = connectivity::vertex_connectivity(&g);
     let lambda = connectivity::edge_connectivity(&g);
-    println!("graph: n = {}, m = {}, k = {k}, lambda = {lambda}", g.n(), g.m());
+    println!(
+        "graph: n = {}, m = {}, k = {k}, lambda = {lambda}",
+        g.n(),
+        g.m()
+    );
 
     // --- Vertex-connectivity decomposition (Theorem 1.2). ----------------
     let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 42));
-    assert_eq!(verify_centralized(&g, &packing.classes), VerifyOutcome::Pass);
+    assert_eq!(
+        verify_centralized(&g, &packing.classes),
+        VerifyOutcome::Pass
+    );
     let trees = to_dom_tree_packing(&g, &packing);
     trees
         .packing

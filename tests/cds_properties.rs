@@ -1,68 +1,45 @@
 //! Property-style integration tests: the CDS pipeline's invariants must
 //! hold across graph families, class counts, and seeds.
+//!
+//! Families, seeds, invariant checks, and golden values all come from
+//! `decomp-testkit`, so every PR exercises the same deterministic
+//! instances.
 
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
 use connectivity_decomposition::core::cds::verify::{verify_centralized, VerifyOutcome};
-use connectivity_decomposition::graph::{connectivity, generators, Graph};
-
-fn families() -> Vec<(String, Graph, usize)> {
-    let mut out: Vec<(String, Graph, usize)> = Vec::new();
-    for &(k, n) in &[(4usize, 24usize), (8, 40), (12, 48)] {
-        out.push((format!("harary({k},{n})"), generators::harary(k, n), k));
-    }
-    out.push(("hypercube(5)".into(), generators::hypercube(5), 5));
-    out.push(("thick_path(4,6)".into(), generators::thick_path(4, 6), 4));
-    out.push((
-        "random_regular(36,6)".into(),
-        generators::random_regular(36, 6, 11),
-        6,
-    ));
-    out
-}
+use decomp_testkit::{asserts, fixtures, golden, SEEDS, TOL};
 
 #[test]
 fn pipeline_invariants_across_families_and_seeds() {
-    for (name, g, k) in families() {
-        for seed in [1u64, 7, 23] {
-            let p = cds_packing(&g, &CdsPackingConfig::with_known_k(k, seed));
-            // Invariant 1: every virtual node got a class.
-            assert!(
-                p.class_of.iter().all(|c| c.is_some()),
-                "{name} seed {seed}: unassigned virtual node"
-            );
-            // Invariant 2: multiplicity bounded by 3L.
-            assert!(
-                p.max_real_multiplicity() <= 3 * p.layout.layers(),
-                "{name} seed {seed}: multiplicity"
-            );
-            // Invariant 3: excess components non-increasing, final zero.
-            for tr in &p.trace {
-                assert!(
-                    tr.excess_after <= tr.excess_before,
-                    "{name} seed {seed}: excess grew at layer {}",
-                    tr.layer
-                );
-            }
-            // Invariant 4: every class verifies as a CDS on these safe
-            // parameter settings.
-            assert_eq!(
-                verify_centralized(&g, &p.classes),
-                VerifyOutcome::Pass,
-                "{name} seed {seed}"
-            );
-            // Invariant 5: extraction yields a feasible packing with
-            // size <= k (the cut bound).
-            let trees = to_dom_tree_packing(&g, &p);
-            trees.packing.validate(&g, 1e-9).unwrap();
-            let true_k = connectivity::vertex_connectivity(&g);
-            assert!(
-                trees.packing.size() <= true_k as f64 + 1e-9,
-                "{name} seed {seed}: size {} vs k {}",
-                trees.packing.size(),
-                true_k
-            );
+    for f in fixtures::well_connected() {
+        for seed in SEEDS {
+            let ctx = format!("{} seed {seed}", f.name);
+            let p = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, seed));
+            asserts::assert_cds_packing_invariants(&f.graph, &p, &ctx);
+            let trees = to_dom_tree_packing(&f.graph, &p);
+            asserts::assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &ctx);
         }
+    }
+}
+
+#[test]
+fn pipeline_outputs_match_golden_registry() {
+    for f in fixtures::well_connected() {
+        let p = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 1));
+        let trees = to_dom_tree_packing(&f.graph, &p);
+        golden::check(
+            &format!("{}/cds_s1/num_trees", f.name),
+            trees.packing.num_trees(),
+        );
+        golden::check(
+            &format!("{}/cds_s1/size", f.name),
+            golden::f4(trees.packing.size()),
+        );
+        golden::check(
+            &format!("{}/cds_s1/invalid", f.name),
+            trees.invalid_classes.len(),
+        );
     }
 }
 
@@ -71,11 +48,15 @@ fn class_count_sweeps_never_break_feasibility() {
     // Even deliberately bad class counts (t way above k/4) must never
     // produce an infeasible *packing* — only invalid classes that the
     // extractor drops.
-    let g = generators::harary(8, 40);
+    let fixtures = fixtures::standard();
+    let f = fixtures
+        .iter()
+        .find(|f| f.name == "harary_k8_n40")
+        .expect("roster fixture");
     for t in [1usize, 2, 8, 20, 40] {
-        let p = cds_packing(&g, &CdsPackingConfig::with_classes(t, 3));
-        let trees = to_dom_tree_packing(&g, &p);
-        trees.packing.validate(&g, 1e-9).unwrap();
+        let p = cds_packing(&f.graph, &CdsPackingConfig::with_classes(t, 3));
+        let trees = to_dom_tree_packing(&f.graph, &p);
+        trees.packing.validate(&f.graph, TOL).unwrap();
         assert_eq!(
             trees.packing.num_trees() + trees.invalid_classes.len(),
             t,
@@ -86,14 +67,21 @@ fn class_count_sweeps_never_break_feasibility() {
 
 #[test]
 fn seeds_change_output_but_not_guarantees() {
-    let g = generators::harary(8, 32);
-    let a = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 1));
-    let b = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 2));
+    let fixtures = fixtures::standard();
+    let f = fixtures
+        .iter()
+        .find(|f| f.name == "harary_k8_n40")
+        .expect("roster fixture");
+    let a = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 1));
+    let b = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 2));
     assert!(
         a.class_of != b.class_of,
         "different seeds must give different assignments"
     );
     for p in [&a, &b] {
-        assert_eq!(verify_centralized(&g, &p.classes), VerifyOutcome::Pass);
+        assert_eq!(
+            verify_centralized(&f.graph, &p.classes),
+            VerifyOutcome::Pass
+        );
     }
 }

@@ -1,5 +1,8 @@
 //! Cross-validation of the distributed primitives against centralized
 //! oracles over randomized instances (integration-level property tests).
+//!
+//! Randomness flows through `decomp_testkit::rng`, and the BFS round
+//! counts on the fixture roster are pinned in the golden registry.
 
 use connectivity_decomposition::congest::aggregate::{tree_aggregate, AggOp};
 use connectivity_decomposition::congest::bfs::distributed_bfs;
@@ -9,7 +12,8 @@ use connectivity_decomposition::congest::leader::flood_max;
 use connectivity_decomposition::congest::mst::distributed_mst;
 use connectivity_decomposition::congest::{Model, Simulator};
 use connectivity_decomposition::graph::{generators, mst, traversal};
-use rand::{Rng, SeedableRng};
+use decomp_testkit::{fixtures, golden};
+use rand::Rng;
 
 #[test]
 fn bfs_matches_oracle_over_seeds() {
@@ -23,16 +27,30 @@ fn bfs_matches_oracle_over_seeds() {
 }
 
 #[test]
+fn bfs_rounds_on_fixtures_match_golden() {
+    // Distributed BFS costs O(D) rounds and is deterministic per
+    // instance; pin the exact counts on the roster.
+    for f in fixtures::small() {
+        let mut sim = Simulator::new(&f.graph, Model::VCongest);
+        distributed_bfs(&mut sim, 0).unwrap();
+        golden::check(&format!("{}/bfs0/rounds", f.name), sim.stats().rounds);
+    }
+}
+
+#[test]
 fn mst_matches_kruskal_over_seeds_and_models() {
     for seed in 0..8 {
         let g = generators::random_connected(18, 14, seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xfeed);
+        let mut rng = decomp_testkit::rng(seed ^ 0xfeed);
         let weights: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..500)).collect();
         let reference = mst::minimum_spanning_forest(&g, |e| weights[e] as f64);
         for model in [Model::VCongest, Model::ECongest] {
             let mut sim = Simulator::new(&g, model);
             let dist = distributed_mst(&mut sim, &weights).unwrap();
-            assert_eq!(dist.edge_indices, reference.edge_indices, "seed {seed} {model:?}");
+            assert_eq!(
+                dist.edge_indices, reference.edge_indices,
+                "seed {seed} {model:?}"
+            );
         }
     }
 }
@@ -41,7 +59,7 @@ fn mst_matches_kruskal_over_seeds_and_models() {
 fn component_labels_match_oracle_on_random_subgraphs() {
     for seed in 0..8 {
         let g = generators::gnp(24, 0.2, seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = decomp_testkit::rng(seed);
         // Random vertex subset with random kept edges.
         let active: Vec<bool> = (0..g.n()).map(|_| rng.gen_bool(0.8)).collect();
         let keep_edge: Vec<bool> = (0..g.m()).map(|_| rng.gen_bool(0.7)).collect();
@@ -50,11 +68,7 @@ fn component_labels_match_oracle_on_random_subgraphs() {
                 g.neighbors(v)
                     .iter()
                     .copied()
-                    .filter(|&u| {
-                        active[u]
-                            && active[v]
-                            && keep_edge[g.edge_index(u, v).unwrap()]
-                    })
+                    .filter(|&u| active[u] && active[v] && keep_edge[g.edge_index(u, v).unwrap()])
                     .collect()
             })
             .collect();
@@ -63,8 +77,8 @@ fn component_labels_match_oracle_on_random_subgraphs() {
         let labels = component_labels(&mut sim, &active, &sub_neighbors, &init).unwrap();
         // Oracle: union-find over the same subgraph.
         let mut uf = connectivity_decomposition::graph::unionfind::UnionFind::new(g.n());
-        for v in 0..g.n() {
-            for &u in &sub_neighbors[v] {
+        for (v, neighbors) in sub_neighbors.iter().enumerate() {
+            for &u in neighbors {
                 uf.union(u, v);
             }
         }
@@ -86,7 +100,7 @@ fn component_labels_match_oracle_on_random_subgraphs() {
 fn aggregation_matches_direct_sums() {
     for seed in 0..6 {
         let g = generators::random_connected(22, 10, seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = decomp_testkit::rng(seed);
         let values: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..1000)).collect();
         let mut sim = Simulator::new(&g, Model::VCongest);
         let tree = distributed_bfs(&mut sim, 0).unwrap();
@@ -101,7 +115,7 @@ fn aggregation_matches_direct_sums() {
 fn leader_is_global_max_value() {
     for seed in 0..6 {
         let g = generators::random_connected(20, 8, seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = decomp_testkit::rng(seed);
         let values: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..100)).collect();
         let mut sim = Simulator::new(&g, Model::VCongest);
         let winner = flood_max(&mut sim, &values).unwrap();

@@ -1,33 +1,71 @@
 //! Distributed and centralized implementations must produce the same
 //! *kind* of object with the same guarantees (the random choices differ,
 //! so outputs are compared through their invariants, not bitwise).
+//!
+//! The cross-check sweeps every testkit fixture family: for each
+//! deterministic instance, the distributed pipeline must satisfy exactly
+//! the invariants the centralized one does.
 
 use connectivity_decomposition::congest::{Model, Simulator};
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
 use connectivity_decomposition::core::cds::distributed::cds_packing_distributed;
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
-use connectivity_decomposition::core::cds::verify::{verify_centralized, VerifyOutcome};
 use connectivity_decomposition::core::stp::distributed::distributed_stp_mwu;
 use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
 use connectivity_decomposition::graph::generators;
+use decomp_testkit::{asserts, fixtures};
 
 #[test]
-fn cds_both_sides_valid_and_same_shape() {
-    let g = generators::harary(8, 40);
-    let cfg = CdsPackingConfig::with_known_k(8, 6);
+fn cds_agrees_on_every_fixture_family() {
+    // Every CONGEST-sized, >= 2-connected fixture: both sides must pass
+    // the same invariant set and extract feasible packings.
+    for f in fixtures::small() {
+        if f.kappa < 2 {
+            continue;
+        }
+        let cfg = CdsPackingConfig::with_known_k(f.kappa, 6);
 
-    let central = cds_packing(&g, &cfg);
-    let mut sim = Simulator::new(&g, Model::VCongest);
-    let distributed = cds_packing_distributed(&mut sim, &cfg).unwrap();
+        let central = cds_packing(&f.graph, &cfg);
+        let mut sim = Simulator::new(&f.graph, Model::VCongest);
+        let distributed = cds_packing_distributed(&mut sim, &cfg).unwrap();
 
-    for p in [&central, &distributed] {
-        assert_eq!(p.num_classes(), cfg.num_classes);
-        assert_eq!(verify_centralized(&g, &p.classes), VerifyOutcome::Pass);
-        assert!(p.max_real_multiplicity() <= 3 * p.layout.layers());
-        let trees = to_dom_tree_packing(&g, p);
-        trees.packing.validate(&g, 1e-9).unwrap();
+        for (side, p) in [("central", &central), ("distributed", &distributed)] {
+            let ctx = format!("{} {side}", f.name);
+            assert_eq!(p.num_classes(), cfg.num_classes, "{ctx}");
+            asserts::assert_cds_packing_invariants(&f.graph, p, &ctx);
+            let trees = to_dom_tree_packing(&f.graph, p);
+            asserts::assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &ctx);
+        }
+        assert!(
+            sim.stats().rounds > 0,
+            "{}: distributed run must spend rounds",
+            f.name
+        );
     }
-    assert!(sim.stats().rounds > 0, "distributed run must spend rounds");
+}
+
+#[test]
+fn stp_agrees_on_every_fixture_family() {
+    // E-CONGEST MWU packing vs. the centralized MWU, same sweep. The
+    // MWU guarantee is (1 - eps) * lambda / 2 with the default eps.
+    for f in fixtures::small() {
+        if f.lambda < 2 {
+            continue;
+        }
+        let eps = MwuConfig::default().epsilon;
+        let target = (f.lambda as f64) / 2.0 * (1.0 - eps);
+
+        let central = fractional_stp_mwu(&f.graph, f.lambda, &MwuConfig::default());
+        let mut sim = Simulator::new(&f.graph, Model::ECongest);
+        let distributed = distributed_stp_mwu(&mut sim, f.lambda, &MwuConfig::default()).unwrap();
+
+        for (side, r) in [("central", &central), ("distributed", &distributed)] {
+            let ctx = format!("{} {side}", f.name);
+            asserts::assert_span_tree_packing_feasible(
+                &f.graph, &r.packing, f.lambda, target, &ctx,
+            );
+        }
+    }
 }
 
 #[test]
@@ -37,9 +75,9 @@ fn stp_both_sides_meet_target() {
     let mut sim = Simulator::new(&g, Model::ECongest);
     let distributed = distributed_stp_mwu(&mut sim, 4, &MwuConfig::default()).unwrap();
     for r in [&central, &distributed] {
-        r.packing.validate(&g, 1e-9).unwrap();
+        r.packing.validate(&g, decomp_testkit::TOL).unwrap();
         assert!(
-            r.packing.size() >= 2.0 * (1.0 - 0.6) - 1e-9,
+            r.packing.size() >= 2.0 * (1.0 - 0.6) - decomp_testkit::TOL,
             "size {}",
             r.packing.size()
         );

@@ -1,61 +1,76 @@
 //! End-to-end integration: decomposition → verification → dissemination,
-//! across crates (graph substrate, core algorithms, broadcast apps).
+//! across crates (graph substrate, core algorithms, broadcast apps),
+//! running on testkit fixtures with oracle-known connectivity.
 
 use connectivity_decomposition::broadcast::gossip::gossip_via_trees;
 use connectivity_decomposition::broadcast::oblivious::vertex_congestion;
 use connectivity_decomposition::broadcast::throughput::edge_throughput;
+use connectivity_decomposition::congest::{Model, Simulator};
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
 use connectivity_decomposition::core::cds::verify::{
     membership_of, verify_centralized, verify_distributed, VerifyOutcome,
 };
 use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
-use connectivity_decomposition::congest::{Model, Simulator};
-use connectivity_decomposition::graph::{connectivity, generators};
+use connectivity_decomposition::graph::generators;
+use decomp_testkit::{asserts, fixtures, TOL};
+
+fn fixture(name: &str) -> decomp_testkit::fixtures::Fixture {
+    fixtures::standard()
+        .into_iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("fixture {name} missing from roster"))
+}
 
 #[test]
 fn vertex_pipeline_harary() {
-    let g = generators::harary(12, 60);
-    let k = connectivity::vertex_connectivity(&g);
-    assert_eq!(k, 12);
+    let f = fixture("harary_k12_n48");
+    assert_eq!(f.kappa, 12);
 
     // Decompose.
-    let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 4));
+    let packing = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 4));
     // Verify (both testers agree).
-    assert_eq!(verify_centralized(&g, &packing.classes), VerifyOutcome::Pass);
-    let membership = membership_of(&packing.classes, g.n());
-    let mut sim = Simulator::new(&g, Model::VCongest);
+    assert_eq!(
+        verify_centralized(&f.graph, &packing.classes),
+        VerifyOutcome::Pass
+    );
+    let membership = membership_of(&packing.classes, f.graph.n());
+    let mut sim = Simulator::new(&f.graph, Model::VCongest);
     assert_eq!(
         verify_distributed(&mut sim, &membership, packing.num_classes(), 1).unwrap(),
         VerifyOutcome::Pass
     );
-    // Extract and validate trees.
-    let trees = to_dom_tree_packing(&g, &packing);
+    // Extract and validate trees (includes the kappa cut bound).
+    let trees = to_dom_tree_packing(&f.graph, &packing);
     assert!(trees.invalid_classes.is_empty());
-    trees.packing.validate(&g, 1e-9).unwrap();
-    // κ <= k (cut bound).
-    assert!(trees.packing.size() <= k as f64 + 1e-9);
+    asserts::assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &f.name);
 
     // Disseminate.
-    let origins: Vec<usize> = (0..g.n()).collect();
-    let gossip = gossip_via_trees(&g, &trees.packing, &origins, 2);
-    assert_eq!(gossip.num_messages, g.n());
+    let origins: Vec<usize> = (0..f.graph.n()).collect();
+    let gossip = gossip_via_trees(&f.graph, &trees.packing, &origins, 2);
+    assert_eq!(gossip.num_messages, f.graph.n());
 
     // Oblivious congestion sane.
-    let cong = vertex_congestion(&g, &trees.packing, k, 1000, 3);
+    let cong = vertex_congestion(&f.graph, &trees.packing, f.kappa, 1000, 3);
     assert!(cong.max_congestion >= cong.opt_lower_bound);
 }
 
 #[test]
 fn edge_pipeline_harary() {
-    let g = generators::harary(8, 40);
-    let lambda = connectivity::edge_connectivity(&g);
-    assert_eq!(lambda, 8);
-    let report = fractional_stp_mwu(&g, lambda, &MwuConfig::default());
-    report.packing.validate(&g, 1e-9).unwrap();
-    let tput = edge_throughput(&g, &report.packing, lambda);
-    assert!(tput.messages_per_round >= tput.tutte_nash_williams as f64 * (1.0 - 0.6));
-    assert!(tput.messages_per_round <= lambda as f64);
+    let f = fixture("harary_k8_n40");
+    assert_eq!(f.lambda, 8);
+    let report = fractional_stp_mwu(&f.graph, f.lambda, &MwuConfig::default());
+    let eps = MwuConfig::default().epsilon;
+    asserts::assert_span_tree_packing_feasible(
+        &f.graph,
+        &report.packing,
+        f.lambda,
+        (f.lambda as f64) / 2.0 * (1.0 - eps),
+        &f.name,
+    );
+    let tput = edge_throughput(&f.graph, &report.packing, f.lambda);
+    assert!(tput.messages_per_round >= tput.tutte_nash_williams as f64 * (1.0 - eps));
+    assert!(tput.messages_per_round <= f.lambda as f64);
 }
 
 #[test]
@@ -77,11 +92,13 @@ fn invalid_packings_rejected_end_to_end() {
 
 #[test]
 fn unknown_k_pipeline() {
-    let g = generators::hypercube(5);
-    let r = connectivity_decomposition::core::cds::guess::cds_packing_unknown_k(&g, 9);
-    assert_eq!(verify_centralized(&g, &r.packing.classes), VerifyOutcome::Pass);
-    let trees = to_dom_tree_packing(&g, &r.packing);
-    trees.packing.validate(&g, 1e-9).unwrap();
-    let k = connectivity::vertex_connectivity(&g);
-    assert!(trees.packing.size() <= k as f64 + 1e-9);
+    let f = fixture("hypercube_d5");
+    let r = connectivity_decomposition::core::cds::guess::cds_packing_unknown_k(&f.graph, 9);
+    assert_eq!(
+        verify_centralized(&f.graph, &r.packing.classes),
+        VerifyOutcome::Pass
+    );
+    let trees = to_dom_tree_packing(&f.graph, &r.packing);
+    trees.packing.validate(&f.graph, TOL).unwrap();
+    assert!(trees.packing.size() <= f.kappa as f64 + TOL);
 }

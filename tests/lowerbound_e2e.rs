@@ -3,9 +3,7 @@
 
 use connectivity_decomposition::graph::connectivity::vertex_connectivity;
 use connectivity_decomposition::graph::traversal::diameter;
-use connectivity_decomposition::lowerbound::construction::{
-    build_g, round_lower_bound, LbParams,
-};
+use connectivity_decomposition::lowerbound::construction::{build_g, round_lower_bound, LbParams};
 use connectivity_decomposition::lowerbound::simulation::{
     distinguishing_cost, simulate_two_party, theorem_g2_params,
 };
@@ -39,7 +37,8 @@ fn cut_dichotomy_drives_disjointness_decision() {
 #[test]
 fn theorem_g2_scaling_shape() {
     // The achievable distinguishing cost must grow at least like the
-    // theorem's bound (up to constants) along the parameter family.
+    // theorem's bound (up to constants) along the parameter family, and
+    // the exact (deterministic) costs are pinned in the golden registry.
     let mut prev_cost = 0usize;
     for n in [500usize, 4000, 32_000] {
         let (p, n_real) = theorem_g2_params(n, 4);
@@ -51,5 +50,6 @@ fn theorem_g2_scaling_shape() {
         );
         assert!(cost >= prev_cost, "cost must not shrink with n");
         prev_cost = cost;
+        decomp_testkit::golden::check(&format!("lowerbound/g2_n{n}_alpha4/cost"), cost);
     }
 }

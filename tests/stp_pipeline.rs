@@ -1,11 +1,13 @@
 //! Spanning-tree packing pipeline across crates: exact connectivity →
-//! MWU / sampled / integral packings → throughput & congestion.
+//! MWU / sampled / integral packings → throughput & congestion, with the
+//! MWU leg swept over testkit fixtures and pinned to golden values.
 
 use connectivity_decomposition::broadcast::oblivious::edge_congestion;
 use connectivity_decomposition::core::stp::integral::{check_integral_stp, integral_stp};
 use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
 use connectivity_decomposition::core::stp::sampled::sampled_stp;
 use connectivity_decomposition::graph::{connectivity, generators};
+use decomp_testkit::{asserts, fixtures, golden};
 
 #[test]
 fn mwu_size_tracks_lambda() {
@@ -14,10 +16,12 @@ fn mwu_size_tracks_lambda() {
         let g = generators::harary(lambda, 24);
         assert_eq!(connectivity::edge_connectivity(&g), lambda);
         let r = fractional_stp_mwu(&g, lambda, &MwuConfig::default());
-        r.packing.validate(&g, 1e-9).unwrap();
-        assert!(
-            r.packing.size() >= last - 1e-9,
-            "size must be monotone in lambda"
+        asserts::assert_span_tree_packing_feasible(
+            &g,
+            &r.packing,
+            lambda,
+            last, // monotone in lambda
+            &format!("harary({lambda},24)"),
         );
         last = r.packing.size();
     }
@@ -25,11 +29,21 @@ fn mwu_size_tracks_lambda() {
 }
 
 #[test]
+fn mwu_matches_golden_registry_on_fixtures() {
+    for f in fixtures::well_connected() {
+        let r = fractional_stp_mwu(&f.graph, f.lambda, &MwuConfig::default());
+        golden::check(
+            &format!("{}/stp_mwu/size", f.name),
+            golden::f4(r.packing.size()),
+        );
+    }
+}
+
+#[test]
 fn sampled_pipeline_on_dense_graph() {
     let g = generators::complete(40);
     let r = sampled_stp(&g, 0.15, 5);
-    r.packing.validate(&g, 1e-9).unwrap();
-    assert!(r.packing.size() >= 1.0);
+    asserts::assert_span_tree_packing_feasible(&g, &r.packing, 39, 1.0, "complete(40)");
 }
 
 #[test]

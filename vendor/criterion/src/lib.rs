@@ -1,0 +1,197 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a tiny wall-clock harness with the same surface syntax:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` / `bench_with_input` / `finish`), [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. No statistics, no HTML reports — each benchmark is timed for a
+//! fixed number of samples and the median per-iteration time is printed.
+//!
+//! Bench targets must still set `harness = false` in their manifest, as
+//! with the real criterion.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` `samples` times, recording wall-clock time per run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.last.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.last.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.last.is_empty() {
+            return Duration::ZERO;
+        }
+        self.last.sort_unstable();
+        self.last[self.last.len() / 2]
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last: Vec::new(),
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<60} median {:>12.3?} ({samples} samples)",
+        b.median()
+    );
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Times `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` on `input` under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.full),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Times `f` under `group_name/id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function list, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &5u64, |b, &x| {
+            b.iter(|| x * 2);
+            total += x;
+        });
+        group.finish();
+        assert_eq!(total, 5);
+    }
+}
