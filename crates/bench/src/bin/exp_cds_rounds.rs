@@ -14,8 +14,9 @@ use decomp_core::cds::distributed::cds_packing_distributed;
 use decomp_graph::{generators, traversal};
 
 fn main() {
+    let engine = decomp_bench::cli::engine_from_args();
     let mut t = Table::new(
-        "E3: distributed rounds (Thm 1.1)",
+        &format!("E3: distributed rounds (Thm 1.1) [engine={engine}]"),
         &[
             "family",
             "n",
@@ -39,7 +40,7 @@ fn main() {
     for (name, g, k) in cases {
         let n = g.n();
         let diam = traversal::diameter(&g).unwrap();
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
         let packing =
             cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(k, 3)).unwrap();
         assert!(packing.num_classes() >= 1);

@@ -13,8 +13,9 @@ use decomp_graph::connectivity::vertex_connectivity;
 use decomp_graph::generators;
 
 fn main() {
+    let engine = decomp_bench::cli::engine_from_args();
     let mut t = Table::new(
-        "E8: vertex-connectivity approximation (Cor 1.7)",
+        &format!("E8: vertex-connectivity approximation (Cor 1.7) [engine={engine}]"),
         &[
             "family",
             "n",
@@ -38,7 +39,7 @@ fn main() {
     for (name, g) in cases {
         let k = vertex_connectivity(&g);
         let approx = approx_vertex_connectivity(&g, 7);
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
         let dist = approx_vertex_connectivity_distributed(&mut sim, 7).unwrap();
         assert!(dist.packing_size <= k as f64 + 1e-9);
         t.row(&[

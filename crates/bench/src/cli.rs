@@ -1,0 +1,36 @@
+//! Shared command-line parsing for the `exp_*` binaries.
+
+use decomp_congest::EngineKind;
+
+/// Parses the `--engine` flag (`--engine sharded:4` or `--engine=sharded:4`)
+/// from the process arguments; falls back to the `DECOMP_ENGINE`
+/// environment variable, then to the sequential engine.
+///
+/// Engine choice never changes experiment outputs — the engines are
+/// bit-for-bit equivalent (see `decomp_congest::engine`) — only wall-clock
+/// behavior, so tables stay comparable across runs.
+///
+/// # Panics
+/// Panics with a usage message on a malformed engine spec or a missing
+/// flag value, so experiment runs fail loudly instead of silently timing
+/// the wrong backend.
+pub fn engine_from_args() -> EngineKind {
+    let parse = |spec: &str| {
+        EngineKind::parse(spec).unwrap_or_else(|e| panic!("--engine / DECOMP_ENGINE: {e}"))
+    };
+    let mut engine = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--engine" {
+            let value = args.next().expect("--engine requires a value");
+            engine = Some(parse(&value));
+        } else if let Some(value) = arg.strip_prefix("--engine=") {
+            engine = Some(parse(value));
+        }
+    }
+    // The env var is only a fallback: left unparsed (and unjudged) when
+    // an explicit flag is present.
+    engine
+        .or_else(|| std::env::var("DECOMP_ENGINE").ok().map(|spec| parse(&spec)))
+        .unwrap_or(EngineKind::Sequential)
+}

@@ -1,0 +1,226 @@
+//! Pluggable round-execution engines.
+//!
+//! The [`crate::Simulator`] facade owns the network (graph, model, word
+//! budget, per-node RNG streams) but delegates the actual round loop to a
+//! [`RoundEngine`]. Two backends ship:
+//!
+//! * [`SequentialEngine`] — the classic single-threaded lockstep loop;
+//! * [`ShardedEngine`] — a deterministic multi-core backend that
+//!   partitions the nodes into contiguous shards, steps each shard's
+//!   programs on its own scoped worker thread, and exchanges cross-shard
+//!   traffic through per-shard mailboxes under a round barrier.
+//!
+//! ## Determinism contract
+//!
+//! Every engine must produce **bit-identical** results for the same
+//! network, programs, and seed — outputs, per-node RNG streams, *and*
+//! [`RunStats`]. Three properties of the round semantics make this cheap
+//! to guarantee:
+//!
+//! 1. each node's RNG is an independent seeded stream, advanced only by
+//!    that node's own [`NodeProgram::round`] calls, so execution order
+//!    across nodes never leaks into the random choices;
+//! 2. a node receives at most one message per neighbor per round (in both
+//!    models), and inboxes are sorted by sender id before delivery, so the
+//!    order in which engines *enqueue* messages is unobservable;
+//! 3. message/word counters are commutative sums; the sharded engine
+//!    reduces them shard-locally and merges in shard order, which yields
+//!    exactly the sequential totals.
+//!
+//! The equivalence is enforced by `tests/engine_equivalence.rs` (every
+//! testkit fixture family, sequential vs. 2- and 4-shard runs) and by the
+//! CI job that reruns the simulator-driven suites — golden registry
+//! included — under `DECOMP_ENGINE=sharded:4`.
+
+pub mod sequential;
+pub mod sharded;
+
+pub use sequential::SequentialEngine;
+pub use sharded::ShardedEngine;
+
+use crate::message::Message;
+use crate::sim::{Model, NodeCtx, NodeProgram, RunStats, SimError};
+use decomp_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use std::fmt;
+use std::str::FromStr;
+
+/// Default shard count used by `EngineKind::parse("sharded")`.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Selects the round-execution backend of a [`crate::Simulator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Single-threaded lockstep loop (the default).
+    Sequential,
+    /// Scoped-thread worker pool over `shards` contiguous node shards.
+    Sharded {
+        /// Number of shards (worker threads). Clamped to `n` at run time;
+        /// `1` degenerates to the sequential loop.
+        shards: usize,
+    },
+}
+
+impl EngineKind {
+    /// Parses `"sequential"`, `"sharded"` (= [`DEFAULT_SHARDS`] shards),
+    /// or `"sharded:<N>"`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on unknown names or bad shard
+    /// counts.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "sequential" | "seq" => Ok(EngineKind::Sequential),
+            "sharded" => Ok(EngineKind::Sharded {
+                shards: DEFAULT_SHARDS,
+            }),
+            _ => match s.strip_prefix("sharded:") {
+                Some(num) => match num.parse::<usize>() {
+                    Ok(shards) if shards >= 1 => Ok(EngineKind::Sharded { shards }),
+                    _ => Err(format!("bad shard count in engine spec '{s}'")),
+                },
+                None => Err(format!(
+                    "unknown engine '{s}' (expected 'sequential', 'sharded', or 'sharded:<N>')"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Sequential => write!(f, "sequential"),
+            EngineKind::Sharded { shards } => write!(f, "sharded:{shards}"),
+        }
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s)
+    }
+}
+
+/// The immutable network parameters an engine executes against.
+pub struct NetSpec<'g> {
+    /// Communication topology.
+    pub graph: &'g Graph,
+    /// The CONGEST variant whose constraints are enforced.
+    pub model: Model,
+    /// Per-message payload budget in words.
+    pub word_budget: usize,
+}
+
+/// The outcome of one engine run.
+///
+/// `stats` is populated even when the run errors, so the facade can keep
+/// cumulative accounting for partially executed protocols.
+pub struct EngineRun {
+    /// Rounds / messages / words executed before termination or error.
+    pub stats: RunStats,
+    /// `None` on quiescence; the error otherwise.
+    pub error: Option<SimError>,
+}
+
+/// A round-execution backend.
+///
+/// An engine steps `programs` (one per node, indexed by node id) in
+/// lockstep rounds over `net` until global quiescence (all programs done
+/// and no messages in flight) or until `max_rounds` is exhausted,
+/// honoring the semantics documented on [`crate::Simulator`]: messages
+/// sent in round `r` are delivered (sorted by sender id) at the start of
+/// round `r + 1`, and a node is stepped iff it is active (round 0,
+/// non-empty inbox, or not done). Implementations must uphold the
+/// [determinism contract](self).
+pub trait RoundEngine {
+    /// This engine's selector (for display and re-configuration).
+    fn kind(&self) -> EngineKind;
+
+    /// Runs `programs` to quiescence; see the trait docs for semantics.
+    fn run<P: NodeProgram + Send>(
+        &self,
+        net: &NetSpec<'_>,
+        programs: &mut [P],
+        rngs: &mut [StdRng],
+        max_rounds: usize,
+    ) -> EngineRun;
+}
+
+/// Whether node `v`'s program must be stepped this round.
+pub(crate) fn is_active<P: NodeProgram>(
+    round: usize,
+    inbox: &[(NodeId, Message)],
+    program: &P,
+) -> bool {
+    round == 0 || !inbox.is_empty() || !program.is_done()
+}
+
+/// Executes one node's round: sorts the inbox by sender, runs the program
+/// against a fresh outbox, then accounts and routes every outgoing
+/// message through `deliver(receiver, payload)`.
+///
+/// Returns `true` iff the node sent at least one message. Both engines
+/// funnel through this helper, so per-node behavior (RNG consumption,
+/// model enforcement, stats accounting) is identical by construction.
+#[allow(clippy::too_many_arguments)] // the full per-node execution state, threaded once per engine
+pub(crate) fn step_node<P: NodeProgram>(
+    net: &NetSpec<'_>,
+    v: NodeId,
+    round: usize,
+    program: &mut P,
+    rng: &mut StdRng,
+    inbox: &mut [(NodeId, Message)],
+    stats: &mut RunStats,
+    deliver: &mut impl FnMut(NodeId, Message),
+) -> bool {
+    inbox.sort_by_key(|(from, _)| *from);
+    let neighbors = net.graph.neighbors(v);
+    let mut outbox = crate::sim::Outbox::new(net.model, neighbors.len());
+    {
+        let mut ctx = NodeCtx::new(
+            v,
+            net.graph.n(),
+            round,
+            neighbors,
+            net.model,
+            net.word_budget,
+            &mut outbox,
+            rng,
+        );
+        program.round(&mut ctx, inbox);
+    }
+    outbox.drain(neighbors, |u, m| {
+        stats.messages += 1;
+        stats.words += m.len();
+        deliver(u, m);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in [
+            EngineKind::Sequential,
+            EngineKind::Sharded { shards: 2 },
+            EngineKind::Sharded { shards: 7 },
+        ] {
+            assert_eq!(EngineKind::parse(&kind.to_string()), Ok(kind));
+        }
+        assert_eq!(
+            EngineKind::parse("sharded"),
+            Ok(EngineKind::Sharded {
+                shards: DEFAULT_SHARDS
+            })
+        );
+        assert_eq!(EngineKind::parse("seq"), Ok(EngineKind::Sequential));
+        assert!(EngineKind::parse("async").is_err());
+        assert!(EngineKind::parse("sharded:0").is_err());
+        assert!(EngineKind::parse("sharded:x").is_err());
+        assert_eq!("sharded:3".parse(), Ok(EngineKind::Sharded { shards: 3 }));
+    }
+}

@@ -1,0 +1,72 @@
+//! The single-threaded lockstep engine (the historical round loop of
+//! `Simulator::run`, extracted verbatim).
+
+use super::{is_active, step_node, EngineKind, EngineRun, NetSpec, RoundEngine};
+use crate::message::Message;
+use crate::sim::{NodeProgram, RunStats, SimError};
+use decomp_graph::NodeId;
+use rand::rngs::StdRng;
+
+/// Steps every node in id order on the calling thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialEngine;
+
+impl RoundEngine for SequentialEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sequential
+    }
+
+    fn run<P: NodeProgram + Send>(
+        &self,
+        net: &NetSpec<'_>,
+        programs: &mut [P],
+        rngs: &mut [StdRng],
+        max_rounds: usize,
+    ) -> EngineRun {
+        let n = net.graph.n();
+        let mut stats = RunStats::default();
+        // inboxes[v] = messages to deliver to v at the start of this round
+        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+        let mut round = 0usize;
+        loop {
+            if round >= max_rounds {
+                let undelivered = inboxes.iter().map(Vec::len).sum();
+                let unfinished = programs.iter().filter(|p| !p.is_done()).count();
+                return EngineRun {
+                    stats,
+                    error: Some(SimError::ExceededMaxRounds {
+                        max_rounds,
+                        undelivered,
+                        unfinished,
+                    }),
+                };
+            }
+            let mut next_inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+            let mut any_sent = false;
+            for v in 0..n {
+                if !is_active(round, &inboxes[v], &programs[v]) {
+                    continue;
+                }
+                let sent = step_node(
+                    net,
+                    v,
+                    round,
+                    &mut programs[v],
+                    &mut rngs[v],
+                    &mut inboxes[v],
+                    &mut stats,
+                    &mut |u, m| next_inboxes[u].push((v, m)),
+                );
+                any_sent |= sent;
+            }
+            stats.rounds += 1;
+            round += 1;
+            inboxes = next_inboxes;
+            let all_done = programs.iter().all(|p| p.is_done());
+            if all_done && !any_sent {
+                break;
+            }
+        }
+        EngineRun { stats, error: None }
+    }
+}

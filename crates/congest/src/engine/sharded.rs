@@ -1,0 +1,348 @@
+//! The deterministic sharded multi-core engine.
+//!
+//! Nodes are partitioned into `s` contiguous shards; each shard's
+//! programs, RNG streams, and inboxes are owned exclusively by one scoped
+//! worker thread for the whole run (no per-round thread spawns). A round
+//! has two phases separated by barriers:
+//!
+//! 1. **compute** — every worker steps its shard's active nodes (in node
+//!    id order) and buckets outgoing messages into per-destination-shard
+//!    mailboxes; the shard's send/done flags are published;
+//! 2. **deliver** — after the barrier, every worker drains its mailbox
+//!    column (in sender-shard order) into its local inboxes, and all
+//!    workers take the same continue/stop decision from the published
+//!    flags.
+//!
+//! Mailbox cell `[src][dst]` is written only by shard `src` during
+//! compute and drained only by shard `dst` during deliver, with the two
+//! phases separated by a barrier — the `Mutex` per cell is never
+//! contended and exists to keep the exchange in safe code.
+//!
+//! Determinism (see the [module docs](super)): node order within a shard
+//! is ascending, shards cover ascending id ranges, inboxes are re-sorted
+//! by sender at consumption, RNG streams are per-node, and [`RunStats`]
+//! counters are shard-local sums merged in shard order — so a run is
+//! bit-identical to the sequential engine for *any* shard count.
+//!
+//! A panic inside program code (model violations are panics by contract)
+//! is caught on the worker, propagated through a shared flag so every
+//! other worker unblocks at the next barrier, and re-raised on the
+//! calling thread.
+
+use super::{is_active, step_node, EngineKind, EngineRun, NetSpec, RoundEngine, SequentialEngine};
+use crate::message::Message;
+use crate::sim::{NodeProgram, RunStats, SimError};
+use decomp_graph::NodeId;
+use rand::rngs::StdRng;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::thread;
+
+/// Scoped-thread worker pool over contiguous node shards.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedEngine {
+    shards: usize,
+}
+
+impl ShardedEngine {
+    /// An engine with `shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedEngine { shards }
+    }
+}
+
+/// Balanced contiguous partition of `0..n` into `s` ranges: the first
+/// `n % s` shards get one extra node.
+#[derive(Clone, Copy)]
+struct Partition {
+    base: usize,
+    rem: usize,
+}
+
+impl Partition {
+    fn new(n: usize, s: usize) -> Self {
+        Partition {
+            base: n / s,
+            rem: n % s,
+        }
+    }
+
+    /// Half-open node range `[lo, hi)` owned by `shard`.
+    fn range(&self, shard: usize) -> (usize, usize) {
+        let lo = shard * self.base + shard.min(self.rem);
+        let hi = lo + self.base + usize::from(shard < self.rem);
+        (lo, hi)
+    }
+
+    /// The shard owning node `v`.
+    fn shard_of(&self, v: NodeId) -> usize {
+        let fat = self.rem * (self.base + 1);
+        if v < fat {
+            v / (self.base + 1)
+        } else {
+            self.rem + (v - fat) / self.base.max(1)
+        }
+    }
+}
+
+/// A message in transit between shards: `(receiver, sender, payload)`.
+type InFlight = (NodeId, NodeId, Message);
+
+/// One shard's per-round published state, overwritten every round (no
+/// reset step needed between rounds).
+struct ShardFlags {
+    sent: AtomicBool,
+    done: AtomicBool,
+}
+
+impl RoundEngine for ShardedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sharded {
+            shards: self.shards,
+        }
+    }
+
+    fn run<P: NodeProgram + Send>(
+        &self,
+        net: &NetSpec<'_>,
+        programs: &mut [P],
+        rngs: &mut [StdRng],
+        max_rounds: usize,
+    ) -> EngineRun {
+        let n = net.graph.n();
+        let s = self.shards.min(n.max(1));
+        if s <= 1 {
+            return SequentialEngine.run(net, programs, rngs, max_rounds);
+        }
+        let part = Partition::new(n, s);
+
+        // Cross-shard mailboxes: cell [src][dst] is written by src in the
+        // compute phase and drained by dst in the deliver phase.
+        let mailboxes: Vec<Vec<Mutex<Vec<InFlight>>>> = (0..s)
+            .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let flags: Vec<ShardFlags> = (0..s)
+            .map(|_| ShardFlags {
+                sent: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+            })
+            .collect();
+        let barrier = Barrier::new(s);
+        let panicked = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        // Hand each worker exclusive ownership of its shard's programs
+        // and RNG streams.
+        let mut prog_tail = programs;
+        let mut rng_tail = rngs;
+        let mut shard_state: Vec<(usize, &mut [P], &mut [StdRng])> = Vec::with_capacity(s);
+        for shard in 0..s {
+            let (lo, hi) = part.range(shard);
+            let (p_head, p_rest) = prog_tail.split_at_mut(hi - lo);
+            let (r_head, r_rest) = rng_tail.split_at_mut(hi - lo);
+            prog_tail = p_rest;
+            rng_tail = r_rest;
+            shard_state.push((shard, p_head, r_head));
+        }
+
+        let results: Vec<(RunStats, Option<(usize, usize)>)> = thread::scope(|scope| {
+            let handles: Vec<_> = shard_state
+                .into_iter()
+                .map(|(me, progs, my_rngs)| {
+                    let mailboxes = &mailboxes;
+                    let flags = &flags;
+                    let barrier = &barrier;
+                    let panicked = &panicked;
+                    let panic_payload = &panic_payload;
+                    scope.spawn(move || {
+                        shard_worker(
+                            net,
+                            part,
+                            s,
+                            me,
+                            progs,
+                            my_rngs,
+                            max_rounds,
+                            mailboxes,
+                            flags,
+                            barrier,
+                            panicked,
+                            panic_payload,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker thread died"))
+                .collect()
+        });
+
+        if let Some(payload) = panic_payload.into_inner().unwrap() {
+            panic::resume_unwind(payload);
+        }
+
+        // Shard-local stats, merged in shard order. Rounds advance in
+        // lockstep, so every shard reports the same count.
+        let mut stats = RunStats::default();
+        let mut exceeded: Option<(usize, usize)> = None;
+        for (shard_stats, shard_err) in results {
+            debug_assert!(stats.rounds == 0 || stats.rounds == shard_stats.rounds);
+            stats.rounds = stats.rounds.max(shard_stats.rounds);
+            stats.messages += shard_stats.messages;
+            stats.words += shard_stats.words;
+            if let Some((undelivered, unfinished)) = shard_err {
+                let slot = exceeded.get_or_insert((0, 0));
+                slot.0 += undelivered;
+                slot.1 += unfinished;
+            }
+        }
+        EngineRun {
+            stats,
+            error: exceeded.map(|(undelivered, unfinished)| SimError::ExceededMaxRounds {
+                max_rounds,
+                undelivered,
+                unfinished,
+            }),
+        }
+    }
+}
+
+/// The per-shard worker loop. Returns this shard's local stats and, when
+/// the round limit was hit, its `(undelivered, unfinished)` contribution
+/// to the error context.
+#[allow(clippy::too_many_arguments)] // the shared-state plumbing of one worker
+fn shard_worker<P: NodeProgram + Send>(
+    net: &NetSpec<'_>,
+    part: Partition,
+    s: usize,
+    me: usize,
+    progs: &mut [P],
+    rngs: &mut [StdRng],
+    max_rounds: usize,
+    mailboxes: &[Vec<Mutex<Vec<InFlight>>>],
+    flags: &[ShardFlags],
+    barrier: &Barrier,
+    panicked: &AtomicBool,
+    panic_payload: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+) -> (RunStats, Option<(usize, usize)>) {
+    let (lo, _hi) = part.range(me);
+    let local_n = progs.len();
+    let mut stats = RunStats::default();
+    let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); local_n];
+    let mut out_bufs: Vec<Vec<InFlight>> = vec![Vec::new(); s];
+    let mut round = 0usize;
+    loop {
+        // All workers share the same lockstep round counter, so they all
+        // take this exit in the same round (no barrier crossing needed).
+        if round >= max_rounds {
+            let undelivered = inboxes.iter().map(Vec::len).sum();
+            let unfinished = progs.iter().filter(|p| !p.is_done()).count();
+            return (stats, Some((undelivered, unfinished)));
+        }
+
+        // --- Compute phase -------------------------------------------
+        let mut any_sent = false;
+        // `is_done()` runs inside the same catch_unwind as `round()`: a
+        // panicking program (or a panic leaving state that makes
+        // `is_done` panic) must never kill the worker before the barrier
+        // or the other shards would deadlock there.
+        let step = panic::catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..local_n {
+                if !is_active(round, &inboxes[i], &progs[i]) {
+                    continue;
+                }
+                let v = lo + i;
+                let sent = step_node(
+                    net,
+                    v,
+                    round,
+                    &mut progs[i],
+                    &mut rngs[i],
+                    &mut inboxes[i],
+                    &mut stats,
+                    &mut |u, m| out_bufs[part.shard_of(u)].push((u, v, m)),
+                );
+                any_sent |= sent;
+                // The sequential loop swaps in fresh inboxes each round;
+                // here the buffers are reused, so consume in place.
+                inboxes[i].clear();
+            }
+            progs.iter().all(|p| p.is_done())
+        }));
+        let local_done = match step {
+            Ok(done) => done,
+            Err(payload) => {
+                panicked.store(true, Ordering::SeqCst);
+                panic_payload.lock().unwrap().get_or_insert(payload);
+                // Value is irrelevant: every worker exits right after the
+                // barrier once the panic flag is up.
+                true
+            }
+        };
+        for (dst, buf) in out_bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                // The cell was drained by `dst` last round, so this is a
+                // plain hand-off, not an append.
+                *mailboxes[me][dst].lock().unwrap() = std::mem::take(buf);
+            }
+        }
+        flags[me].sent.store(any_sent, Ordering::SeqCst);
+        flags[me].done.store(local_done, Ordering::SeqCst);
+
+        // --- Round barrier: mailboxes and flags are published --------
+        barrier.wait();
+        if panicked.load(Ordering::SeqCst) {
+            return (stats, None);
+        }
+        let all_done = flags.iter().all(|f| f.done.load(Ordering::SeqCst));
+        let any_sent_global = flags.iter().any(|f| f.sent.load(Ordering::SeqCst));
+        stats.rounds += 1;
+        round += 1;
+
+        // --- Deliver phase (sender-shard order) -----------------------
+        for src_row in mailboxes {
+            let msgs = std::mem::take(&mut *src_row[me].lock().unwrap());
+            for (u, from, m) in msgs {
+                inboxes[u - lo].push((from, m));
+            }
+        }
+
+        // Second barrier: every cell drained and every flag consumed
+        // before the next compute phase overwrites them.
+        barrier.wait();
+        if all_done && !any_sent_global {
+            return (stats, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_balanced_and_invertible() {
+        for n in [1usize, 2, 5, 7, 16, 33, 100] {
+            for s in 1..=n.min(9) {
+                let part = Partition::new(n, s);
+                let mut covered = 0;
+                for shard in 0..s {
+                    let (lo, hi) = part.range(shard);
+                    assert!(hi - lo >= n / s && hi - lo <= n / s + 1);
+                    assert_eq!(lo, covered, "ranges must be contiguous");
+                    covered = hi;
+                    for v in lo..hi {
+                        assert_eq!(part.shard_of(v), shard, "n={n} s={s} v={v}");
+                    }
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

@@ -17,6 +17,18 @@
 //! accounts rounds, messages, and words so experiments can report the
 //! model-native cost measures the paper's theorems are stated in.
 //!
+//! ## Engines
+//!
+//! [`Simulator`] is a facade over a pluggable round-execution layer
+//! ([`engine`]): the default [`engine::SequentialEngine`] single-threaded
+//! loop, or the [`engine::ShardedEngine`] scoped-thread backend that
+//! partitions nodes into contiguous shards and exchanges cross-shard
+//! traffic through per-shard mailboxes under a round barrier. Engines are
+//! **bit-for-bit equivalent** — identical outputs, RNG streams, and
+//! [`RunStats`] for any shard count — so every downstream algorithm
+//! scales across cores without changing its [`NodeProgram`]. Select one
+//! with [`Simulator::with_engine`].
+//!
 //! ## Primitives
 //!
 //! * [`bfs`] — distributed BFS-tree construction (`O(D)` rounds),
@@ -47,11 +59,13 @@ pub mod aggregate;
 pub mod bfs;
 pub mod broadcast;
 pub mod components;
+pub mod engine;
 pub mod leader;
 pub mod message;
 pub mod mst;
 pub mod multiflood;
 pub mod sim;
 
+pub use engine::{EngineKind, RoundEngine, SequentialEngine, ShardedEngine};
 pub use message::Message;
 pub use sim::{Inbox, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};

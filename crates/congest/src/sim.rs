@@ -1,8 +1,13 @@
-//! The synchronous round-based simulator.
+//! The synchronous round-based simulator facade.
 //!
 //! A [`Simulator`] wraps a [`Graph`] as the communication network and runs
 //! [`NodeProgram`]s in lockstep rounds, enforcing the bandwidth constraints
 //! of the selected [`Model`] and accounting rounds / messages / words.
+//! The round loop itself is pluggable: the facade delegates to a
+//! [`crate::engine::RoundEngine`] chosen via [`Simulator::with_engine`]
+//! (sequential by default, or the deterministic sharded multi-core
+//! backend — see [`crate::engine`] for the bit-for-bit determinism
+//! contract between backends).
 //!
 //! Messages sent in round `r` are delivered at the start of round `r + 1`.
 //! A run terminates when every program reports [`NodeProgram::is_done`] and
@@ -13,6 +18,7 @@
 //! phases synchronized by round counters) run several programs back to
 //! back on one simulator; the cumulative statistics add up across runs.
 
+use crate::engine::{EngineKind, NetSpec, RoundEngine, SequentialEngine, ShardedEngine};
 use crate::message::Message;
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -66,14 +72,27 @@ pub enum SimError {
     ExceededMaxRounds {
         /// The limit that was hit.
         max_rounds: usize,
+        /// Messages delivered for the failed round that no program got to
+        /// read (in-flight traffic at the cutoff).
+        undelivered: usize,
+        /// Programs still reporting `is_done() == false` at the cutoff.
+        unfinished: usize,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::ExceededMaxRounds { max_rounds } => {
-                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            SimError::ExceededMaxRounds {
+                max_rounds,
+                undelivered,
+                unfinished,
+            } => {
+                write!(
+                    f,
+                    "protocol did not terminate within {max_rounds} rounds \
+                     ({undelivered} messages still in flight, {unfinished} programs not done)"
+                )
             }
         }
     }
@@ -85,12 +104,49 @@ impl std::error::Error for SimError {}
 /// sorted by sender id.
 pub type Inbox = [(NodeId, Message)];
 
-enum Outbox {
+pub(crate) enum Outbox {
     /// V-CONGEST: at most one local-broadcast message.
     Broadcast(Option<Message>),
     /// E-CONGEST: at most one message per neighbor (indexed like
     /// `graph.neighbors(v)`).
     PerNeighbor(Vec<Option<Message>>),
+}
+
+impl Outbox {
+    /// An empty outbox for a node of the given degree under `model`.
+    pub(crate) fn new(model: Model, degree: usize) -> Self {
+        match model {
+            Model::VCongest => Outbox::Broadcast(None),
+            Model::ECongest => Outbox::PerNeighbor(vec![None; degree]),
+        }
+    }
+
+    /// Feeds every outgoing `(receiver, payload)` pair to `f`; returns
+    /// `true` iff the node attempted a send. (A broadcast from a
+    /// degree-0 node delivers nothing but still counts as an attempt —
+    /// the historical round-loop semantics, which quiescence timing
+    /// depends on.)
+    pub(crate) fn drain(self, neighbors: &[NodeId], mut f: impl FnMut(NodeId, Message)) -> bool {
+        match self {
+            Outbox::Broadcast(Some(m)) => {
+                for &u in neighbors {
+                    f(u, m.clone());
+                }
+                true
+            }
+            Outbox::Broadcast(None) => false,
+            Outbox::PerNeighbor(slots) => {
+                let mut any = false;
+                for (i, slot) in slots.into_iter().enumerate() {
+                    if let Some(m) = slot {
+                        any = true;
+                        f(neighbors[i], m);
+                    }
+                }
+                any
+            }
+        }
+    }
 }
 
 /// Per-round context handed to a [`NodeProgram`].
@@ -111,6 +167,29 @@ pub struct NodeCtx<'a> {
 }
 
 impl<'a> NodeCtx<'a> {
+    #[allow(clippy::too_many_arguments)] // crate-internal engine plumbing
+    pub(crate) fn new(
+        id: NodeId,
+        n: usize,
+        round: usize,
+        neighbors: &'a [NodeId],
+        model: Model,
+        word_budget: usize,
+        outbox: &'a mut Outbox,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        NodeCtx {
+            id,
+            n,
+            round,
+            neighbors,
+            model,
+            word_budget,
+            outbox,
+            rng,
+        }
+    }
+
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -226,6 +305,10 @@ impl<'a> NodeCtx<'a> {
 /// *active* in round 0, whenever its inbox is non-empty, and whenever
 /// `is_done()` is false. Nodes may therefore go quiet and be reawakened by
 /// incoming messages (the pattern used by label-propagation primitives).
+///
+/// Programs must be [`Send`] so the sharded engine can step disjoint node
+/// ranges on worker threads; program state is plain data, so this is
+/// automatic in practice.
 pub trait NodeProgram {
     /// Executes one round: read `inbox`, update state, send via `ctx`.
     fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox);
@@ -235,11 +318,13 @@ pub trait NodeProgram {
     fn is_done(&self) -> bool;
 }
 
-/// The synchronous simulator. See the [module docs](self) for semantics.
+/// The synchronous simulator facade. See the [module docs](self) for
+/// semantics and [`crate::engine`] for the execution backends.
 pub struct Simulator<'g> {
     graph: &'g Graph,
     model: Model,
     word_budget: usize,
+    engine: EngineKind,
     rngs: Vec<StdRng>,
     cumulative: RunStats,
 }
@@ -250,8 +335,8 @@ pub struct Simulator<'g> {
 pub const DEFAULT_WORD_BUDGET: usize = 8;
 
 impl<'g> Simulator<'g> {
-    /// A simulator over `graph` in `model` with the default word budget and
-    /// seed 0.
+    /// A simulator over `graph` in `model` with the default word budget,
+    /// seed 0, and the sequential engine.
     pub fn new(graph: &'g Graph, model: Model) -> Self {
         Self::with_seed(graph, model, 0)
     }
@@ -265,6 +350,7 @@ impl<'g> Simulator<'g> {
             graph,
             model,
             word_budget: DEFAULT_WORD_BUDGET,
+            engine: EngineKind::Sequential,
             rngs,
             cumulative: RunStats::default(),
         }
@@ -276,6 +362,14 @@ impl<'g> Simulator<'g> {
         self
     }
 
+    /// Selects the round-execution backend. Engine choice never changes
+    /// outputs or statistics (see [`crate::engine`]), only wall-clock
+    /// behavior.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The underlying network graph.
     pub fn graph(&self) -> &Graph {
         self.graph
@@ -284,6 +378,11 @@ impl<'g> Simulator<'g> {
     /// The model being simulated.
     pub fn model(&self) -> Model {
         self.model
+    }
+
+    /// The selected round-execution backend.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Cumulative statistics across all runs on this simulator.
@@ -300,7 +399,8 @@ impl<'g> Simulator<'g> {
         self.cumulative.rounds += rounds;
     }
 
-    /// Runs `programs` (one per node, indexed by node id) until quiescence.
+    /// Runs `programs` (one per node, indexed by node id) until quiescence
+    /// on the selected engine.
     ///
     /// Returns the final program states and this run's statistics.
     ///
@@ -310,86 +410,38 @@ impl<'g> Simulator<'g> {
     ///
     /// # Panics
     /// Panics if `programs.len() != graph.n()`, or on model violations
-    /// inside program code (see [`NodeCtx`]).
-    pub fn run<P: NodeProgram>(
+    /// inside program code (see [`NodeCtx`]); the sharded engine re-raises
+    /// worker panics on the calling thread.
+    pub fn run<P: NodeProgram + Send>(
         &mut self,
         mut programs: Vec<P>,
         max_rounds: usize,
     ) -> Result<(Vec<P>, RunStats), SimError> {
         let n = self.graph.n();
         assert_eq!(programs.len(), n, "need one program per node");
-        let mut stats = RunStats::default();
-        // inboxes[v] = messages to deliver to v at the start of this round
-        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
-        let mut round = 0usize;
-        loop {
-            if round >= max_rounds {
-                self.cumulative.absorb(stats);
-                return Err(SimError::ExceededMaxRounds { max_rounds });
+        let net = NetSpec {
+            graph: self.graph,
+            model: self.model,
+            word_budget: self.word_budget,
+        };
+        let outcome = match self.engine {
+            EngineKind::Sequential => {
+                SequentialEngine.run(&net, &mut programs, &mut self.rngs, max_rounds)
             }
-            let mut next_inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
-            let mut any_sent = false;
-            for v in 0..n {
-                let active = round == 0 || !inboxes[v].is_empty() || !programs[v].is_done();
-                if !active {
-                    continue;
-                }
-                inboxes[v].sort_by_key(|(from, _)| *from);
-                let neighbors = self.graph.neighbors(v);
-                let mut outbox = match self.model {
-                    Model::VCongest => Outbox::Broadcast(None),
-                    Model::ECongest => Outbox::PerNeighbor(vec![None; neighbors.len()]),
-                };
-                {
-                    let mut ctx = NodeCtx {
-                        id: v,
-                        n,
-                        round,
-                        neighbors,
-                        model: self.model,
-                        word_budget: self.word_budget,
-                        outbox: &mut outbox,
-                        rng: &mut self.rngs[v],
-                    };
-                    programs[v].round(&mut ctx, &inboxes[v]);
-                }
-                match outbox {
-                    Outbox::Broadcast(Some(m)) => {
-                        any_sent = true;
-                        for &u in neighbors {
-                            stats.messages += 1;
-                            stats.words += m.len();
-                            next_inboxes[u].push((v, m.clone()));
-                        }
-                    }
-                    Outbox::Broadcast(None) => {}
-                    Outbox::PerNeighbor(slots) => {
-                        for (i, slot) in slots.into_iter().enumerate() {
-                            if let Some(m) = slot {
-                                any_sent = true;
-                                stats.messages += 1;
-                                stats.words += m.len();
-                                next_inboxes[neighbors[i]].push((v, m));
-                            }
-                        }
-                    }
-                }
+            EngineKind::Sharded { shards } => {
+                ShardedEngine::new(shards).run(&net, &mut programs, &mut self.rngs, max_rounds)
             }
-            stats.rounds += 1;
-            round += 1;
-            inboxes = next_inboxes;
-            let all_done = programs.iter().all(|p| p.is_done());
-            if all_done && !any_sent {
-                break;
-            }
+        };
+        self.cumulative.absorb(outcome.stats);
+        match outcome.error {
+            Some(err) => Err(err),
+            None => Ok((programs, outcome.stats)),
         }
-        self.cumulative.absorb(stats);
-        Ok((programs, stats))
     }
 
     /// [`Simulator::run`] with a generous default round limit of
     /// `64 * n + 4096`.
-    pub fn run_to_quiescence<P: NodeProgram>(
+    pub fn run_to_quiescence<P: NodeProgram + Send>(
         &mut self,
         programs: Vec<P>,
     ) -> Result<(Vec<P>, RunStats), SimError> {
@@ -403,6 +455,7 @@ impl fmt::Debug for Simulator<'_> {
         f.debug_struct("Simulator")
             .field("n", &self.graph.n())
             .field("model", &self.model)
+            .field("engine", &self.engine)
             .field("stats", &self.cumulative)
             .finish()
     }
@@ -434,29 +487,39 @@ mod tests {
         }
     }
 
-    #[test]
-    fn hello_exchange_on_cycle() {
-        let g = generators::cycle(5);
-        let mut sim = Simulator::new(&g, Model::VCongest);
-        let programs = (0..5)
-            .map(|_| HelloOnce {
-                heard: Vec::new(),
-                sent: false,
-            })
-            .collect();
-        let (programs, stats) = sim.run(programs, 10).unwrap();
-        // Each node hears exactly its two neighbors.
-        for (v, p) in programs.iter().enumerate() {
-            let mut heard = p.heard.clone();
-            heard.sort_unstable();
-            assert_eq!(heard, g.neighbors(v));
-        }
-        assert_eq!(stats.rounds, 2); // send round + delivery round
-        assert_eq!(stats.messages, 10); // 5 broadcasts x degree 2
+    fn engines() -> [EngineKind; 3] {
+        [
+            EngineKind::Sequential,
+            EngineKind::Sharded { shards: 2 },
+            EngineKind::Sharded { shards: 4 },
+        ]
     }
 
     #[test]
-    fn exceeding_round_limit_errors() {
+    fn hello_exchange_on_cycle() {
+        for engine in engines() {
+            let g = generators::cycle(5);
+            let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
+            let programs = (0..5)
+                .map(|_| HelloOnce {
+                    heard: Vec::new(),
+                    sent: false,
+                })
+                .collect();
+            let (programs, stats) = sim.run(programs, 10).unwrap();
+            // Each node hears exactly its two neighbors.
+            for (v, p) in programs.iter().enumerate() {
+                let mut heard = p.heard.clone();
+                heard.sort_unstable();
+                assert_eq!(heard, g.neighbors(v), "{engine}");
+            }
+            assert_eq!(stats.rounds, 2, "{engine}"); // send round + delivery round
+            assert_eq!(stats.messages, 10, "{engine}"); // 5 broadcasts x degree 2
+        }
+    }
+
+    #[test]
+    fn exceeding_round_limit_errors_with_context() {
         #[derive(Debug)]
         struct Chatter;
         impl NodeProgram for Chatter {
@@ -467,10 +530,26 @@ mod tests {
                 false
             }
         }
-        let g = generators::path(3);
-        let mut sim = Simulator::new(&g, Model::VCongest);
-        let err = sim.run(vec![Chatter, Chatter, Chatter], 5).unwrap_err();
-        assert_eq!(err, SimError::ExceededMaxRounds { max_rounds: 5 });
+        for engine in engines() {
+            let g = generators::path(3);
+            let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
+            let err = sim.run(vec![Chatter, Chatter, Chatter], 5).unwrap_err();
+            // Round 4's sends (2 path ends x 1 + middle x 2 = 4 messages)
+            // are still in flight at the cutoff; no program ever finishes.
+            assert_eq!(
+                err,
+                SimError::ExceededMaxRounds {
+                    max_rounds: 5,
+                    undelivered: 4,
+                    unfinished: 3,
+                },
+                "{engine}"
+            );
+            let shown = err.to_string();
+            assert!(shown.contains("5 rounds"), "{shown}");
+            assert!(shown.contains("4 messages"), "{shown}");
+            assert!(shown.contains("3 programs"), "{shown}");
+        }
     }
 
     #[test]
@@ -489,6 +568,25 @@ mod tests {
         let g = generators::path(2);
         let mut sim = Simulator::new(&g, Model::VCongest);
         let _ = sim.run(vec![Bad, Bad], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "V-CONGEST violation")]
+    fn sharded_engine_propagates_program_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                ctx.broadcast(Message::new());
+                ctx.broadcast(Message::new());
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(4);
+        let mut sim =
+            Simulator::new(&g, Model::VCongest).with_engine(EngineKind::Sharded { shards: 2 });
+        let _ = sim.run(vec![Bad, Bad, Bad, Bad], 3);
     }
 
     #[test]
@@ -558,19 +656,42 @@ mod tests {
                 true
             }
         }
-        let g = generators::star(4); // center 0
-        let mut sim = Simulator::new(&g, Model::ECongest);
-        let programs = vec![
-            P::S(Sender),
-            P::R(Receiver { got: None }),
-            P::R(Receiver { got: None }),
-            P::R(Receiver { got: None }),
-        ];
-        let (programs, _) = sim.run(programs, 5).unwrap();
-        for (i, p) in programs.iter().enumerate().skip(1) {
-            if let P::R(r) = p {
-                assert_eq!(r.got, Some((i as u64 - 1) * 10));
+        for engine in engines() {
+            let g = generators::star(4); // center 0
+            let mut sim = Simulator::new(&g, Model::ECongest).with_engine(engine);
+            let programs = vec![
+                P::S(Sender),
+                P::R(Receiver { got: None }),
+                P::R(Receiver { got: None }),
+                P::R(Receiver { got: None }),
+            ];
+            let (programs, _) = sim.run(programs, 5).unwrap();
+            for (i, p) in programs.iter().enumerate().skip(1) {
+                if let P::R(r) = p {
+                    assert_eq!(r.got, Some((i as u64 - 1) * 10), "{engine}");
+                }
             }
+        }
+    }
+
+    #[test]
+    fn degree_zero_broadcast_counts_as_send_attempt() {
+        // Historical quiescence timing: a broadcast from an isolated node
+        // delivers nothing but still holds the run open one extra round.
+        // Two isolated nodes so the sharded engine genuinely shards
+        // (n = 1 would clamp to the sequential path).
+        for engine in engines() {
+            let g = decomp_graph::Graph::empty(2);
+            let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
+            let programs = (0..2)
+                .map(|_| HelloOnce {
+                    heard: Vec::new(),
+                    sent: false,
+                })
+                .collect();
+            let (_, stats) = sim.run(programs, 10).unwrap();
+            assert_eq!(stats.rounds, 2, "{engine}");
+            assert_eq!(stats.messages, 0, "{engine}");
         }
     }
 
@@ -583,7 +704,7 @@ mod tests {
     }
 
     #[test]
-    fn rng_deterministic_per_seed() {
+    fn rng_deterministic_per_seed_and_engine() {
         use rand::Rng;
         struct Roll {
             value: Option<u64>,
@@ -599,14 +720,17 @@ mod tests {
             }
         }
         let g = generators::path(3);
-        let roll = |seed| {
-            let mut sim = Simulator::with_seed(&g, Model::VCongest, seed);
+        let roll = |seed, engine| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, seed).with_engine(engine);
             let (ps, _) = sim
                 .run((0..3).map(|_| Roll { value: None }).collect(), 4)
                 .unwrap();
             ps.into_iter().map(|p| p.value.unwrap()).collect::<Vec<_>>()
         };
-        assert_eq!(roll(7), roll(7));
-        assert_ne!(roll(7), roll(8));
+        for engine in engines() {
+            assert_eq!(roll(7, engine), roll(7, EngineKind::Sequential));
+            assert_eq!(roll(7, engine), roll(7, engine));
+            assert_ne!(roll(7, engine), roll(8, engine));
+        }
     }
 }

@@ -337,7 +337,7 @@ pub fn cds_packing_distributed(
                     .collect()
             })
             .collect();
-        let mut probe = Simulator::new(&graph, Model::VCongest);
+        let mut probe = Simulator::new(&graph, Model::VCongest).with_engine(sim.engine());
         let comp_after = multikey_flood(&mut probe, tables, Combine::Min)?;
         let excess_after = excess_components(&comp_after, t, n);
         trace.push(LayerTrace {

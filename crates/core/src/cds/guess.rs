@@ -5,9 +5,19 @@
 //! for each guess (particularly its domination and connectivity) using a
 //! randomized testing algorithm." The first (largest) guess whose packing
 //! passes the Appendix E test is kept. Cost: an `O(log n)` factor.
+//!
+//! Two drivers: [`cds_packing_unknown_k`] runs the centralized pipeline
+//! with the exact Appendix E test, and
+//! [`cds_packing_unknown_k_distributed`] runs the whole doubling search
+//! on the simulator facade — each guess builds the Appendix B packing
+//! *and* tests it with the randomized distributed verifier, so no node
+//! ever needs a connectivity estimate and the round cost of every attempt
+//! accumulates in the simulator's statistics.
 
 use crate::cds::centralized::{cds_packing, CdsPacking, CdsPackingConfig};
-use crate::cds::verify::{verify_centralized, VerifyOutcome};
+use crate::cds::distributed::cds_packing_distributed;
+use crate::cds::verify::{membership_of, verify_centralized, verify_distributed, VerifyOutcome};
+use decomp_congest::{SimError, Simulator};
 use decomp_graph::Graph;
 
 /// Result of the guessing procedure.
@@ -58,9 +68,66 @@ pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
     }
 }
 
+/// Runs Remark 3.1's doubling search fully in V-CONGEST on `sim`:
+/// guesses `k̃ = n/2^j` for `j = 1, 2, ...`, builds the Appendix B
+/// distributed packing for each guess, and keeps the first one the
+/// Appendix E distributed verifier accepts.
+///
+/// The verifier's guarantee is one-sided (valid packings always pass;
+/// invalid ones are rejected w.h.p.), matching the remark's randomized
+/// testing algorithm. Rounds for every attempt — including the rejected
+/// ones — accumulate in `sim.stats()`, which is the `O(log n)` overhead
+/// the remark pays.
+///
+/// Always terminates on connected graphs: the guess `k̃ = 1` yields a
+/// single class containing every virtual node, which is trivially a CDS.
+///
+/// # Errors
+/// Propagates simulator round-limit errors from the construction or the
+/// verifier.
+///
+/// # Panics
+/// Panics if `sim`'s graph is empty or disconnected, or if `sim` is not
+/// a V-CONGEST simulator.
+pub fn cds_packing_unknown_k_distributed(
+    sim: &mut Simulator<'_>,
+    seed: u64,
+) -> Result<GuessedPacking, SimError> {
+    let n = sim.graph().n();
+    assert!(
+        n > 0 && decomp_graph::traversal::is_connected(sim.graph()),
+        "guessing requires a connected non-empty graph"
+    );
+    let mut attempts = Vec::new();
+    let mut guess = n.next_power_of_two() / 2;
+    loop {
+        guess = guess.max(1);
+        let attempt_seed = seed ^ (guess as u64);
+        let cfg = CdsPackingConfig::with_known_k(guess, attempt_seed);
+        let packing = cds_packing_distributed(sim, &cfg)?;
+        let membership = membership_of(&packing.classes, n);
+        let ok = verify_distributed(sim, &membership, packing.num_classes(), attempt_seed)?
+            == VerifyOutcome::Pass;
+        attempts.push((guess, ok));
+        if ok {
+            return Ok(GuessedPacking {
+                packing,
+                guess,
+                attempts,
+            });
+        }
+        assert!(
+            guess > 1,
+            "guess k=1 must always verify on connected graphs"
+        );
+        guess /= 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decomp_congest::{EngineKind, Model};
     use decomp_graph::connectivity::vertex_connectivity;
     use decomp_graph::generators;
 
@@ -108,5 +175,60 @@ mod tests {
         for w in r.attempts.windows(2) {
             assert!(w[1].0 < w[0].0);
         }
+    }
+
+    #[test]
+    fn distributed_guess_finds_valid_packing_and_spends_rounds() {
+        let g = generators::harary(8, 32);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let r = cds_packing_unknown_k_distributed(&mut sim, 3).unwrap();
+        assert!(r.attempts.last().unwrap().1, "accepted attempt must pass");
+        // The accepted packing is a real CDS packing (exact check).
+        assert_eq!(
+            verify_centralized(&g, &r.packing.classes),
+            VerifyOutcome::Pass
+        );
+        assert!(r.guess <= 32, "guess cannot exceed n");
+        // Every attempt — accepted and rejected — costs simulator rounds.
+        assert!(sim.stats().rounds > 0);
+        assert!(sim.stats().messages > 0);
+        for w in r.attempts.windows(2) {
+            assert!(w[1].0 < w[0].0, "guesses must decrease");
+        }
+    }
+
+    #[test]
+    fn distributed_guess_certificate_respects_connectivity() {
+        // On a barbell (k = 1) the fractional packing extracted from the
+        // accepted guess must stay ≤ k, exactly as in the centralized path.
+        let g = generators::barbell(6, 2);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let r = cds_packing_unknown_k_distributed(&mut sim, 1).unwrap();
+        let trees = crate::cds::tree_extract::to_dom_tree_packing(&g, &r.packing);
+        trees.packing.validate(&g, 1e-9).unwrap();
+        assert!(
+            trees.packing.size() <= 1.0 + 1e-9,
+            "κ = {} must lower-bound k = 1",
+            trees.packing.size()
+        );
+    }
+
+    #[test]
+    fn distributed_guess_is_deterministic_and_engine_independent() {
+        let g = generators::harary(6, 24);
+        let run = |engine| {
+            let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
+            let r = cds_packing_unknown_k_distributed(&mut sim, 9).unwrap();
+            (
+                r.guess,
+                r.attempts.clone(),
+                r.packing.classes.clone(),
+                sim.stats(),
+            )
+        };
+        let seq = run(EngineKind::Sequential);
+        assert_eq!(seq, run(EngineKind::Sequential));
+        assert_eq!(seq, run(EngineKind::Sharded { shards: 2 }));
+        assert_eq!(seq, run(EngineKind::Sharded { shards: 4 }));
     }
 }

@@ -25,6 +25,8 @@ pub mod asserts;
 pub mod fixtures;
 pub mod golden;
 
+use decomp_congest::{EngineKind, Model, Simulator};
+use decomp_graph::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,4 +40,39 @@ pub const TOL: f64 = 1e-9;
 /// A deterministically seeded RNG for test-local randomness.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// The engine sweep the equivalence suites run: sequential plus the
+/// sharded backend at 2 and 4 shards. Every entry must produce
+/// bit-identical outputs and statistics (the `congest::engine`
+/// determinism contract).
+pub fn engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Sequential,
+        EngineKind::Sharded { shards: 2 },
+        EngineKind::Sharded { shards: 4 },
+    ]
+}
+
+/// The engine selected by the `DECOMP_ENGINE` environment variable
+/// (`sequential`, `sharded`, or `sharded:<N>`), defaulting to sequential.
+/// CI's engine-equivalence job reruns the simulator-driven suites —
+/// golden registry included — under `DECOMP_ENGINE=sharded:4`.
+///
+/// # Panics
+/// Panics on an unparsable `DECOMP_ENGINE` value, so CI misconfiguration
+/// fails loudly instead of silently testing the default engine.
+pub fn engine_from_env() -> EngineKind {
+    match std::env::var("DECOMP_ENGINE") {
+        Ok(spec) => EngineKind::parse(&spec)
+            .unwrap_or_else(|e| panic!("bad DECOMP_ENGINE environment variable: {e}")),
+        Err(_) => EngineKind::Sequential,
+    }
+}
+
+/// A simulator on the env-selected engine ([`engine_from_env`]).
+/// Integration suites construct simulators through this helper so one
+/// environment variable sweeps them across backends.
+pub fn sim<'g>(graph: &'g Graph, model: Model) -> Simulator<'g> {
+    Simulator::new(graph, model).with_engine(engine_from_env())
 }

@@ -10,7 +10,7 @@ use connectivity_decomposition::congest::broadcast::pipelined_broadcast;
 use connectivity_decomposition::congest::components::component_labels;
 use connectivity_decomposition::congest::leader::flood_max;
 use connectivity_decomposition::congest::mst::distributed_mst;
-use connectivity_decomposition::congest::{Model, Simulator};
+use connectivity_decomposition::congest::Model;
 use connectivity_decomposition::graph::{generators, mst, traversal};
 use decomp_testkit::{fixtures, golden};
 use rand::Rng;
@@ -20,7 +20,7 @@ fn bfs_matches_oracle_over_seeds() {
     for seed in 0..12 {
         let g = generators::random_connected(30, 15, seed);
         let reference = traversal::bfs(&g, (seed as usize) % g.n());
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         let dist = distributed_bfs(&mut sim, (seed as usize) % g.n()).unwrap();
         assert_eq!(dist.dist, reference.dist, "seed {seed}");
     }
@@ -31,7 +31,7 @@ fn bfs_rounds_on_fixtures_match_golden() {
     // Distributed BFS costs O(D) rounds and is deterministic per
     // instance; pin the exact counts on the roster.
     for f in fixtures::small() {
-        let mut sim = Simulator::new(&f.graph, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&f.graph, Model::VCongest);
         distributed_bfs(&mut sim, 0).unwrap();
         golden::check(&format!("{}/bfs0/rounds", f.name), sim.stats().rounds);
     }
@@ -45,7 +45,7 @@ fn mst_matches_kruskal_over_seeds_and_models() {
         let weights: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..500)).collect();
         let reference = mst::minimum_spanning_forest(&g, |e| weights[e] as f64);
         for model in [Model::VCongest, Model::ECongest] {
-            let mut sim = Simulator::new(&g, model);
+            let mut sim = decomp_testkit::sim(&g, model);
             let dist = distributed_mst(&mut sim, &weights).unwrap();
             assert_eq!(
                 dist.edge_indices, reference.edge_indices,
@@ -73,7 +73,7 @@ fn component_labels_match_oracle_on_random_subgraphs() {
             })
             .collect();
         let init: Vec<u64> = (0..g.n() as u64).collect();
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         let labels = component_labels(&mut sim, &active, &sub_neighbors, &init).unwrap();
         // Oracle: union-find over the same subgraph.
         let mut uf = connectivity_decomposition::graph::unionfind::UnionFind::new(g.n());
@@ -102,7 +102,7 @@ fn aggregation_matches_direct_sums() {
         let g = generators::random_connected(22, 10, seed);
         let mut rng = decomp_testkit::rng(seed);
         let values: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..1000)).collect();
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         let tree = distributed_bfs(&mut sim, 0).unwrap();
         let sum = tree_aggregate(&mut sim, &tree, AggOp::Sum, &values).unwrap();
         assert_eq!(sum, values.iter().sum::<u64>());
@@ -117,7 +117,7 @@ fn leader_is_global_max_value() {
         let g = generators::random_connected(20, 8, seed);
         let mut rng = decomp_testkit::rng(seed);
         let values: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..100)).collect();
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         let winner = flood_max(&mut sim, &values).unwrap();
         let best = (0..g.n()).max_by_key(|&v| (values[v], v)).unwrap();
         assert_eq!(winner, best, "seed {seed}");
@@ -128,7 +128,7 @@ fn leader_is_global_max_value() {
 fn pipelined_broadcast_delivers_in_depth_plus_b() {
     for seed in 0..4 {
         let g = generators::random_connected(25, 12, seed);
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         let tree = distributed_bfs(&mut sim, 0).unwrap();
         let payloads: Vec<u64> = (0..15).collect();
         let r = pipelined_broadcast(&mut sim, &tree, &payloads).unwrap();

@@ -6,7 +6,7 @@
 //! deterministic instance, the distributed pipeline must satisfy exactly
 //! the invariants the centralized one does.
 
-use connectivity_decomposition::congest::{Model, Simulator};
+use connectivity_decomposition::congest::{Model, RunStats, Simulator};
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
 use connectivity_decomposition::core::cds::distributed::cds_packing_distributed;
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
@@ -18,7 +18,9 @@ use decomp_testkit::{asserts, fixtures};
 #[test]
 fn cds_agrees_on_every_fixture_family() {
     // Every CONGEST-sized, >= 2-connected fixture: both sides must pass
-    // the same invariant set and extract feasible packings.
+    // the same invariant set and extract feasible packings. The
+    // distributed side is swept across every execution engine, whose
+    // outputs and round accounting must be bit-identical.
     for f in fixtures::small() {
         if f.kappa < 2 {
             continue;
@@ -26,21 +28,35 @@ fn cds_agrees_on_every_fixture_family() {
         let cfg = CdsPackingConfig::with_known_k(f.kappa, 6);
 
         let central = cds_packing(&f.graph, &cfg);
-        let mut sim = Simulator::new(&f.graph, Model::VCongest);
-        let distributed = cds_packing_distributed(&mut sim, &cfg).unwrap();
+        let mut baseline: Option<(Vec<Vec<usize>>, RunStats)> = None;
+        for engine in decomp_testkit::engines() {
+            let mut sim = Simulator::new(&f.graph, Model::VCongest).with_engine(engine);
+            let distributed = cds_packing_distributed(&mut sim, &cfg).unwrap();
 
-        for (side, p) in [("central", &central), ("distributed", &distributed)] {
-            let ctx = format!("{} {side}", f.name);
-            assert_eq!(p.num_classes(), cfg.num_classes, "{ctx}");
-            asserts::assert_cds_packing_invariants(&f.graph, p, &ctx);
-            let trees = to_dom_tree_packing(&f.graph, p);
-            asserts::assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &ctx);
+            for (side, p) in [("central", &central), ("distributed", &distributed)] {
+                let ctx = format!("{} {side} ({engine})", f.name);
+                assert_eq!(p.num_classes(), cfg.num_classes, "{ctx}");
+                asserts::assert_cds_packing_invariants(&f.graph, p, &ctx);
+                let trees = to_dom_tree_packing(&f.graph, p);
+                asserts::assert_dom_tree_packing_feasible(&f.graph, &trees, f.kappa, &ctx);
+            }
+            assert!(
+                sim.stats().rounds > 0,
+                "{}: distributed run must spend rounds",
+                f.name
+            );
+            match &baseline {
+                None => baseline = Some((distributed.classes.clone(), sim.stats())),
+                Some((classes, stats)) => {
+                    assert_eq!(
+                        (&distributed.classes, sim.stats()),
+                        (classes, *stats),
+                        "{}: {engine} diverged from sequential",
+                        f.name
+                    );
+                }
+            }
         }
-        assert!(
-            sim.stats().rounds > 0,
-            "{}: distributed run must spend rounds",
-            f.name
-        );
     }
 }
 
@@ -56,7 +72,7 @@ fn stp_agrees_on_every_fixture_family() {
         let target = (f.lambda as f64) / 2.0 * (1.0 - eps);
 
         let central = fractional_stp_mwu(&f.graph, f.lambda, &MwuConfig::default());
-        let mut sim = Simulator::new(&f.graph, Model::ECongest);
+        let mut sim = decomp_testkit::sim(&f.graph, Model::ECongest);
         let distributed = distributed_stp_mwu(&mut sim, f.lambda, &MwuConfig::default()).unwrap();
 
         for (side, r) in [("central", &central), ("distributed", &distributed)] {
@@ -72,7 +88,7 @@ fn stp_agrees_on_every_fixture_family() {
 fn stp_both_sides_meet_target() {
     let g = generators::harary(4, 16); // lambda = 4, target = 2
     let central = fractional_stp_mwu(&g, 4, &MwuConfig::default());
-    let mut sim = Simulator::new(&g, Model::ECongest);
+    let mut sim = decomp_testkit::sim(&g, Model::ECongest);
     let distributed = distributed_stp_mwu(&mut sim, 4, &MwuConfig::default()).unwrap();
     for r in [&central, &distributed] {
         r.packing.validate(&g, decomp_testkit::TOL).unwrap();
@@ -89,7 +105,7 @@ fn distributed_rounds_scale_with_instance() {
     // Rounds must grow with n on a diameter-controlled family.
     let rounds_for = |len: usize| {
         let g = generators::thick_path(4, len);
-        let mut sim = Simulator::new(&g, Model::VCongest);
+        let mut sim = decomp_testkit::sim(&g, Model::VCongest);
         cds_packing_distributed(&mut sim, &CdsPackingConfig::with_known_k(4, 2)).unwrap();
         sim.stats().rounds
     };

@@ -5,7 +5,7 @@
 use connectivity_decomposition::broadcast::gossip::gossip_via_trees;
 use connectivity_decomposition::broadcast::oblivious::vertex_congestion;
 use connectivity_decomposition::broadcast::throughput::edge_throughput;
-use connectivity_decomposition::congest::{Model, Simulator};
+use connectivity_decomposition::congest::Model;
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
 use connectivity_decomposition::core::cds::verify::{
@@ -35,7 +35,7 @@ fn vertex_pipeline_harary() {
         VerifyOutcome::Pass
     );
     let membership = membership_of(&packing.classes, f.graph.n());
-    let mut sim = Simulator::new(&f.graph, Model::VCongest);
+    let mut sim = decomp_testkit::sim(&f.graph, Model::VCongest);
     assert_eq!(
         verify_distributed(&mut sim, &membership, packing.num_classes(), 1).unwrap(),
         VerifyOutcome::Pass
@@ -83,7 +83,7 @@ fn invalid_packings_rejected_end_to_end() {
         VerifyOutcome::DominationFailure
     );
     let membership = membership_of(&classes, g.n());
-    let mut sim = Simulator::new(&g, Model::VCongest);
+    let mut sim = decomp_testkit::sim(&g, Model::VCongest);
     assert_eq!(
         verify_distributed(&mut sim, &membership, 2, 5).unwrap(),
         VerifyOutcome::DominationFailure
