@@ -1,0 +1,78 @@
+//! Criterion bench: the centralized CDS-packing layer loop at scale.
+//!
+//! This is the measurement harness for the ROADMAP's "perf sweep of
+//! `cds::centralized`" item: `cds_packing` swept over Harary and
+//! random-regular instances at n ∈ {10³, 10⁴, 10⁵}. The layer loop
+//! dominates the runtime (jump start and projection are linear scans),
+//! so the whole-construction wall clock tracks the loop itself.
+//!
+//! Track results in `BENCH_CDS.md` at the workspace root; the incremental
+//! `ClassState` rewrite is validated bit-identical elsewhere (golden
+//! registry + `distributed_vs_centralized`), so numbers here compare
+//! wall-clock only.
+//!
+//! `CDS_BENCH_MAX_N` (optional) caps the swept instance size, e.g.
+//! `CDS_BENCH_MAX_N=10000` for a quick local run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_graph::{generators, Graph};
+
+const SEED: u64 = 5;
+
+fn max_n() -> usize {
+    std::env::var("CDS_BENCH_MAX_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Samples per instance size: large instances get fewer (medians of a
+/// handful are stable — the construction is deterministic per seed).
+fn samples_for(n: usize) -> usize {
+    match n {
+        0..=1_000 => 10,
+        1_001..=10_000 => 5,
+        _ => 2,
+    }
+}
+
+fn bench_family(c: &mut Criterion, family: &str, k: usize, instances: &[(usize, Graph)]) {
+    let mut group = c.benchmark_group("cds_layer_loop");
+    for (n, g) in instances {
+        group.sample_size(samples_for(*n));
+        group.bench_with_input(
+            BenchmarkId::new(family, format!("n{n}_k{k}_m{}", g.m())),
+            g,
+            |b, g| {
+                b.iter(|| cds_packing(g, &CdsPackingConfig::with_known_k(k, SEED)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_harary(c: &mut Criterion) {
+    let k = 16;
+    let instances: Vec<(usize, Graph)> = [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= max_n())
+        .map(|n| (n, generators::harary(k, n)))
+        .collect();
+    bench_family(c, "harary", k, &instances);
+}
+
+fn bench_random_regular(c: &mut Criterion) {
+    let d = 16;
+    let instances: Vec<(usize, Graph)> = [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= max_n())
+        .map(|n| (n, generators::random_regular(n, d, SEED)))
+        .collect();
+    // Random d-regular graphs are d-connected w.h.p.; the config treats
+    // d as the connectivity estimate (t = d/4 classes).
+    bench_family(c, "random_regular", d, &instances);
+}
+
+criterion_group!(benches, bench_harary, bench_random_regular);
+criterion_main!(benches);

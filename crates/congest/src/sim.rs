@@ -365,6 +365,26 @@ impl<'g> Simulator<'g> {
     /// Selects the round-execution backend. Engine choice never changes
     /// outputs or statistics (see [`crate::engine`]), only wall-clock
     /// behavior.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use decomp_congest::{EngineKind, Model, Simulator};
+    /// use decomp_congest::bfs::distributed_bfs;
+    /// use decomp_graph::generators;
+    ///
+    /// let g = generators::harary(4, 24);
+    /// let run = |engine| {
+    ///     let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
+    ///     let tree = distributed_bfs(&mut sim, 0).unwrap();
+    ///     (tree.dist, tree.parent, sim.stats())
+    /// };
+    /// // Bit-for-bit equivalent across engines: same tree, same stats.
+    /// assert_eq!(
+    ///     run(EngineKind::Sequential),
+    ///     run(EngineKind::Sharded { shards: 4 }),
+    /// );
+    /// ```
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
@@ -493,6 +513,57 @@ mod tests {
             EngineKind::Sharded { shards: 2 },
             EngineKind::Sharded { shards: 4 },
         ]
+    }
+
+    #[test]
+    fn exceeded_max_rounds_display_renders_all_context_fields() {
+        let err = SimError::ExceededMaxRounds {
+            max_rounds: 17,
+            undelivered: 3,
+            unfinished: 5,
+        };
+        let msg = err.to_string();
+        assert_eq!(
+            msg,
+            "protocol did not terminate within 17 rounds \
+             (3 messages still in flight, 5 programs not done)"
+        );
+    }
+
+    #[test]
+    fn exceeded_max_rounds_error_carries_observed_context() {
+        // A program that never finishes and floods every round: the limit
+        // error must report the actual in-flight traffic and stragglers.
+        #[derive(Debug)]
+        struct Chatter;
+        impl NodeProgram for Chatter {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+                ctx.broadcast(Message::from_words([ctx.id() as u64]));
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::cycle(4);
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        let err = sim
+            .run(vec![Chatter, Chatter, Chatter, Chatter], 3)
+            .unwrap_err();
+        match err {
+            SimError::ExceededMaxRounds {
+                max_rounds,
+                undelivered,
+                unfinished,
+            } => {
+                assert_eq!(max_rounds, 3);
+                assert_eq!(undelivered, 8, "4 nodes × 2 neighbors in flight");
+                assert_eq!(unfinished, 4);
+                let msg = err.to_string();
+                for needle in ["3 rounds", "8 messages", "4 programs"] {
+                    assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,18 +16,22 @@
 //! 4. project classes to real nodes: each class is a CDS w.h.p., and each
 //!    real node lies in at most `3L = O(log n)` classes.
 //!
-//! Components of each class's virtual subgraph are tracked with a
-//! disjoint-set forest exactly as Appendix C prescribes. Per-layer
-//! instrumentation (`M_ℓ`, matches, deactivations) feeds the Fast-Merger
-//! experiment (Lemma 4.4 / E11).
+//! Per-class components are never recomputed: [`ClassState`] maintains
+//! them *incrementally* (one disjoint-set forest updated at join time,
+//! with running `N_i` / `M_ℓ` aggregates, exactly as Appendix C
+//! prescribes), and the layer loop's bridging-graph bookkeeping — the
+//! potential-matches table, the deactivation flags, and the matched-
+//! component flags — lives in flat epoch-stamped arrays reused across
+//! layers, so a layer costs `O(m t)` array work with no hashing and no
+//! per-layer allocation. Per-layer instrumentation (`M_ℓ`, matches,
+//! deactivations) feeds the Fast-Merger experiment (Lemma 4.4 / E11).
 
-use crate::virtual_graph::{default_layers, VType, VirtualId, VirtualLayout};
-use decomp_graph::unionfind::UnionFind;
+use crate::cds::class_state::{ClassState, CompId};
+use crate::virtual_graph::{default_layers, VType, VirtualLayout};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
 
 /// Configuration for [`cds_packing`].
 #[derive(Clone, Debug)]
@@ -115,8 +119,7 @@ impl CdsPacking {
     pub fn max_real_multiplicity(&self) -> usize {
         let n = self.layout.n();
         let mut count = vec![0usize; n];
-        for (i, class) in self.classes.iter().enumerate() {
-            let _ = i;
+        for class in &self.classes {
             for &v in class {
                 count[v] += 1;
             }
@@ -138,12 +141,12 @@ impl CdsPacking {
 /// either exactly one suitable component id, or "connector" (≥ 2 distinct).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PotentialMatches {
-    One(VirtualId),
+    One(CompId),
     Many,
 }
 
 impl PotentialMatches {
-    fn merge_id(self, root: VirtualId) -> Self {
+    fn merge_id(self, root: CompId) -> Self {
         match self {
             PotentialMatches::One(r) if r == root => self,
             PotentialMatches::One(_) => PotentialMatches::Many,
@@ -153,7 +156,7 @@ impl PotentialMatches {
 
     /// Whether the bridging condition (c) holds against component `root`:
     /// a type-3 connector leads to *some other* component.
-    fn allows(self, root: VirtualId) -> bool {
+    fn allows(self, root: CompId) -> bool {
         match self {
             PotentialMatches::Many => true,
             PotentialMatches::One(r) => r != root,
@@ -161,100 +164,87 @@ impl PotentialMatches {
     }
 }
 
-struct State<'g> {
-    g: &'g Graph,
-    layout: VirtualLayout,
-    t: usize,
-    class_of: Vec<Option<u32>>,
-    uf: UnionFind,
-    /// `rep[real * t + class]` = representative virtual node of the (real,
-    /// class) bundle, or `u32::MAX`. All virtual nodes of one real node in
-    /// one class are mutually adjacent, so one representative suffices.
-    rep: Vec<u32>,
-    /// Classes with at least one old node on each real vertex (sorted).
-    classes_at: Vec<Vec<u32>>,
-    /// Component count per class.
-    comp_count: Vec<usize>,
-    rng: StdRng,
+/// Flat per-layer working memory, reused across layers. All entries are
+/// epoch-stamped: a slot is live only if its stamp equals the current
+/// layer's epoch, so resetting between layers is a single counter bump
+/// instead of an `O(n t + 3Ln)` clear (and instead of the hash maps this
+/// loop used before the incremental rewrite).
+struct LayerScratch {
+    epoch: u32,
+    /// Potential-matches table, indexed `x * t + class`.
+    pm_epoch: Vec<u32>,
+    pm: Vec<PotentialMatches>,
+    /// Component roots to skip in the matching scan (deactivated by a
+    /// type-1 connector, or already matched), indexed by root id. A root
+    /// belongs to exactly one class, so the class key is implicit.
+    skip_epoch: Vec<u32>,
+    /// Per-layer memo of [`ClassState::comp_root`], indexed
+    /// `real * t + class`. Component roots are stable for a whole layer
+    /// body (no unions happen until the layer finalizes), and every node
+    /// queries the same bundles its neighbors do, so one find per bundle
+    /// per layer serves the deactivation, bridging, and matching scans.
+    root_epoch: Vec<u32>,
+    root_memo: Vec<u32>,
+    /// Reusable buffer for adjacent-root queries.
+    roots: Vec<CompId>,
 }
 
-const NO_REP: u32 = u32::MAX;
+/// Memo encoding of "bundle unoccupied".
+const NO_ROOT: u32 = u32::MAX;
 
-impl<'g> State<'g> {
-    fn new(g: &'g Graph, layout: VirtualLayout, t: usize, seed: u64) -> Self {
-        State {
-            g,
-            layout,
-            t,
-            class_of: vec![None; layout.total()],
-            uf: UnionFind::new(layout.total()),
-            rep: vec![NO_REP; g.n() * t],
-            classes_at: vec![Vec::new(); g.n()],
-            comp_count: vec![0; t],
-            rng: StdRng::seed_from_u64(seed),
+impl LayerScratch {
+    fn new(n: usize, t: usize) -> Self {
+        LayerScratch {
+            epoch: 0,
+            pm_epoch: vec![0; n * t],
+            pm: vec![PotentialMatches::Many; n * t],
+            skip_epoch: vec![0; n * t],
+            root_epoch: vec![0; n * t],
+            root_memo: vec![NO_ROOT; n * t],
+            roots: Vec::new(),
         }
     }
 
-    /// Unions `vid` (already class-labeled) into the class-`c` structure.
-    fn finalize(&mut self, vid: VirtualId, c: usize) {
-        let g = self.g;
-        let r = self.layout.real(vid);
-        let slot = r * self.t + c;
-        self.comp_count[c] += 1;
-        if self.rep[slot] == NO_REP {
-            self.rep[slot] = vid as u32;
-            if let Err(pos) = self.classes_at[r].binary_search(&(c as u32)) {
-                self.classes_at[r].insert(pos, c as u32);
-            }
-        } else {
-            let merged = self.uf.union(vid, self.rep[slot] as usize);
-            debug_assert!(merged, "a fresh virtual node must form a new set");
-            self.comp_count[c] -= 1;
+    /// Starts a new layer: invalidates every stamped entry at once.
+    fn next_layer(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// [`ClassState::comp_root`] through the per-layer memo.
+    fn comp_root(&mut self, st: &mut ClassState, real: NodeId, class: usize) -> Option<CompId> {
+        let slot = real * st.num_classes() + class;
+        if self.root_epoch[slot] != self.epoch {
+            self.root_epoch[slot] = self.epoch;
+            self.root_memo[slot] = match st.comp_root(real, class) {
+                Some(r) => r as u32,
+                None => NO_ROOT,
+            };
         }
-        // Connect across real edges.
-        for &u in g.neighbors(r) {
-            let uslot = u * self.t + c;
-            if self.rep[uslot] != NO_REP && self.uf.union(vid, self.rep[uslot] as usize) {
-                self.comp_count[c] -= 1;
-            }
+        match self.root_memo[slot] {
+            NO_ROOT => None,
+            r => Some(r as usize),
         }
     }
 
-    /// Total excess components `Σ_i max(0, N_i − 1)`.
-    fn excess(&self) -> usize {
-        self.comp_count.iter().map(|&c| c.saturating_sub(1)).sum()
-    }
-
-    /// Component root of the (real, class) bundle, if any old node exists.
-    fn comp_root(&mut self, real: NodeId, class: usize) -> Option<VirtualId> {
-        let slot = real * self.t + class;
-        if self.rep[slot] == NO_REP {
-            None
-        } else {
-            Some(self.uf.find(self.rep[slot] as usize))
+    /// Distinct component roots of `class` adjacent (in the virtual
+    /// graph) to a new node on `real` — the bundles on `real` itself and
+    /// on its real neighbors — read through the per-layer memo; fills
+    /// `self.roots` (reused across calls to keep the loop
+    /// allocation-free).
+    fn adjacent_roots(&mut self, st: &mut ClassState, g: &Graph, real: NodeId, class: usize) {
+        let mut roots = std::mem::take(&mut self.roots);
+        roots.clear();
+        if let Some(r) = self.comp_root(st, real, class) {
+            roots.push(r);
         }
-    }
-
-    /// Distinct component roots of class `class` adjacent (in the virtual
-    /// graph) to a new node on `real`: bundles on `real` itself and on its
-    /// real neighbors.
-    fn adjacent_roots(&mut self, real: NodeId, class: usize) -> Vec<VirtualId> {
-        let mut roots = Vec::new();
-        let push = |root: Option<VirtualId>, roots: &mut Vec<VirtualId>| {
-            if let Some(r) = root {
+        for &u in g.neighbors(real) {
+            if let Some(r) = self.comp_root(st, u, class) {
                 if !roots.contains(&r) {
                     roots.push(r);
                 }
             }
-        };
-        let own = self.comp_root(real, class);
-        push(own, &mut roots);
-        let g = self.g;
-        for &u in g.neighbors(real) {
-            let r = self.comp_root(u, class);
-            push(r, &mut roots);
         }
-        roots
+        self.roots = roots;
     }
 }
 
@@ -266,15 +256,43 @@ impl<'g> State<'g> {
 /// and [`crate::cds::tree_extract`] turns the classes into a fractional
 /// dominating-tree packing.
 ///
+/// # Example
+///
+/// ```
+/// use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+/// use decomp_graph::{domination::is_cds, generators};
+///
+/// let g = generators::harary(8, 48); // 8-connected circulant
+/// let packing = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 1));
+/// assert_eq!(packing.num_classes(), 2); // t = ⌊k/4⌋
+/// for class in 0..packing.num_classes() {
+///     assert!(is_cds(&g, &packing.class_mask(class)));
+/// }
+/// ```
+///
+/// # Panics
+/// Panics if the graph is empty.
+pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
+    cds_packing_with_state(g, config).0
+}
+
+/// [`cds_packing`] variant that also returns the final [`ClassState`] —
+/// the incrementally-maintained per-class component structure — so
+/// downstream stages ([`crate::cds::tree_extract`],
+/// [`crate::cds::connector`]) can consume the components instead of
+/// recomputing them.
+///
 /// # Panics
 /// Panics if the graph is empty.
 #[allow(clippy::needless_range_loop)] // lockstep loops index several per-node arrays at once
-pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
+pub fn cds_packing_with_state(g: &Graph, config: &CdsPackingConfig) -> (CdsPacking, ClassState) {
     assert!(g.n() > 0, "CDS packing needs a non-empty graph");
     let layers = default_layers(g.n(), config.layers_factor);
     let layout = VirtualLayout::new(g.n(), layers);
     let t = config.num_classes;
-    let mut st = State::new(g, layout, t, config.seed);
+    let mut st = ClassState::new(layout, t);
+    let mut class_of: Vec<Option<u32>> = vec![None; layout.total()];
+    let mut rng = StdRng::seed_from_u64(config.seed);
     let half = layout.jump_start();
 
     // --- Jump start: layers 0..L/2 join random classes. -----------------
@@ -282,16 +300,19 @@ pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
         for real in 0..g.n() {
             for vtype in VType::ALL {
                 let vid = layout.vid(real, layer, vtype);
-                let c = st.rng.gen_range(0..t);
-                st.class_of[vid] = Some(c as u32);
-                st.finalize(vid, c);
+                let c = rng.gen_range(0..t);
+                class_of[vid] = Some(c as u32);
+                st.join(g, vid, c);
             }
         }
     }
 
     // --- Recursive class assignment: layers L/2..L. ---------------------
+    let mut scratch = LayerScratch::new(g.n(), t);
     let mut trace = Vec::with_capacity(layers - half);
     for layer in half..layers {
+        scratch.next_layer();
+        let epoch = scratch.epoch;
         let excess_before = st.excess();
 
         // (1) Type-1 and type-3 new nodes pick random classes
@@ -299,20 +320,37 @@ pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
         let mut c1 = vec![0usize; g.n()];
         let mut c3 = vec![0usize; g.n()];
         for real in 0..g.n() {
-            c1[real] = st.rng.gen_range(0..t);
-            c3[real] = st.rng.gen_range(0..t);
-            st.class_of[layout.vid(real, layer, VType::T1)] = Some(c1[real] as u32);
-            st.class_of[layout.vid(real, layer, VType::T3)] = Some(c3[real] as u32);
+            c1[real] = rng.gen_range(0..t);
+            c3[real] = rng.gen_range(0..t);
+            class_of[layout.vid(real, layer, VType::T1)] = Some(c1[real] as u32);
+            class_of[layout.vid(real, layer, VType::T3)] = Some(c3[real] as u32);
         }
 
+        // A connected class (N_i ≤ 1) is inert for a whole layer body:
+        // it cannot seat two distinct roots around any node (no
+        // deactivation, no `Many` entry), and the bridging condition (c)
+        // can never hold against its only root — so steps 2a–3 skip such
+        // classes outright. Component counts are frozen until step 4, so
+        // the filter is exact, and once every class is connected
+        // (`M_ℓ = 0`, the steady state Lemma 4.4 drives the loop into) a
+        // layer costs one linear pass of coin flips.
+        let fragmented = |st: &ClassState, i: usize| st.component_count(i) >= 2;
+
         // (2a) Deactivation: components already bridged by a type-1 node.
-        let mut deactivated: HashSet<(u32, VirtualId)> = HashSet::new();
+        //      (No unions happen until step 4, so component roots are
+        //      stable for the whole layer body and safe to stamp by id.)
+        let mut deactivated = 0usize;
         for real in 0..g.n() {
-            let i = c1[real];
-            let roots = st.adjacent_roots(real, i);
-            if roots.len() >= 2 {
-                for r in roots {
-                    deactivated.insert((i as u32, r));
+            if !fragmented(&st, c1[real]) {
+                continue;
+            }
+            scratch.adjacent_roots(&mut st, g, real, c1[real]);
+            if scratch.roots.len() >= 2 {
+                for &root in &scratch.roots {
+                    if scratch.skip_epoch[root] != epoch {
+                        scratch.skip_epoch[root] = epoch;
+                        deactivated += 1;
+                    }
                 }
             }
         }
@@ -320,77 +358,94 @@ pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
         // (2b) Potential-matches arrays: each type-3 new node w of class i
         //      reports its suitable components to every type-2 virtual
         //      neighbor.
-        let mut pm: HashMap<(NodeId, u32), PotentialMatches> = HashMap::new();
         for real in 0..g.n() {
             let i = c3[real];
-            let suitable = st.adjacent_roots(real, i);
-            if suitable.is_empty() {
+            if !fragmented(&st, i) {
                 continue;
             }
-            let mut targets: Vec<NodeId> = Vec::with_capacity(1 + g.degree(real));
-            targets.push(real);
-            targets.extend_from_slice(g.neighbors(real));
-            for x in targets {
-                let key = (x, i as u32);
-                for &root in &suitable {
-                    pm.entry(key)
-                        .and_modify(|e| *e = e.merge_id(root))
-                        .or_insert(PotentialMatches::One(root));
+            scratch.adjacent_roots(&mut st, g, real, i);
+            if scratch.roots.is_empty() {
+                continue;
+            }
+            for target in 0..=g.degree(real) {
+                let x = if target == 0 {
+                    real
+                } else {
+                    g.neighbors(real)[target - 1]
+                };
+                let slot = x * t + i;
+                for &root in &scratch.roots {
+                    if scratch.pm_epoch[slot] != epoch {
+                        scratch.pm_epoch[slot] = epoch;
+                        scratch.pm[slot] = PotentialMatches::One(root);
+                    } else {
+                        scratch.pm[slot] = scratch.pm[slot].merge_id(root);
+                    }
                 }
             }
         }
 
         // (3) Maximal matching: scan type-2 new nodes in random order,
-        //     greedily matching to the first eligible component.
+        //     greedily matching to the first eligible component. Matched
+        //     components join the deactivated ones in the skip table.
         let mut order: Vec<NodeId> = (0..g.n()).collect();
-        order.shuffle(&mut st.rng);
-        let mut matched_comps: HashSet<(u32, VirtualId)> = HashSet::new();
+        order.shuffle(&mut rng);
         let mut matched = 0usize;
         let mut c2 = vec![usize::MAX; g.n()];
         for &x in &order {
             let mut assigned = None;
-            // Enumerate (old-neighbor bundle, class) pairs around x.
-            let mut candidates: Vec<NodeId> = Vec::with_capacity(1 + g.degree(x));
-            candidates.push(x);
-            candidates.extend_from_slice(g.neighbors(x));
-            'search: for &y in &candidates {
-                let classes: Vec<u32> = st.classes_at[y].clone();
-                for i in classes {
-                    let root = match st.comp_root(y, i as usize) {
+            // Enumerate (old-neighbor bundle, class) pairs around x. With
+            // every class connected (`excess_before == 0`) no component is
+            // matchable and the scan is skipped wholesale — the RNG
+            // consumption below is unaffected (every node stays unmatched
+            // and draws its one random class either way).
+            'search: for cand in 0..=g.degree(x) {
+                if excess_before == 0 {
+                    break 'search;
+                }
+                let y = if cand == 0 {
+                    x
+                } else {
+                    g.neighbors(x)[cand - 1]
+                };
+                for ci in 0..st.classes_at(y).len() {
+                    let i = st.classes_at(y)[ci] as usize;
+                    if !fragmented(&st, i) {
+                        continue;
+                    }
+                    let root = match scratch.comp_root(&mut st, y, i) {
                         Some(r) => r,
                         None => continue,
                     };
-                    if deactivated.contains(&(i, root)) || matched_comps.contains(&(i, root)) {
+                    if scratch.skip_epoch[root] == epoch {
                         continue;
                     }
-                    match pm.get(&(x, i)) {
-                        Some(entry) if entry.allows(root) => {
-                            assigned = Some((i as usize, root));
-                            break 'search;
-                        }
-                        _ => {}
+                    let slot = x * t + i;
+                    if scratch.pm_epoch[slot] == epoch && scratch.pm[slot].allows(root) {
+                        assigned = Some((i, root));
+                        break 'search;
                     }
                 }
             }
             match assigned {
                 Some((i, root)) => {
-                    matched_comps.insert((i as u32, root));
+                    scratch.skip_epoch[root] = epoch;
                     matched += 1;
                     c2[x] = i;
                 }
                 None => {
-                    c2[x] = st.rng.gen_range(0..t);
+                    c2[x] = rng.gen_range(0..t);
                 }
             }
-            st.class_of[layout.vid(x, layer, VType::T2)] = Some(c2[x] as u32);
+            class_of[layout.vid(x, layer, VType::T2)] = Some(c2[x] as u32);
         }
 
         // (4) Finalize the layer: merge all new assignments into the
-        //     disjoint-set structure.
+        //     incremental component structure.
         for real in 0..g.n() {
-            st.finalize(layout.vid(real, layer, VType::T1), c1[real]);
-            st.finalize(layout.vid(real, layer, VType::T2), c2[real]);
-            st.finalize(layout.vid(real, layer, VType::T3), c3[real]);
+            st.join(g, layout.vid(real, layer, VType::T1), c1[real]);
+            st.join(g, layout.vid(real, layer, VType::T2), c2[real]);
+            st.join(g, layout.vid(real, layer, VType::T3), c3[real]);
         }
 
         trace.push(LayerTrace {
@@ -398,24 +453,25 @@ pub fn cds_packing(g: &Graph, config: &CdsPackingConfig) -> CdsPacking {
             excess_before,
             excess_after: st.excess(),
             matched,
-            deactivated: deactivated.len(),
+            deactivated,
         });
     }
 
     // --- Projection to real vertex sets. --------------------------------
     let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); t];
     for real in 0..g.n() {
-        for &c in &st.classes_at[real] {
+        for &c in st.classes_at(real) {
             classes[c as usize].push(real);
         }
     }
-    CdsPacking {
+    let packing = CdsPacking {
         layout,
         num_classes: t,
-        class_of: st.class_of,
+        class_of,
         classes,
         trace,
-    }
+    };
+    (packing, st)
 }
 
 #[cfg(test)]
@@ -525,5 +581,29 @@ mod tests {
         let l = p.layout.layers();
         assert_eq!(p.trace.len(), l - l / 2);
         assert_eq!(p.trace[0].layer, l / 2);
+    }
+
+    #[test]
+    fn returned_state_matches_packing() {
+        let g = generators::harary(6, 36);
+        let (p, mut st) = cds_packing_with_state(&g, &CdsPackingConfig::with_classes(8, 4));
+        assert_eq!(st.num_classes(), p.num_classes());
+        assert_eq!(st.excess(), p.trace.last().unwrap().excess_after);
+        for class in 0..p.num_classes() {
+            // The state's projection agrees with the packing's classes.
+            let members: Vec<usize> = st
+                .comp_of(class)
+                .iter()
+                .enumerate()
+                .filter_map(|(v, c)| c.map(|_| v))
+                .collect();
+            assert_eq!(members, p.classes[class]);
+        }
+        // Incremental counters agree with a from-scratch recomputation.
+        let (counts, excess) = st.recompute_from_scratch(&g);
+        for (class, &want) in counts.iter().enumerate() {
+            assert_eq!(st.component_count(class), want);
+        }
+        assert_eq!(st.excess(), excess);
     }
 }

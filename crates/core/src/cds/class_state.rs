@@ -1,0 +1,346 @@
+//! Incremental per-class connectivity — the bookkeeping core of the
+//! CDS-packing layer loop (Appendix C).
+//!
+//! As virtual nodes [`join`](ClassState::join) their classes, the state
+//! maintains, *incrementally* and without any per-layer rescans:
+//!
+//! * a disjoint-set forest over the `(real node, class)` *bundles* — all
+//!   virtual nodes of one real node in one class are mutually adjacent,
+//!   so one slot per bundle carries the full component structure of every
+//!   class's virtual subgraph while keeping the forest `Θ(log n)`× smaller
+//!   than one over the virtual nodes;
+//! * the sorted list of classes present on each real node (the projection
+//!   `Ψ` read off directly);
+//! * the running component count `N_i` per class and the running total
+//!   excess `M = Σ_i max(0, N_i − 1)` that the Fast-Merger analysis
+//!   (Lemma 4.4) tracks per layer.
+//!
+//! Because every class-`i` virtual node on a real node is merged with its
+//! same-real and adjacent-real class-`i` peers at join time, the sets of
+//! the forest correspond **exactly** to the connected components of the
+//! projected real subgraph `G[Ψ(i)]`: `N_i` is that component count, and
+//! `N_i == 1` certifies the projection connected with no traversal.
+//!
+//! The centralized layer loop ([`crate::cds::centralized`]) drives the
+//! state and reads components through [`comp_root`](ClassState::comp_root)
+//! (behind a per-layer memo of its own, since roots are stable between
+//! joins); the tree
+//! extraction ([`crate::cds::tree_extract`]) uses `N_i` as its
+//! connectivity certificate; the connector analysis
+//! ([`crate::cds::connector`]) builds its
+//! [`ProjectionView`](crate::cds::connector::ProjectionView)s from
+//! [`comp_of`](ClassState::comp_of); and the distributed port's
+//! flood-computed component tables are cross-checked against a replayed
+//! `ClassState` in the integration suites.
+
+use crate::virtual_graph::{VirtualId, VirtualLayout};
+use decomp_graph::unionfind::UnionFind;
+use decomp_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Opaque identifier of one current component of one class.
+///
+/// Stable between two [`ClassState::join`] calls; only meaningful under
+/// equality (two queries return the same `CompId` iff they reached the
+/// same component).
+pub type CompId = usize;
+
+/// Incrementally-maintained component structure of every class's virtual
+/// subgraph (and, equivalently, of every class's projected real subgraph).
+///
+/// # Example
+///
+/// ```
+/// use decomp_core::cds::class_state::ClassState;
+/// use decomp_core::virtual_graph::{VirtualLayout, VType};
+/// use decomp_graph::generators;
+///
+/// let g = generators::path(3); // 0 - 1 - 2
+/// let layout = VirtualLayout::new(3, 4);
+/// let mut st = ClassState::new(layout, 2);
+///
+/// // Nodes 0 and 2 join class 0: two components, excess 1.
+/// st.join(&g, layout.vid(0, 0, VType::T1), 0);
+/// st.join(&g, layout.vid(2, 0, VType::T1), 0);
+/// assert_eq!(st.component_count(0), 2);
+/// assert_eq!(st.excess(), 1);
+///
+/// // Node 1 joins class 0 and bridges them.
+/// st.join(&g, layout.vid(1, 0, VType::T2), 0);
+/// assert_eq!(st.component_count(0), 1);
+/// assert_eq!(st.excess(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClassState {
+    layout: VirtualLayout,
+    t: usize,
+    /// Disjoint-set forest over the `n · t` *bundle slots*
+    /// (`slot = real * t + class`), not over the `3Ln` virtual nodes: all
+    /// virtual nodes of one bundle are mutually adjacent and always
+    /// merged, so the slot partition carries exactly the same component
+    /// structure while the working set stays `Θ(log n)`× smaller (it is
+    /// what keeps the layer loop cache-resident at `n = 10⁵`).
+    uf: UnionFind,
+    /// Whether the `(real, class)` bundle has any member yet.
+    occupied: Vec<bool>,
+    /// Sorted classes with at least one member on each real node.
+    classes_at: Vec<Vec<u32>>,
+    /// `N_i`: running component count per class.
+    comp_count: Vec<usize>,
+    /// Running `Σ_i max(0, N_i − 1)`.
+    excess: usize,
+}
+
+impl ClassState {
+    /// Empty state for `t` classes over `layout`'s virtual nodes.
+    ///
+    /// # Panics
+    /// Panics if `t == 0`.
+    pub fn new(layout: VirtualLayout, t: usize) -> Self {
+        assert!(t >= 1, "need at least one class");
+        ClassState {
+            layout,
+            t,
+            uf: UnionFind::new(layout.n() * t),
+            occupied: vec![false; layout.n() * t],
+            classes_at: vec![Vec::new(); layout.n()],
+            comp_count: vec![0; t],
+            excess: 0,
+        }
+    }
+
+    /// The layout this state indexes into.
+    pub fn layout(&self) -> VirtualLayout {
+        self.layout
+    }
+
+    /// Number of classes `t`.
+    pub fn num_classes(&self) -> usize {
+        self.t
+    }
+
+    fn bump(&mut self, class: usize) {
+        self.comp_count[class] += 1;
+        if self.comp_count[class] >= 2 {
+            self.excess += 1;
+        }
+    }
+
+    fn drop_one(&mut self, class: usize) {
+        if self.comp_count[class] >= 2 {
+            self.excess -= 1;
+        }
+        self.comp_count[class] -= 1;
+    }
+
+    /// Adds virtual node `vid` to `class`, merging it with every
+    /// already-joined class member on the same real node and on adjacent
+    /// real nodes. `N_i` and the excess update incrementally.
+    ///
+    /// Invariant: two adjacent occupied bundles of one class are always in
+    /// the same set (each bundle unions with all occupied neighbors the
+    /// moment it appears), so a join into an existing bundle is O(1) —
+    /// the new virtual node melts into a component that already spans
+    /// every reachable neighbor.
+    pub fn join(&mut self, g: &Graph, vid: VirtualId, class: usize) {
+        let r = self.layout.real(vid);
+        let slot = r * self.t + class;
+        if self.occupied[slot] {
+            return;
+        }
+        self.occupied[slot] = true;
+        self.bump(class);
+        if let Err(pos) = self.classes_at[r].binary_search(&(class as u32)) {
+            self.classes_at[r].insert(pos, class as u32);
+        }
+        for &u in g.neighbors(r) {
+            let uslot = u * self.t + class;
+            if self.occupied[uslot] && self.uf.union(slot, uslot) {
+                self.drop_one(class);
+            }
+        }
+    }
+
+    /// The running total excess `M = Σ_i max(0, N_i − 1)` — O(1).
+    pub fn excess(&self) -> usize {
+        self.excess
+    }
+
+    /// `N_i`: current number of components of class `class` — O(1).
+    pub fn component_count(&self, class: usize) -> usize {
+        self.comp_count[class]
+    }
+
+    /// Sorted classes with at least one member projected onto `real`.
+    pub fn classes_at(&self, real: NodeId) -> &[u32] {
+        &self.classes_at[real]
+    }
+
+    /// Component of the `(real, class)` bundle, if the class has a member
+    /// on `real`.
+    pub fn comp_root(&mut self, real: NodeId, class: usize) -> Option<CompId> {
+        let slot = real * self.t + class;
+        if self.occupied[slot] {
+            Some(self.uf.find(slot))
+        } else {
+            None
+        }
+    }
+
+    /// Projected component labels of `class`: `comp_of[v] = Some(label)`
+    /// for class members, with labels densified to `0..component_count`
+    /// in order of first appearance (ascending real id). The format
+    /// [`crate::cds::connector::ProjectionView::new`] consumes.
+    #[allow(clippy::needless_range_loop)] // v indexes both the slot table and `out`
+    pub fn comp_of(&mut self, class: usize) -> Vec<Option<usize>> {
+        let n = self.layout.n();
+        let mut label_of: HashMap<CompId, usize> = HashMap::new();
+        let mut out = vec![None; n];
+        for v in 0..n {
+            let slot = v * self.t + class;
+            if !self.occupied[slot] {
+                continue;
+            }
+            let root = self.uf.find(slot);
+            let next = label_of.len();
+            out[v] = Some(*label_of.entry(root).or_insert(next));
+        }
+        debug_assert_eq!(label_of.len(), self.comp_count[class]);
+        out
+    }
+
+    /// From-scratch recomputation of `(component counts, excess)` by a
+    /// full union-find rebuild over the current members — the oracle the
+    /// property suite compares the incremental counters against.
+    #[allow(clippy::needless_range_loop)] // class indexes the slot table and `counts`
+    pub fn recompute_from_scratch(&self, g: &Graph) -> (Vec<usize>, usize) {
+        let n = self.layout.n();
+        let mut counts = vec![0usize; self.t];
+        for class in 0..self.t {
+            let mut uf = UnionFind::new(n);
+            let mut members = 0usize;
+            let member = |st: &ClassState, v: usize| st.occupied[v * st.t + class];
+            for v in 0..n {
+                if !member(self, v) {
+                    continue;
+                }
+                members += 1;
+                for &u in g.neighbors(v) {
+                    if member(self, u) {
+                        uf.union(v, u);
+                    }
+                }
+            }
+            counts[class] = if members == 0 {
+                0
+            } else {
+                (0..n)
+                    .filter(|&v| member(self, v) && uf.find(v) == v)
+                    .count()
+            };
+        }
+        let excess = counts.iter().map(|&c| c.saturating_sub(1)).sum();
+        (counts, excess)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virtual_graph::VType;
+    use decomp_graph::generators;
+
+    #[test]
+    fn join_merges_same_real_bundle() {
+        let g = generators::path(2);
+        let layout = VirtualLayout::new(2, 4);
+        let mut st = ClassState::new(layout, 1);
+        st.join(&g, layout.vid(0, 0, VType::T1), 0);
+        st.join(&g, layout.vid(0, 0, VType::T2), 0);
+        assert_eq!(st.component_count(0), 1);
+        assert_eq!(st.excess(), 0);
+        let a = st.comp_root(0, 0).unwrap();
+        assert_eq!(st.comp_root(0, 0), Some(a));
+        assert_eq!(st.comp_root(1, 0), None);
+    }
+
+    #[test]
+    fn disjoint_classes_do_not_interact() {
+        let g = generators::path(2);
+        let layout = VirtualLayout::new(2, 4);
+        let mut st = ClassState::new(layout, 2);
+        st.join(&g, layout.vid(0, 0, VType::T1), 0);
+        st.join(&g, layout.vid(1, 0, VType::T1), 1);
+        assert_eq!(st.component_count(0), 1);
+        assert_eq!(st.component_count(1), 1);
+        assert_eq!(st.excess(), 0);
+        assert_eq!(st.classes_at(0), &[0]);
+        assert_eq!(st.classes_at(1), &[1]);
+    }
+
+    #[test]
+    fn excess_tracks_fragmentation_and_bridging() {
+        let g = generators::path(5);
+        let layout = VirtualLayout::new(5, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in [0usize, 2, 4] {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        assert_eq!(st.component_count(0), 3);
+        assert_eq!(st.excess(), 2);
+        st.join(&g, layout.vid(1, 0, VType::T1), 0); // bridges 0 and 2
+        assert_eq!(st.component_count(0), 2);
+        assert_eq!(st.excess(), 1);
+        st.join(&g, layout.vid(3, 0, VType::T1), 0); // bridges 2 and 4
+        assert_eq!(st.component_count(0), 1);
+        assert_eq!(st.excess(), 0);
+    }
+
+    #[test]
+    fn comp_of_labels_match_component_count() {
+        let g = generators::path(5);
+        let layout = VirtualLayout::new(5, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in [0usize, 1, 3] {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        let comp = st.comp_of(0);
+        assert_eq!(comp[0], Some(0));
+        assert_eq!(comp[1], Some(0));
+        assert_eq!(comp[2], None);
+        assert_eq!(comp[3], Some(1));
+        assert_eq!(comp[4], None);
+    }
+
+    #[test]
+    fn incremental_equals_scratch_on_a_grid() {
+        let g = generators::grid(4, 5);
+        let layout = VirtualLayout::new(20, 4);
+        let mut st = ClassState::new(layout, 3);
+        // Joins in an arbitrary interleaved order.
+        for (i, v) in [7usize, 0, 13, 19, 2, 11, 5, 16, 9, 4].iter().enumerate() {
+            st.join(&g, layout.vid(*v, 0, VType::ALL[i % 3]), i % 3);
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                assert_eq!(st.component_count(c), want, "class {c} after join {i}");
+            }
+            assert_eq!(st.excess(), excess, "excess after join {i}");
+        }
+    }
+
+    #[test]
+    fn comp_root_agrees_across_a_merged_component() {
+        let g = generators::complete(4);
+        let layout = VirtualLayout::new(4, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in 0..3 {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        // All three members are one component: every bundle reports the
+        // same root, and the unjoined node reports none.
+        let root = st.comp_root(0, 0).unwrap();
+        assert_eq!(st.comp_root(1, 0), Some(root));
+        assert_eq!(st.comp_root(2, 0), Some(root));
+        assert_eq!(st.comp_root(3, 0), None);
+    }
+}

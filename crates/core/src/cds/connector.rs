@@ -13,6 +13,7 @@
 //! structure, and [`enumerate_connectors`] lists the paths for the
 //! Figure 2 reproduction.
 
+use crate::cds::class_state::ClassState;
 use decomp_graph::flow::FlowNetwork;
 use decomp_graph::{Graph, NodeId};
 
@@ -39,6 +40,18 @@ impl ProjectionView {
             in_component,
             in_rest,
         }
+    }
+
+    /// Builds the view for component `component` of `class` straight from
+    /// the packing construction's incrementally-maintained [`ClassState`]
+    /// — no per-class traversal, just one linear read of the maintained
+    /// labels. Component labels are the dense ones of
+    /// [`ClassState::comp_of`] (`0..N_i`, in order of first appearance by
+    /// real id). When enumerating *all* components of one class, compute
+    /// [`ClassState::comp_of`] once and call [`ProjectionView::new`] per
+    /// component instead of paying the label scan `N_i` times.
+    pub fn from_class_state(state: &mut ClassState, class: usize, component: usize) -> Self {
+        ProjectionView::new(&state.comp_of(class), component)
     }
 }
 
@@ -257,6 +270,25 @@ mod tests {
         // Sanity: the enumeration finds long connectors in both gaps.
         let paths = enumerate_connectors(&g, &view);
         assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn view_from_class_state_matches_manual_labels() {
+        use crate::virtual_graph::{VType, VirtualLayout};
+        // 0 - 1 - 2 - 3 - 4 with class members {0, 1} and {4}: two
+        // components, labeled 0 and 1 in order of first appearance.
+        let g = generators::path(5);
+        let layout = VirtualLayout::new(5, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in [0usize, 1, 4] {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        assert_eq!(st.component_count(0), 2);
+        let view = ProjectionView::from_class_state(&mut st, 0, 0);
+        let manual = ProjectionView::new(&[Some(0), Some(0), None, None, Some(1)], 0);
+        assert_eq!(view.in_component, manual.in_component);
+        assert_eq!(view.in_rest, manual.in_rest);
+        assert_eq!(max_disjoint_connectors(&g, &view), 1);
     }
 
     #[test]

@@ -86,6 +86,24 @@ pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
 /// Propagates simulator round-limit errors from the construction or the
 /// verifier.
 ///
+/// # Example
+///
+/// ```
+/// use decomp_congest::{Model, Simulator};
+/// use decomp_core::cds::guess::cds_packing_unknown_k_distributed;
+/// use decomp_graph::generators;
+///
+/// let g = generators::harary(8, 32); // k = 8, unknown to the protocol
+/// let mut sim = Simulator::new(&g, Model::VCongest);
+/// let r = cds_packing_unknown_k_distributed(&mut sim, 7).unwrap();
+/// // The doubling search starts at n/2 and halves until a guess passes;
+/// // every attempt (pass or fail) is recorded and paid for in rounds.
+/// assert!(r.guess >= 1 && r.guess <= g.n() / 2);
+/// assert!(r.attempts.iter().filter(|(_, ok)| *ok).count() == 1);
+/// assert_eq!(r.packing.num_classes(), (r.guess / 4).max(1));
+/// assert!(sim.stats().rounds > 0);
+/// ```
+///
 /// # Panics
 /// Panics if `sim`'s graph is empty or disconnected, or if `sim` is not
 /// a V-CONGEST simulator.

@@ -7,7 +7,7 @@
 //! paths in different trees are internally vertex-disjoint (each path's
 //! internal vertices lie in its own dominating tree — plus possibly `r`
 //! and `v` themselves, which are endpoints). The paper notes this makes
-//! [12, Thm 1.2] a poly-log approximation of the Zehavi–Itai conjecture,
+//! \[12, Thm 1.2\] a poly-log approximation of the Zehavi–Itai conjecture,
 //! algorithmic here with near-optimal complexity.
 
 use crate::packing::DomTreePacking;

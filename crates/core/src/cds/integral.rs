@@ -1,7 +1,7 @@
 //! Integral (vertex-disjoint) dominating-tree packings.
 //!
 //! Section 1.2 ("Integral Tree Packings"): the fractional construction can
-//! be adapted, via the random-layering technique of [12, Theorem 1.2], to
+//! be adapted, via the random-layering technique of \[12, Theorem 1.2\], to
 //! produce `Ω(κ/log² n)` *vertex-disjoint* dominating trees, where `κ` is
 //! the connectivity surviving 1/2-vertex-sampling.
 //!

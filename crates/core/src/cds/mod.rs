@@ -2,6 +2,7 @@
 //! contribution (Section 3, Appendices B, C, D, E).
 
 pub mod centralized;
+pub mod class_state;
 pub mod connector;
 pub mod distributed;
 pub mod guess;
@@ -10,4 +11,7 @@ pub mod integral;
 pub mod tree_extract;
 pub mod verify;
 
-pub use centralized::{cds_packing, CdsPacking, CdsPackingConfig, LayerTrace};
+pub use centralized::{
+    cds_packing, cds_packing_with_state, CdsPacking, CdsPackingConfig, LayerTrace,
+};
+pub use class_state::ClassState;

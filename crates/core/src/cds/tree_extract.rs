@@ -12,8 +12,9 @@
 //! feasible fractional packing of size `#trees / O(log n) = Ω(k / log n)`.
 
 use crate::cds::centralized::CdsPacking;
+use crate::cds::class_state::ClassState;
 use crate::packing::{DomTreePacking, WeightedDomTree};
-use decomp_graph::domination::is_cds;
+use decomp_graph::domination::{is_cds, is_dominating_set};
 use decomp_graph::{traversal, Graph, NodeId};
 
 /// Outcome of the tree extraction.
@@ -30,7 +31,37 @@ pub struct ExtractedTrees {
 
 /// Extracts one dominating tree per valid class of `packing` and weights
 /// them into a feasible fractional packing.
+///
+/// Re-derives each class's connectivity by a fresh traversal; when the
+/// construction's [`ClassState`] is at hand
+/// ([`crate::cds::centralized::cds_packing_with_state`]), prefer
+/// [`to_dom_tree_packing_with_state`], which reads the maintained
+/// component counts instead.
 pub fn to_dom_tree_packing(g: &Graph, packing: &CdsPacking) -> ExtractedTrees {
+    extract(g, packing, |_, mask| is_cds(g, mask))
+}
+
+/// [`to_dom_tree_packing`] consuming the incrementally-maintained
+/// [`ClassState`]: a class is a CDS iff it dominates and its running
+/// component count `N_i` is exactly 1 — the connectivity side needs no
+/// traversal, because the state's disjoint sets *are* the components of
+/// the projected class subgraphs.
+pub fn to_dom_tree_packing_with_state(
+    g: &Graph,
+    packing: &CdsPacking,
+    state: &ClassState,
+) -> ExtractedTrees {
+    debug_assert_eq!(state.num_classes(), packing.num_classes());
+    extract(g, packing, |class, mask| {
+        state.component_count(class) == 1 && is_dominating_set(g, mask)
+    })
+}
+
+fn extract(
+    g: &Graph,
+    packing: &CdsPacking,
+    mut class_is_cds: impl FnMut(usize, &[bool]) -> bool,
+) -> ExtractedTrees {
     let n = g.n();
     let mut trees = Vec::new();
     let mut invalid = Vec::new();
@@ -40,7 +71,7 @@ pub fn to_dom_tree_packing(g: &Graph, packing: &CdsPacking) -> ExtractedTrees {
             continue;
         }
         let mask = packing.class_mask(class);
-        if !is_cds(g, &mask) {
+        if !class_is_cds(class, &mask) {
             invalid.push(class);
             continue;
         }
@@ -149,6 +180,30 @@ mod tests {
         let ex = to_dom_tree_packing(&g, &p);
         assert_eq!(ex.packing.num_trees(), 1);
         ex.packing.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn state_backed_extraction_matches_recomputed() {
+        use crate::cds::centralized::cds_packing_with_state;
+        // barbell + many classes forces invalid (disconnected) classes, so
+        // both the accept and reject paths of the certificate are hit.
+        for (g, t, seed) in [
+            (generators::barbell(6, 4), 6, 2u64),
+            (generators::harary(12, 72), 3, 3),
+            (generators::random_connected(40, 12, 1), 8, 5),
+        ] {
+            let (p, st) = cds_packing_with_state(&g, &CdsPackingConfig::with_classes(t, seed));
+            let slow = to_dom_tree_packing(&g, &p);
+            let fast = to_dom_tree_packing_with_state(&g, &p, &st);
+            assert_eq!(slow.invalid_classes, fast.invalid_classes);
+            assert_eq!(slow.tree_weight, fast.tree_weight);
+            assert_eq!(slow.packing.num_trees(), fast.packing.num_trees());
+            for (a, b) in slow.packing.trees.iter().zip(&fast.packing.trees) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.edges, b.edges);
+                assert_eq!(a.singleton, b.singleton);
+            }
+        }
     }
 
     #[test]

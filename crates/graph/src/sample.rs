@@ -53,7 +53,7 @@ pub fn random_edge_subsample(g: &Graph, p: f64, seed: u64) -> Graph {
 }
 
 /// The paper's `κ`: the vertex connectivity remaining after sampling each
-/// vertex independently with probability 1/2 ([12] proves
+/// vertex independently with probability 1/2 (\[12\] proves
 /// `κ = Ω(k / log³ n)` w.h.p.; integral dominating-tree packings have size
 /// `Ω(κ / log² n)`). Returns the *minimum* over `trials` samples, the
 /// conservative estimate the integral-packing experiments report.

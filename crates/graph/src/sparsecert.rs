@@ -1,6 +1,6 @@
 //! Sparse connectivity certificates (Nagamochi–Ibaraki scan-first search).
 //!
-//! The paper cites Thurimella's distributed sparse certificates (reference [49] there); the
+//! The paper cites Thurimella's distributed sparse certificates (reference \[49\] there); the
 //! centralized engine behind them is the Nagamochi–Ibaraki forest
 //! decomposition: partition the edges into forests `F_1, F_2, ...` where
 //! `F_i` is a spanning forest of `G − (F_1 ∪ ... ∪ F_{i−1})`; then

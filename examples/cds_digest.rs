@@ -1,0 +1,75 @@
+//! Prints an FNV digest of `cds_packing` outputs on a fixed instance
+//! roster — the bit-identity reference for perf work on the layer loop.
+
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_graph::generators;
+
+fn digest(p: &decomp_core::cds::centralized::CdsPacking) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for c in &p.class_of {
+        eat(c.map(|v| v as u64 + 1).unwrap_or(0));
+    }
+    for (i, class) in p.classes.iter().enumerate() {
+        eat(i as u64 ^ 0xdead);
+        for &v in class {
+            eat(v as u64);
+        }
+    }
+    for t in &p.trace {
+        eat(t.excess_before as u64);
+        eat(t.excess_after as u64);
+        eat(t.matched as u64);
+        eat(t.deactivated as u64);
+    }
+    h
+}
+
+fn main() {
+    // (name, graph, explicit class count t). Large t relative to the
+    // connectivity leaves classes fragmented after the jump start, so the
+    // deactivation/bridging/matching machinery genuinely runs.
+    let cases: Vec<(String, decomp_graph::Graph, usize)> = vec![
+        (
+            "harary_k16_n1000_t4".into(),
+            generators::harary(16, 1000),
+            4,
+        ),
+        (
+            "rr_n1000_d16_t4".into(),
+            generators::random_regular(1000, 16, 5),
+            4,
+        ),
+        (
+            "harary_k6_n2000_t24".into(),
+            generators::harary(6, 2000),
+            24,
+        ),
+        (
+            "rr_n1500_d8_t16".into(),
+            generators::random_regular(1500, 8, 5),
+            16,
+        ),
+        ("hypercube_d9_t8".into(), generators::hypercube(9), 8),
+        (
+            "gnm_n500_m4000_t12".into(),
+            generators::gnm(500, 4000, 7),
+            12,
+        ),
+    ];
+    for (name, g, t) in cases {
+        for seed in [1u64, 5, 42] {
+            let p = cds_packing(&g, &CdsPackingConfig::with_classes(t, seed));
+            let matched: usize = p.trace.iter().map(|l| l.matched).sum();
+            let deact: usize = p.trace.iter().map(|l| l.deactivated).sum();
+            let excess0 = p.trace.first().map(|l| l.excess_before).unwrap_or(0);
+            println!(
+                "{name}/s{seed}: {:#018x} (excess0 {excess0}, matched {matched}, deactivated {deact})",
+                digest(&p)
+            );
+        }
+    }
+}

@@ -8,10 +8,12 @@
 
 use connectivity_decomposition::congest::{Model, RunStats, Simulator};
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::class_state::ClassState;
 use connectivity_decomposition::core::cds::distributed::cds_packing_distributed;
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
 use connectivity_decomposition::core::stp::distributed::distributed_stp_mwu;
 use connectivity_decomposition::core::stp::mwu::{fractional_stp_mwu, MwuConfig};
+use connectivity_decomposition::core::virtual_graph::VType;
 use connectivity_decomposition::graph::generators;
 use decomp_testkit::{asserts, fixtures};
 
@@ -56,6 +58,63 @@ fn cds_agrees_on_every_fixture_family() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn distributed_trace_matches_replayed_class_state() {
+    // The distributed port derives its per-layer excess counts `M_ℓ` from
+    // flood-computed component tables (Theorem B.2 stand-in). Replaying
+    // its class assignments layer by layer into the centralized side's
+    // incremental `ClassState` must reproduce the exact same counts —
+    // cross-validating the message-passing component identification
+    // against the union-find bookkeeping.
+    for f in fixtures::small() {
+        if f.kappa < 2 {
+            continue;
+        }
+        let cfg = CdsPackingConfig::with_known_k(f.kappa, 6);
+        let mut sim = decomp_testkit::sim(&f.graph, Model::VCongest);
+        let p = cds_packing_distributed(&mut sim, &cfg).unwrap();
+
+        let layout = p.layout;
+        let mut st = ClassState::new(layout, p.num_classes());
+        let join_layer = |st: &mut ClassState, layer: usize| {
+            for v in 0..f.graph.n() {
+                for ty in VType::ALL {
+                    let vid = layout.vid(v, layer, ty);
+                    let class = p.class_of[vid].expect("fully assigned") as usize;
+                    st.join(&f.graph, vid, class);
+                }
+            }
+        };
+        for layer in 0..layout.jump_start() {
+            join_layer(&mut st, layer);
+        }
+        for (tr, layer) in p.trace.iter().zip(layout.jump_start()..layout.layers()) {
+            assert_eq!(tr.layer, layer, "{}", f.name);
+            assert_eq!(
+                st.excess(),
+                tr.excess_before,
+                "{}: M_{layer} (flooded) vs replayed ClassState",
+                f.name
+            );
+            join_layer(&mut st, layer);
+            assert_eq!(
+                st.excess(),
+                tr.excess_after,
+                "{}: M_{} (flooded) vs replayed ClassState",
+                f.name,
+                layer + 1
+            );
+        }
+        // Final projection agrees with the packing's classes.
+        for (c, members) in p.classes.iter().enumerate() {
+            let got: Vec<usize> = (0..f.graph.n())
+                .filter(|&v| st.classes_at(v).contains(&(c as u32)))
+                .collect();
+            assert_eq!(&got, members, "{}: class {c} projection", f.name);
         }
     }
 }

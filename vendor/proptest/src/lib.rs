@@ -209,7 +209,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact `usize` or a range.
+    /// Length specification for [`vec()`]: an exact `usize` or a range.
     pub trait IntoLenRange {
         /// Half-open `(min, max_exclusive)` bounds.
         fn bounds(&self) -> (usize, usize);
