@@ -1,0 +1,162 @@
+//! Criterion bench: the Appendix-A gossip schedule at scale.
+//!
+//! All-node gossip (one message per node) on random-regular and Harary
+//! instances at n = 10⁴, plus a one-shot n = 10⁵ completion check — the
+//! workload the bitset/worklist rewrite of `broadcast::gossip` exists
+//! for. Two packing regimes per family:
+//!
+//! * **CDS-constructed** — `cds_packing` → `to_dom_tree_packing`, the
+//!   paper's construction (classes overlap heavily at these scales, so
+//!   this is the member-dense stress case);
+//! * **disjoint ring paths** (Harary only) — `k/2` vertex-disjoint
+//!   dominating paths (stride-`k/2` residue classes of the circulant),
+//!   the Corollary 1.4 / A.1 regime of genuinely disjoint trees.
+//!
+//! Alongside wall-clock the harness prints the schedule's
+//! `peak_state_words` (packed bitsets + relay heaps; the pre-rewrite
+//! implementation held `2 · nmsg · n` bytes of `Vec<Vec<bool>>` tables)
+//! and, for the simulator-driven protocol variant, the engine's
+//! `RunStats` peak-memory counters (`peak_queued_messages`,
+//! `peak_arena_words`). Track results in `BENCH_SIM.md`.
+//!
+//! A full run takes ~15 minutes on the CI container — the n = 10⁵
+//! completion check dominates (it exists to prove the workload fits in
+//! memory at all; the old tables needed ~20 GB and an `O(nmsg · n)`
+//! scan per round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp_broadcast::gossip::{gossip_via_trees, GossipReport};
+use decomp_broadcast::gossip_distributed::gossip_protocol;
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_core::cds::tree_extract::to_dom_tree_packing;
+use decomp_core::packing::{DomTreePacking, WeightedDomTree};
+use decomp_graph::{generators, Graph};
+use std::time::Instant;
+
+const DEGREE: usize = 16;
+
+fn cds_derived_packing(g: &Graph, k: usize, seed: u64) -> DomTreePacking {
+    let p = cds_packing(g, &CdsPackingConfig::with_known_k(k, seed));
+    let ex = to_dom_tree_packing(g, &p);
+    assert!(ex.invalid_classes.is_empty(), "CDS classes must extract");
+    ex.packing
+}
+
+/// `k/2` vertex-disjoint dominating paths on `harary(k, n)`: path `j`
+/// visits the vertices `≡ j (mod k/2)` in ring order (consecutive
+/// members differ by `k/2`, an edge of the circulant; every vertex is
+/// within `k/4 ≤ k/2` ring positions of each residue class, so each
+/// path dominates). This is the disjoint-tree regime of Corollary 1.4.
+fn disjoint_ring_paths(g: &Graph, k: usize) -> DomTreePacking {
+    let n = g.n();
+    let stride = k / 2;
+    assert!(n.is_multiple_of(stride), "n must be a multiple of k/2");
+    let trees = (0..stride)
+        .map(|j| WeightedDomTree {
+            id: j,
+            weight: 1.0,
+            edges: (0..n / stride - 1)
+                .map(|i| (j + stride * i, j + stride * (i + 1)))
+                .collect(),
+            singleton: None,
+        })
+        .collect();
+    let packing = DomTreePacking { trees };
+    packing.validate(g, 1e-9).unwrap();
+    packing
+}
+
+fn all_node_gossip(g: &Graph, packing: &DomTreePacking, seed: u64) -> GossipReport {
+    let origins: Vec<usize> = (0..g.n()).collect();
+    let r = gossip_via_trees(g, packing, &origins, seed);
+    assert_eq!(r.num_messages, g.n());
+    r
+}
+
+fn report_memory(label: &str, n: usize, r: &GossipReport) {
+    // The pre-bitset implementation: received + relayed Vec<Vec<bool>>.
+    let old_table_words = 2 * r.num_messages * n / 8;
+    println!(
+        "{label}: rounds={} peak_state_words={} (old bool tables ≈ {} words, {:.1}×)",
+        r.rounds,
+        r.peak_state_words,
+        old_table_words,
+        old_table_words as f64 / r.peak_state_words as f64
+    );
+}
+
+fn bench_gossip_scale(c: &mut Criterion) {
+    // One-shot scale check first: all-node gossip at n = 10⁵ must
+    // complete in-memory (the old O(nmsg · n) tables would need ~20 GB
+    // and a per-round full scan; see BENCH_SIM.md).
+    {
+        let n = 100_000;
+        let g = generators::harary(DEGREE, n);
+        let packing = disjoint_ring_paths(&g, DEGREE);
+        let t0 = Instant::now();
+        let r = all_node_gossip(&g, &packing, 7);
+        println!(
+            "scale_check harary_k16_n100k/disjoint8: {:.1}s wall-clock",
+            t0.elapsed().as_secs_f64()
+        );
+        report_memory("scale_check harary_k16_n100k/disjoint8", n, &r);
+    }
+
+    let n = 10_000;
+    let harary = generators::harary(DEGREE, n);
+    let rr = generators::random_regular(n, DEGREE, 1);
+    let harary_cds = cds_derived_packing(&harary, DEGREE, 5);
+    let rr_cds = cds_derived_packing(&rr, DEGREE, 5);
+    let harary_disjoint = disjoint_ring_paths(&harary, DEGREE);
+
+    // Memory numbers once per workload (deterministic per seed, so the
+    // timed iterations below reproduce them exactly).
+    report_memory(
+        "harary_k16_n10k/cds",
+        n,
+        &all_node_gossip(&harary, &harary_cds, 7),
+    );
+    report_memory("rr_n10k_d16/cds", n, &all_node_gossip(&rr, &rr_cds, 7));
+    report_memory(
+        "harary_k16_n10k/disjoint8",
+        n,
+        &all_node_gossip(&harary, &harary_disjoint, 7),
+    );
+
+    let mut group = c.benchmark_group("gossip_scale");
+    group.sample_size(2);
+    for (label, g, packing) in [
+        ("harary_k16_n10k/cds", &harary, &harary_cds),
+        ("rr_n10k_d16/cds", &rr, &rr_cds),
+        ("harary_k16_n10k/disjoint8", &harary, &harary_disjoint),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("all_node", label),
+            &(g, packing),
+            |b, (g, packing)| b.iter(|| all_node_gossip(g, packing, 7).rounds),
+        );
+    }
+    group.finish();
+
+    // The same dissemination as a real V-CONGEST protocol on the
+    // simulator: prints the engine's peak-memory counters (the inbox
+    // arena is the structure the zero-allocation message plane added).
+    // One message per 8th node keeps this a side-check, not a second
+    // multi-minute workload.
+    let origins: Vec<usize> = (0..n).step_by(8).collect();
+    let t0 = Instant::now();
+    let protocol =
+        gossip_protocol(&harary, &harary_disjoint, &origins, 7).expect("protocol completes");
+    assert!(protocol.complete);
+    println!(
+        "protocol harary_k16_n10k/disjoint8 (n/8 msgs): {:.1}s wall-clock rounds={} \
+         peak_queued_messages={} peak_arena_words={}",
+        t0.elapsed().as_secs_f64(),
+        protocol.stats.rounds,
+        protocol.stats.peak_queued_messages,
+        protocol.stats.peak_arena_words,
+    );
+}
+
+criterion_group!(benches, bench_gossip_scale);
+criterion_main!(benches);

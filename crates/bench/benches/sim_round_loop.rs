@@ -43,10 +43,10 @@ fn mix(mut z: u64) -> u64 {
 }
 
 impl NodeProgram for GossipMix {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (from, m) in inbox {
             for &w in m.words() {
-                self.acc = self.acc.wrapping_add(mix(w ^ *from as u64));
+                self.acc = self.acc.wrapping_add(mix(w ^ from as u64));
             }
         }
         if self.rounds_left > 0 {
@@ -60,7 +60,7 @@ impl NodeProgram for GossipMix {
     }
 }
 
-fn run_gossip(g: &Graph, engine: EngineKind) -> u64 {
+fn run_gossip(g: &Graph, engine: EngineKind) -> (u64, decomp_congest::RunStats) {
     let mut sim = Simulator::with_seed(g, Model::VCongest, 42).with_engine(engine);
     let programs = (0..g.n())
         .map(|_| GossipMix {
@@ -68,8 +68,9 @@ fn run_gossip(g: &Graph, engine: EngineKind) -> u64 {
             acc: 0,
         })
         .collect();
-    let (programs, _) = sim.run_to_quiescence(programs).unwrap();
-    programs.iter().fold(0u64, |a, p| a.wrapping_add(p.acc))
+    let (programs, stats) = sim.run_to_quiescence(programs).unwrap();
+    let digest = programs.iter().fold(0u64, |a, p| a.wrapping_add(p.acc));
+    (digest, stats)
 }
 
 fn engines() -> [EngineKind; 3] {
@@ -83,11 +84,21 @@ fn engines() -> [EngineKind; 3] {
 fn bench_round_loop(c: &mut Criterion) {
     let g = generators::random_regular(N, DEGREE, 1);
 
-    // Engine equivalence on the bench workload itself: identical digests.
+    // Engine equivalence on the bench workload itself: identical digests
+    // AND identical stats (peak-memory counters included).
     let expected = run_gossip(&g, EngineKind::Sequential);
     for engine in engines().into_iter().skip(1) {
         assert_eq!(run_gossip(&g, engine), expected, "engine {engine} diverged");
     }
+    // Memory footprint alongside the wall-clock columns (BENCH_SIM.md):
+    // the arena holds each broadcast payload once, so peak_arena_words ≈
+    // sending nodes per round, while peak_queued_messages counts one per
+    // delivery (the old per-delivery `Vec<u64>` clone count).
+    let stats = expected.1;
+    println!(
+        "gossip16_rr10k_d8 memory: peak_queued_messages={} peak_arena_words={}",
+        stats.peak_queued_messages, stats.peak_arena_words
+    );
 
     let mut group = c.benchmark_group("sim_round_loop");
     group.sample_size(5);

@@ -98,7 +98,7 @@ fn main() {
         d(g.n()),
         d(origins.len()),
         d(sched.rounds),
-        d(proto.rounds),
+        d(proto.stats.rounds),
         d(proto.complete),
     ]);
     t2.print();

@@ -8,11 +8,56 @@
 //! dominated non-tree vertices receive the message from adjacent tree
 //! vertices). Corollary A.1: with `N` messages, at most `η` per node, all
 //! messages reach all nodes in `O~(η + (N + n)/k)` rounds.
+//!
+//! ## Scale
+//!
+//! State is packed bitsets — per-message received rows and per-tree
+//! membership rows, 1 bit per vertex — and each vertex keeps a min-heap
+//! of the messages it still has to relay, driven by an active-frontier
+//! worklist. A round therefore costs `O(active vertices + deliveries)`
+//! instead of the historical `O(nmsg · n)` table scan, and the state for
+//! an all-node workload is `nmsg · n / 64` words instead of two
+//! `nmsg × n` byte tables — which is what lets 10⁵-node all-node gossip
+//! fit in memory (`gossip_scale` bench, BENCH_SIM.md). The schedule
+//! itself is unchanged: each vertex relays its *lowest-indexed* eligible
+//! message each round, decided from the state at round start.
 
 use decomp_core::packing::DomTreePacking;
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A row-major packed bit matrix: `rows` rows of `n` bits each.
+struct BitRows {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitRows {
+    fn new(rows: usize, n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitRows {
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    #[inline]
+    fn get(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.words_per_row + col / 64] >> (col % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1 << (col % 64);
+    }
+
+    fn words(&self) -> usize {
+        self.bits.len()
+    }
+}
 
 /// Result of a gossip schedule simulation.
 #[derive(Clone, Debug)]
@@ -25,6 +70,28 @@ pub struct GossipReport {
     pub per_tree_load: Vec<usize>,
     /// Largest tree diameter in the packing (the `O~(n/k)` term).
     pub max_tree_diameter: usize,
+    /// Peak resident words of the schedule state: the packed
+    /// received/membership bitsets plus the peak total size of the
+    /// per-vertex relay heaps (the memory-footprint number `gossip_scale`
+    /// tracks; the pre-bitset implementation held `2 · nmsg · n` bytes
+    /// in `Vec<Vec<bool>>` tables instead).
+    pub peak_state_words: usize,
+    /// Order-independent fingerprint of the relay schedule: a
+    /// commutative fold of `(round, vertex, message)` over every relay.
+    /// Two runs took the same schedule iff their digests match — the
+    /// regression tests compare this against a verbatim copy of the
+    /// historical `O(nmsg · n)` scan.
+    pub schedule_digest: u64,
+}
+
+/// SplitMix-style hash of one relay event; summed per run (within-round
+/// relay order is unobservable, so the fold must be commutative).
+#[inline]
+fn relay_hash(round: usize, v: usize, m: usize) -> u64 {
+    let mut z = (round as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (((v as u64) << 32) | m as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }
 
 /// A message to gossip: its origin vertex.
@@ -55,25 +122,18 @@ pub fn gossip_via_trees(
     let mut rng = StdRng::seed_from_u64(seed);
     let num_trees = packing.num_trees();
 
-    // Tree adjacency (within-tree neighbor lists) and membership.
-    let mut tree_adj: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(num_trees);
-    let mut tree_member: Vec<Vec<bool>> = Vec::with_capacity(num_trees);
+    // Per-tree membership, 1 bit per vertex.
+    let mut member = BitRows::new(num_trees, n);
     let mut max_diam = 0usize;
-    for t in &packing.trees {
-        let mut adj = vec![Vec::new(); n];
-        let mut member = vec![false; n];
-        for &(u, v) in &t.edges {
-            adj[u].push(v);
-            adj[v].push(u);
-            member[u] = true;
-            member[v] = true;
+    for (t, tree) in packing.trees.iter().enumerate() {
+        for &(u, v) in &tree.edges {
+            member.set(t, u);
+            member.set(t, v);
         }
-        if let Some(s) = t.singleton {
-            member[s] = true;
+        if let Some(s) = tree.singleton {
+            member.set(t, s);
         }
-        max_diam = max_diam.max(t.diameter(n));
-        tree_adj.push(adj);
-        tree_member.push(member);
+        max_diam = max_diam.max(tree.diameter(n));
     }
 
     // Message state.
@@ -83,64 +143,95 @@ pub fn gossip_via_trees(
     for &t in &tree_of {
         per_tree_load[t] += 1;
     }
-    // received[m] = bitmask over vertices; relayed[m][v] = v already spent
-    // its slot on m.
-    let mut received: Vec<Vec<bool>> = (0..nmsg)
-        .map(|m| {
-            let mut r = vec![false; n];
-            r[origins[m]] = true;
-            r
-        })
-        .collect();
-    let mut relayed: Vec<Vec<bool>> = vec![vec![false; n]; nmsg];
-    let mut remaining: Vec<usize> = (0..nmsg).map(|_| n - 1).collect();
-    let mut incomplete = nmsg;
+    // received: one bit row per message. A vertex's pending relays live
+    // in a min-heap over message indices: the greedy schedule relays the
+    // lowest-indexed eligible message, exactly as the historical
+    // `O(nmsg · n)` table scan chose it. A (message, vertex) pair enters
+    // a heap at most once (on the vertex's 0→1 reception, members only,
+    // plus the origin hand-off), so popping doubles as the `relayed`
+    // table.
+    let mut received = BitRows::new(nmsg, n);
+    let mut remaining: Vec<usize> = vec![n - 1; nmsg];
+    let mut pending: Vec<BinaryHeap<Reverse<u32>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut worklist: Vec<u32> = Vec::new();
+    let mut queued: Vec<bool> = vec![false; n];
+    let mut incomplete = 0usize;
+    for (m, &origin) in origins.iter().enumerate() {
+        received.set(m, origin);
+        if remaining[m] > 0 {
+            incomplete += 1;
+        }
+        pending[origin].push(Reverse(m as u32));
+        if !queued[origin] {
+            queued[origin] = true;
+            worklist.push(origin as u32);
+        }
+    }
+    let mut pending_entries = nmsg;
+    let mut peak_pending = pending_entries;
 
     let mut rounds = 0usize;
+    let mut schedule_digest = 0u64;
     let round_limit = 64 * (n + nmsg) + 1024;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut relays: Vec<(u32, u32)> = Vec::new();
     while incomplete > 0 {
         rounds += 1;
         assert!(
             rounds <= round_limit,
             "gossip schedule failed to complete within {round_limit} rounds"
         );
-        // Each vertex relays its oldest eligible message this round.
-        // Eligibility: holds it, hasn't relayed it, and is either the
-        // origin (initial hand-off) or a member of the message's tree.
-        let mut chosen: Vec<Option<usize>> = vec![None; n];
-        for m in 0..nmsg {
-            if remaining[m] == 0 {
-                continue;
-            }
-            let tree = tree_of[m];
-            for v in 0..n {
-                if chosen[v].is_none()
-                    && received[m][v]
-                    && !relayed[m][v]
-                    && (tree_member[tree][v] || v == origins[m])
-                {
-                    chosen[v] = Some(m);
+        // Phase 1 — choices, from the state at round start: each active
+        // vertex pops its lowest-indexed pending message, lazily
+        // discarding messages that completed in earlier rounds (the old
+        // scan skipped them the same way).
+        std::mem::swap(&mut frontier, &mut worklist);
+        relays.clear();
+        for &v in &frontier {
+            queued[v as usize] = false;
+            while let Some(&Reverse(m)) = pending[v as usize].peek() {
+                pending[v as usize].pop();
+                pending_entries -= 1;
+                if remaining[m as usize] > 0 {
+                    relays.push((v, m));
+                    break;
                 }
             }
         }
-        let mut progressed = false;
-        for v in 0..n {
-            if let Some(m) = chosen[v] {
-                relayed[m][v] = true;
-                progressed = true;
-                for &u in g.neighbors(v) {
-                    if !received[m][u] {
-                        received[m][u] = true;
-                        remaining[m] -= 1;
-                        if remaining[m] == 0 {
-                            incomplete -= 1;
+        // Phase 2 — apply all relays; receptions push next-round work.
+        for &(v, m) in &relays {
+            schedule_digest =
+                schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
+            let tree = tree_of[m as usize];
+            for &u in g.neighbors(v as usize) {
+                if !received.get(m as usize, u) {
+                    received.set(m as usize, u);
+                    remaining[m as usize] -= 1;
+                    if remaining[m as usize] == 0 {
+                        incomplete -= 1;
+                    }
+                    if member.get(tree, u) {
+                        pending[u].push(Reverse(m));
+                        pending_entries += 1;
+                        if !queued[u] {
+                            queued[u] = true;
+                            worklist.push(u as u32);
                         }
                     }
                 }
             }
         }
+        peak_pending = peak_pending.max(pending_entries);
+        // Vertices that still hold pending relays stay on the frontier.
+        for &v in &frontier {
+            if !pending[v as usize].is_empty() && !queued[v as usize] {
+                queued[v as usize] = true;
+                worklist.push(v);
+            }
+        }
+        frontier.clear();
         assert!(
-            progressed || incomplete == 0,
+            !relays.is_empty() || incomplete == 0,
             "gossip schedule stalled: a message can no longer make progress \
              (is some tree not dominating?)"
         );
@@ -150,6 +241,9 @@ pub fn gossip_via_trees(
         num_messages: nmsg,
         per_tree_load,
         max_tree_diameter: max_diam,
+        // Heap entries are u32s: count them in 64-bit words (2 per word).
+        peak_state_words: received.words() + member.words() + peak_pending.div_ceil(2),
+        schedule_digest,
     }
 }
 
@@ -292,5 +386,140 @@ mod tests {
     fn rejects_empty_packing() {
         let g = generators::cycle(4);
         gossip_via_trees(&g, &DomTreePacking::default(), &[0], 0);
+    }
+
+    /// The historical `O(nmsg · n)` schedule loop, kept verbatim as the
+    /// oracle for the bitset/worklist rewrite: per round it scans every
+    /// (message, vertex) pair and lets each vertex relay its
+    /// lowest-indexed eligible message. Returns, per message, the round
+    /// each vertex received it in (0 = held at start) — a complete
+    /// trace of the schedule, not just its length.
+    fn reference_schedule(
+        g: &Graph,
+        packing: &DomTreePacking,
+        origins: &[usize],
+        seed: u64,
+    ) -> (usize, u64, Vec<Vec<usize>>) {
+        let n = g.n();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_trees = packing.num_trees();
+        let mut tree_member: Vec<Vec<bool>> = Vec::with_capacity(num_trees);
+        for t in &packing.trees {
+            let mut member = vec![false; n];
+            for &(u, v) in &t.edges {
+                member[u] = true;
+                member[v] = true;
+            }
+            if let Some(s) = t.singleton {
+                member[s] = true;
+            }
+            tree_member.push(member);
+        }
+        let nmsg = origins.len();
+        let tree_of: Vec<usize> = (0..nmsg).map(|_| rng.gen_range(0..num_trees)).collect();
+        let mut received: Vec<Vec<bool>> = (0..nmsg)
+            .map(|m| {
+                let mut r = vec![false; n];
+                r[origins[m]] = true;
+                r
+            })
+            .collect();
+        let mut recv_round: Vec<Vec<usize>> = (0..nmsg).map(|_| vec![usize::MAX; n]).collect();
+        for m in 0..nmsg {
+            recv_round[m][origins[m]] = 0;
+        }
+        let mut relayed: Vec<Vec<bool>> = vec![vec![false; n]; nmsg];
+        let mut remaining: Vec<usize> = (0..nmsg).map(|_| n - 1).collect();
+        let mut incomplete = remaining.iter().filter(|&&r| r > 0).count();
+        let mut rounds = 0usize;
+        let mut digest = 0u64;
+        while incomplete > 0 {
+            rounds += 1;
+            let mut chosen: Vec<Option<usize>> = vec![None; n];
+            for m in 0..nmsg {
+                if remaining[m] == 0 {
+                    continue;
+                }
+                let tree = tree_of[m];
+                for v in 0..n {
+                    if chosen[v].is_none()
+                        && received[m][v]
+                        && !relayed[m][v]
+                        && (tree_member[tree][v] || v == origins[m])
+                    {
+                        chosen[v] = Some(m);
+                    }
+                }
+            }
+            for v in 0..n {
+                if let Some(m) = chosen[v] {
+                    relayed[m][v] = true;
+                    digest = digest.wrapping_add(relay_hash(rounds, v, m));
+                    for &u in g.neighbors(v) {
+                        if !received[m][u] {
+                            received[m][u] = true;
+                            recv_round[m][u] = rounds;
+                            remaining[m] -= 1;
+                            if remaining[m] == 0 {
+                                incomplete -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (rounds, digest, recv_round)
+    }
+
+    #[test]
+    fn bitset_schedule_matches_reference_scan() {
+        // Sweep families, seeds, and both packing regimes. The
+        // worklist/heap rewrite claims to take the *same* greedy choice
+        // every round (lowest-indexed eligible message per vertex, from
+        // round-start state); `schedule_digest` — a commutative fold
+        // over every (round, vertex, message) relay — must match the
+        // reference scan's exactly, which pins the full schedule, not
+        // just its length. The reference's reception trace also
+        // certifies completeness.
+        let cases: Vec<(Graph, DomTreePacking)> = vec![
+            {
+                let g = generators::harary(8, 40);
+                let p = packing_for(&g, 8, 1);
+                (g, p)
+            },
+            {
+                let g = generators::thick_path(4, 6);
+                let p = packing_for(&g, 4, 3);
+                (g, p)
+            },
+            disjoint_pair_packing(6, 36),
+            {
+                let g = generators::cycle(17);
+                let p = packing_for(&g, 2, 0);
+                (g, p)
+            },
+        ];
+        for (g, packing) in &cases {
+            for seed in [0u64, 5, 9] {
+                let origins: Vec<usize> = (0..2 * g.n()).map(|i| (i * 7) % g.n()).collect();
+                let r = gossip_via_trees(g, packing, &origins, seed);
+                let (ref_rounds, ref_digest, recv_round) =
+                    reference_schedule(g, packing, &origins, seed);
+                assert_eq!(
+                    r.rounds, ref_rounds,
+                    "schedule length diverged (seed {seed})"
+                );
+                assert_eq!(
+                    r.schedule_digest, ref_digest,
+                    "relay schedule diverged (seed {seed})"
+                );
+                for row in &recv_round {
+                    assert!(
+                        row.iter().all(|&rd| rd != usize::MAX),
+                        "reference schedule incomplete"
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,7 +9,7 @@
 //! (the central scheduler picks relays greedily; the protocol relays
 //! FIFO), which the tests check.
 
-use decomp_congest::{Inbox, Message, Model, NodeCtx, NodeProgram, SimError, Simulator};
+use decomp_congest::{Inbox, Message, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};
 use decomp_core::packing::DomTreePacking;
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -38,7 +38,7 @@ impl GossipProgram {
 }
 
 impl NodeProgram for GossipProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (_, m) in inbox {
             self.accept(m.word(0), m.word(1));
         }
@@ -60,12 +60,12 @@ impl NodeProgram for GossipProgram {
 /// Result of the message-passing gossip run.
 #[derive(Clone, Debug)]
 pub struct DistGossipReport {
-    /// Rounds the protocol took.
-    pub rounds: usize,
     /// Whether every node received every message.
     pub complete: bool,
-    /// Total point-to-point messages delivered.
-    pub messages: usize,
+    /// Full simulator statistics for the run — rounds, messages, words,
+    /// and the peak-memory counters (`peak_queued_messages` /
+    /// `peak_arena_words`).
+    pub stats: RunStats,
 }
 
 /// Runs the Appendix-A gossip as a V-CONGEST protocol on a fresh simulator
@@ -114,11 +114,7 @@ pub fn gossip_protocol(
     let mut sim = Simulator::with_seed(g, Model::VCongest, seed);
     let (programs, stats) = sim.run(programs, 64 * (n + origins.len()) + 4096)?;
     let complete = programs.iter().all(|p| p.received.len() == origins.len());
-    Ok(DistGossipReport {
-        rounds: stats.rounds,
-        complete,
-        messages: stats.messages,
-    })
+    Ok(DistGossipReport { complete, stats })
 }
 
 #[cfg(test)]
@@ -140,8 +136,8 @@ mod tests {
         let origins: Vec<usize> = (0..g.n()).collect();
         let r = gossip_protocol(&g, &packing, &origins, 5).unwrap();
         assert!(r.complete, "every node must receive every message");
-        assert!(r.rounds > 0);
-        assert!(r.messages > 0);
+        assert!(r.stats.rounds > 0);
+        assert!(r.stats.messages > 0);
     }
 
     #[test]
@@ -155,9 +151,9 @@ mod tests {
         // FIFO relaying is at most a small factor slower than the greedy
         // central scheduler.
         assert!(
-            protocol.rounds <= 4 * schedule.rounds + 16,
+            protocol.stats.rounds <= 4 * schedule.rounds + 16,
             "protocol {} vs schedule {}",
-            protocol.rounds,
+            protocol.stats.rounds,
             schedule.rounds
         );
     }
@@ -168,7 +164,7 @@ mod tests {
         let packing = packing_for(&g, 2, 0);
         let r = gossip_protocol(&g, &packing, &[4], 1).unwrap();
         assert!(r.complete);
-        assert!(r.rounds <= 40);
+        assert!(r.stats.rounds <= 40);
     }
 
     #[test]

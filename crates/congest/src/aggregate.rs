@@ -62,7 +62,7 @@ struct AggregateProgram {
 }
 
 impl NodeProgram for AggregateProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (_, m) in inbox {
             match m.word(0) {
                 TAG_UP if m.word(1) == ctx.id() as u64 => {

@@ -59,14 +59,14 @@ struct BfsProgram {
 }
 
 impl NodeProgram for BfsProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         if self.dist.is_none() {
             if ctx.id() == self.root {
                 self.dist = Some(0);
             } else {
                 // Adopt the smallest announced distance + 1; ties by
                 // smallest sender id (deterministic).
-                let best = inbox.iter().map(|(from, m)| (m.word(0), *from)).min();
+                let best = inbox.iter().map(|(from, m)| (m.word(0), from)).min();
                 if let Some((d, from)) = best {
                     self.dist = Some(d + 1);
                     self.parent = Some(from);

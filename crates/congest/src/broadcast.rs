@@ -26,12 +26,12 @@ struct PipelineProgram {
 }
 
 impl NodeProgram for PipelineProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (from, m) in inbox {
             // Accept only from the tree parent: the broadcast wave travels
             // root -> leaves; other tree neighbors' broadcasts are their
             // own forwarding of the same wave.
-            if self.member && self.parent == Some(*from) {
+            if self.member && self.parent == Some(from) {
                 let w = m.word(0);
                 self.received.push(w);
                 self.queue.push_back(w);

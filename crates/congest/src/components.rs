@@ -27,14 +27,14 @@ struct LabelProgram {
 }
 
 impl NodeProgram for LabelProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         if !self.active {
             return;
         }
         for (from, m) in inbox {
             // Receiver-side filtering keeps this V-CONGEST conformant: the
             // broadcast reaches everyone, but only subgraph edges count.
-            if self.sub_neighbors.binary_search(from).is_ok() {
+            if self.sub_neighbors.binary_search(&from).is_ok() {
                 let cand = m.word(0);
                 if cand < self.label {
                     self.label = cand;

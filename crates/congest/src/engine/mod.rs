@@ -25,7 +25,19 @@
 //!    order in which engines *enqueue* messages is unobservable;
 //! 3. message/word counters are commutative sums; the sharded engine
 //!    reduces them shard-locally and merges in shard order, which yields
-//!    exactly the sequential totals.
+//!    exactly the sequential totals — and the peak-memory counters are
+//!    counted on the *sender* side (payload words once per send,
+//!    messages once per receiver) and summed into identical global
+//!    per-round totals on every worker, so they are engine-independent
+//!    too.
+//!
+//! Both engines deliver through flat per-shard `InboxArena`s — one
+//! contiguous payload-word buffer plus `(sender, offset, length)`
+//! entries per node, reset (never reallocated) at the round boundary —
+//! and route sends through a reusable span-based `Outbox`, so the
+//! steady-state round loop performs no heap allocation and a broadcast
+//! payload is stored once per shard instead of cloned per receiver
+//! (the message-plane invariants of `docs/DETERMINISM.md`).
 //!
 //! The equivalence is enforced by `tests/engine_equivalence.rs` (every
 //! testkit fixture family, sequential vs. 2- and 4-shard runs) and by the
@@ -38,8 +50,7 @@ pub mod sharded;
 pub use sequential::SequentialEngine;
 pub use sharded::ShardedEngine;
 
-use crate::message::Message;
-use crate::sim::{Model, NodeCtx, NodeProgram, RunStats, SimError};
+use crate::sim::{InEntry, Inbox, Model, NodeCtx, NodeProgram, Outbox, RunStats, SimError};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use std::fmt;
@@ -149,21 +160,100 @@ pub trait RoundEngine {
 }
 
 /// Whether node `v`'s program must be stepped this round.
-pub(crate) fn is_active<P: NodeProgram>(
-    round: usize,
-    inbox: &[(NodeId, Message)],
-    program: &P,
-) -> bool {
-    round == 0 || !inbox.is_empty() || !program.is_done()
+pub(crate) fn is_active<P: NodeProgram>(round: usize, has_mail: bool, program: &P) -> bool {
+    round == 0 || has_mail || !program.is_done()
 }
 
-/// Executes one node's round: sorts the inbox by sender, runs the program
-/// against a fresh outbox, then accounts and routes every outgoing
-/// message through `deliver(receiver, payload)`.
+/// A flat per-shard inbox arena: one contiguous word buffer holding every
+/// payload delivered into the current round, plus per-node
+/// `(sender, offset, length)` entry lists. Reset — **not** reallocated —
+/// each round: `reset` keeps every buffer's capacity, so the steady
+/// state allocates nothing (the memory-plane invariant
+/// `docs/DETERMINISM.md` documents).
+pub(crate) struct InboxArena {
+    words: Vec<u64>,
+    entries: Vec<Vec<InEntry>>,
+    /// Local node indices with at least one entry (so `reset` is
+    /// `O(touched)`, not `O(n)`).
+    touched: Vec<u32>,
+    total_msgs: usize,
+}
+
+impl InboxArena {
+    pub(crate) fn new(nodes: usize) -> Self {
+        InboxArena {
+            words: Vec::new(),
+            entries: vec![Vec::new(); nodes],
+            touched: Vec::new(),
+            total_msgs: 0,
+        }
+    }
+
+    /// Clears all deliveries, keeping buffer capacity.
+    pub(crate) fn reset(&mut self) {
+        for &local in &self.touched {
+            self.entries[local as usize].clear();
+        }
+        self.touched.clear();
+        self.words.clear();
+        self.total_msgs = 0;
+    }
+
+    /// Appends one payload copy; returns its offset.
+    pub(crate) fn push_payload(&mut self, payload: &[u64]) -> u32 {
+        let off = u32::try_from(self.words.len()).expect("inbox arena exceeds u32 words");
+        self.words.extend_from_slice(payload);
+        off
+    }
+
+    /// Records a delivery of `(off, len)` from `from` to local node
+    /// `local`.
+    pub(crate) fn push_entry(&mut self, local: usize, from: NodeId, off: u32, len: u32) {
+        if self.entries[local].is_empty() {
+            self.touched.push(local as u32);
+        }
+        self.entries[local].push(InEntry {
+            from: from as u32,
+            off,
+            len,
+        });
+        self.total_msgs += 1;
+    }
+
+    /// Whether local node `local` has mail this round.
+    pub(crate) fn has_mail(&self, local: usize) -> bool {
+        !self.entries[local].is_empty()
+    }
+
+    /// Sorts `local`'s entries by sender id (senders are unique per
+    /// round, so the order is total and engine-independent).
+    pub(crate) fn sort(&mut self, local: usize) {
+        self.entries[local].sort_unstable_by_key(|e| e.from);
+    }
+
+    /// The inbox view for local node `local`.
+    pub(crate) fn inbox(&self, local: usize) -> Inbox<'_> {
+        Inbox::new(&self.words, &self.entries[local])
+    }
+
+    /// Total messages queued across all nodes (the `undelivered` count
+    /// at a round-limit cutoff).
+    pub(crate) fn total_msgs(&self) -> usize {
+        self.total_msgs
+    }
+}
+
+/// Executes one node's round: runs the program against the engine's
+/// reusable outbox, then accounts and routes every outgoing
+/// `(receivers, payload)` group through `sink` — receivers sharing one
+/// payload copy (a local broadcast) arrive in a single call, so delivery
+/// never clones payloads.
 ///
-/// Returns `true` iff the node sent at least one message. Both engines
-/// funnel through this helper, so per-node behavior (RNG consumption,
-/// model enforcement, stats accounting) is identical by construction.
+/// Returns `true` iff the node attempted a send. Both engines funnel
+/// through this helper, so per-node behavior (RNG consumption, model
+/// enforcement, stats accounting) is identical by construction. The
+/// caller sorts the inbox (see [`InboxArena::sort`]) before building the
+/// view.
 #[allow(clippy::too_many_arguments)] // the full per-node execution state, threaded once per engine
 pub(crate) fn step_node<P: NodeProgram>(
     net: &NetSpec<'_>,
@@ -171,13 +261,13 @@ pub(crate) fn step_node<P: NodeProgram>(
     round: usize,
     program: &mut P,
     rng: &mut StdRng,
-    inbox: &mut [(NodeId, Message)],
+    inbox: Inbox<'_>,
+    outbox: &mut Outbox,
     stats: &mut RunStats,
-    deliver: &mut impl FnMut(NodeId, Message),
+    sink: &mut impl FnMut(&[NodeId], &[u64]),
 ) -> bool {
-    inbox.sort_by_key(|(from, _)| *from);
     let neighbors = net.graph.neighbors(v);
-    let mut outbox = crate::sim::Outbox::new(net.model, neighbors.len());
+    outbox.reset(neighbors.len());
     {
         let mut ctx = NodeCtx::new(
             v,
@@ -186,15 +276,15 @@ pub(crate) fn step_node<P: NodeProgram>(
             neighbors,
             net.model,
             net.word_budget,
-            &mut outbox,
+            outbox,
             rng,
         );
-        program.round(&mut ctx, inbox);
+        program.round(&mut ctx, &inbox);
     }
-    outbox.drain(neighbors, |u, m| {
-        stats.messages += 1;
-        stats.words += m.len();
-        deliver(u, m);
+    outbox.drain(neighbors, |targets, payload| {
+        stats.messages += targets.len();
+        stats.words += payload.len() * targets.len();
+        sink(targets, payload);
     })
 }
 

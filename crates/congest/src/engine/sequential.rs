@@ -1,10 +1,12 @@
-//! The single-threaded lockstep engine (the historical round loop of
-//! `Simulator::run`, extracted verbatim).
+//! The single-threaded lockstep engine.
+//!
+//! Two `InboxArena`s double-buffer the rounds: programs read the
+//! current round's arena while their sends are written into the next
+//! round's; the buffers swap at the round boundary and are reset (not
+//! reallocated), so the steady-state loop performs no heap allocation.
 
-use super::{is_active, step_node, EngineKind, EngineRun, NetSpec, RoundEngine};
-use crate::message::Message;
-use crate::sim::{NodeProgram, RunStats, SimError};
-use decomp_graph::NodeId;
+use super::{is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine};
+use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
 use rand::rngs::StdRng;
 
 /// Steps every node in id order on the calling thread.
@@ -25,12 +27,15 @@ impl RoundEngine for SequentialEngine {
     ) -> EngineRun {
         let n = net.graph.n();
         let mut stats = RunStats::default();
-        // inboxes[v] = messages to deliver to v at the start of this round
-        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+        // cur = messages delivered into this round; next = deliveries
+        // being queued for the following round.
+        let mut cur = InboxArena::new(n);
+        let mut next = InboxArena::new(n);
+        let mut outbox = Outbox::new(net.model);
         let mut round = 0usize;
         loop {
             if round >= max_rounds {
-                let undelivered = inboxes.iter().map(Vec::len).sum();
+                let undelivered = cur.total_msgs();
                 let unfinished = programs.iter().filter(|p| !p.is_done()).count();
                 return EngineRun {
                     stats,
@@ -41,27 +46,40 @@ impl RoundEngine for SequentialEngine {
                     }),
                 };
             }
-            let mut next_inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
             let mut any_sent = false;
+            let mut queued_words = 0usize;
             for v in 0..n {
-                if !is_active(round, &inboxes[v], &programs[v]) {
+                if !is_active(round, cur.has_mail(v), &programs[v]) {
                     continue;
                 }
+                cur.sort(v);
+                let inbox = cur.inbox(v);
+                let next_arena = &mut next;
+                let queued = &mut queued_words;
                 let sent = step_node(
                     net,
                     v,
                     round,
                     &mut programs[v],
                     &mut rngs[v],
-                    &mut inboxes[v],
+                    inbox,
+                    &mut outbox,
                     &mut stats,
-                    &mut |u, m| next_inboxes[u].push((v, m)),
+                    &mut |targets, payload| {
+                        *queued += payload.len();
+                        let off = next_arena.push_payload(payload);
+                        for &u in targets {
+                            next_arena.push_entry(u, v, off, payload.len() as u32);
+                        }
+                    },
                 );
                 any_sent |= sent;
             }
             stats.rounds += 1;
             round += 1;
-            inboxes = next_inboxes;
+            stats.note_round_load(next.total_msgs(), queued_words);
+            std::mem::swap(&mut cur, &mut next);
+            next.reset();
             let all_done = programs.iter().all(|p| p.is_done());
             if all_done && !any_sent {
                 break;

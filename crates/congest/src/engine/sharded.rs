@@ -1,41 +1,53 @@
 //! The deterministic sharded multi-core engine.
 //!
 //! Nodes are partitioned into `s` contiguous shards; each shard's
-//! programs, RNG streams, and inboxes are owned exclusively by one scoped
-//! worker thread for the whole run (no per-round thread spawns). A round
-//! has two phases separated by barriers:
+//! programs, RNG streams, and inbox arena are owned exclusively by one
+//! scoped worker thread for the whole run (no per-round thread spawns).
+//! A round has two phases separated by barriers:
 //!
 //! 1. **compute** — every worker steps its shard's active nodes (in node
-//!    id order) and buckets outgoing messages into per-destination-shard
-//!    mailboxes; the shard's send/done flags are published;
+//!    id order); outgoing payloads are written once per destination shard
+//!    into per-shard outgoing batches (one word buffer + one
+//!    `(to, from, off, len)` entry list each — a broadcast's payload is
+//!    never copied per receiver); the shard's send/done flags and
+//!    queued-traffic totals are published;
 //! 2. **deliver** — after the barrier, every worker drains its mailbox
-//!    column (in sender-shard order) into its local inboxes, and all
-//!    workers take the same continue/stop decision from the published
-//!    flags.
+//!    column (in sender-shard order) into its local `InboxArena` (one
+//!    `memcpy` of the words plus offset-rebased entries per batch), and
+//!    all workers take the same continue/stop decision from the
+//!    published flags.
 //!
 //! Mailbox cell `[src][dst]` is written only by shard `src` during
 //! compute and drained only by shard `dst` during deliver, with the two
 //! phases separated by a barrier — the `Mutex` per cell is never
-//! contended and exists to keep the exchange in safe code.
+//! contended and exists to keep the exchange in safe code. Batch buffers
+//! **rotate** through the cells (sender swaps its filled batch in,
+//! receiver swaps a drained one back), so the steady state allocates
+//! nothing.
 //!
 //! Determinism (see the [module docs](super)): node order within a shard
-//! is ascending, shards cover ascending id ranges, inboxes are re-sorted
-//! by sender at consumption, RNG streams are per-node, and [`RunStats`]
-//! counters are shard-local sums merged in shard order — so a run is
-//! bit-identical to the sequential engine for *any* shard count.
+//! is ascending, shards cover ascending id ranges, inbox entries are
+//! re-sorted by sender at consumption, RNG streams are per-node, and
+//! [`RunStats`] counters are shard-local sums merged in shard order — so
+//! a run is bit-identical to the sequential engine for *any* shard
+//! count. The peak-memory counters are counted on the *sender* side
+//! (payload words once per send, messages once per receiver) and summed
+//! across shards through the published per-round totals, so they too are
+//! engine-independent.
 //!
 //! A panic inside program code (model violations are panics by contract)
 //! is caught on the worker, propagated through a shared flag so every
 //! other worker unblocks at the next barrier, and re-raised on the
 //! calling thread.
 
-use super::{is_active, step_node, EngineKind, EngineRun, NetSpec, RoundEngine, SequentialEngine};
-use crate::message::Message;
-use crate::sim::{NodeProgram, RunStats, SimError};
+use super::{
+    is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine, SequentialEngine,
+};
+use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
 use decomp_graph::NodeId;
 use rand::rngs::StdRng;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::thread;
 
@@ -90,14 +102,41 @@ impl Partition {
     }
 }
 
-/// A message in transit between shards: `(receiver, sender, payload)`.
-type InFlight = (NodeId, NodeId, Message);
+/// One shard-to-shard traffic batch: a contiguous word buffer plus
+/// `(to, from, off, len)` entries whose offsets index the buffer. A
+/// broadcast spanning several receivers in the destination shard stores
+/// its payload once, referenced by all their entries.
+#[derive(Default)]
+struct OutBatch {
+    entries: Vec<WireEntry>,
+    words: Vec<u64>,
+}
+
+impl OutBatch {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.words.clear();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct WireEntry {
+    to: u32,
+    from: u32,
+    off: u32,
+    len: u32,
+}
 
 /// One shard's per-round published state, overwritten every round (no
 /// reset step needed between rounds).
 struct ShardFlags {
     sent: AtomicBool,
     done: AtomicBool,
+    /// Messages this shard queued for the next round (sender side).
+    queued_msgs: AtomicUsize,
+    /// Payload words this shard materialized for the next round, counted
+    /// once per send (sender side).
+    queued_words: AtomicUsize,
 }
 
 impl RoundEngine for ShardedEngine {
@@ -123,13 +162,15 @@ impl RoundEngine for ShardedEngine {
 
         // Cross-shard mailboxes: cell [src][dst] is written by src in the
         // compute phase and drained by dst in the deliver phase.
-        let mailboxes: Vec<Vec<Mutex<Vec<InFlight>>>> = (0..s)
-            .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+        let mailboxes: Vec<Vec<Mutex<OutBatch>>> = (0..s)
+            .map(|_| (0..s).map(|_| Mutex::new(OutBatch::default())).collect())
             .collect();
         let flags: Vec<ShardFlags> = (0..s)
             .map(|_| ShardFlags {
                 sent: AtomicBool::new(false),
                 done: AtomicBool::new(false),
+                queued_msgs: AtomicUsize::new(0),
+                queued_words: AtomicUsize::new(0),
             })
             .collect();
         let barrier = Barrier::new(s);
@@ -188,14 +229,23 @@ impl RoundEngine for ShardedEngine {
         }
 
         // Shard-local stats, merged in shard order. Rounds advance in
-        // lockstep, so every shard reports the same count.
+        // lockstep and peaks are global per-round sums every shard
+        // observes identically, so those fields agree across shards.
         let mut stats = RunStats::default();
         let mut exceeded: Option<(usize, usize)> = None;
         for (shard_stats, shard_err) in results {
             debug_assert!(stats.rounds == 0 || stats.rounds == shard_stats.rounds);
+            debug_assert!(
+                stats.peak_queued_messages == 0
+                    || stats.peak_queued_messages == shard_stats.peak_queued_messages
+            );
             stats.rounds = stats.rounds.max(shard_stats.rounds);
             stats.messages += shard_stats.messages;
             stats.words += shard_stats.words;
+            stats.peak_queued_messages = stats
+                .peak_queued_messages
+                .max(shard_stats.peak_queued_messages);
+            stats.peak_arena_words = stats.peak_arena_words.max(shard_stats.peak_arena_words);
             if let Some((undelivered, unfinished)) = shard_err {
                 let slot = exceeded.get_or_insert((0, 0));
                 slot.0 += undelivered;
@@ -225,7 +275,7 @@ fn shard_worker<P: NodeProgram + Send>(
     progs: &mut [P],
     rngs: &mut [StdRng],
     max_rounds: usize,
-    mailboxes: &[Vec<Mutex<Vec<InFlight>>>],
+    mailboxes: &[Vec<Mutex<OutBatch>>],
     flags: &[ShardFlags],
     barrier: &Barrier,
     panicked: &AtomicBool,
@@ -234,44 +284,82 @@ fn shard_worker<P: NodeProgram + Send>(
     let (lo, _hi) = part.range(me);
     let local_n = progs.len();
     let mut stats = RunStats::default();
-    let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); local_n];
-    let mut out_bufs: Vec<Vec<InFlight>> = vec![Vec::new(); s];
+    // This shard's inbox arena (deliveries into the current round) and
+    // per-destination-shard outgoing batches; `scratch` rotates through
+    // the mailbox cells during deliver. All reused every round.
+    let mut arena = InboxArena::new(local_n);
+    let mut outbox = Outbox::new(net.model);
+    let mut out_bufs: Vec<OutBatch> = (0..s).map(|_| OutBatch::default()).collect();
+    let mut scratch = OutBatch::default();
     let mut round = 0usize;
     loop {
         // All workers share the same lockstep round counter, so they all
         // take this exit in the same round (no barrier crossing needed).
         if round >= max_rounds {
-            let undelivered = inboxes.iter().map(Vec::len).sum();
+            let undelivered = arena.total_msgs();
             let unfinished = progs.iter().filter(|p| !p.is_done()).count();
             return (stats, Some((undelivered, unfinished)));
         }
 
         // --- Compute phase -------------------------------------------
         let mut any_sent = false;
+        let mut queued_msgs = 0usize;
+        let mut queued_words = 0usize;
         // `is_done()` runs inside the same catch_unwind as `round()`: a
         // panicking program (or a panic leaving state that makes
         // `is_done` panic) must never kill the worker before the barrier
         // or the other shards would deadlock there.
         let step = panic::catch_unwind(AssertUnwindSafe(|| {
             for i in 0..local_n {
-                if !is_active(round, &inboxes[i], &progs[i]) {
+                if !is_active(round, arena.has_mail(i), &progs[i]) {
                     continue;
                 }
+                arena.sort(i);
+                let inbox = arena.inbox(i);
                 let v = lo + i;
+                let bufs = &mut out_bufs;
+                let qm = &mut queued_msgs;
+                let qw = &mut queued_words;
                 let sent = step_node(
                     net,
                     v,
                     round,
                     &mut progs[i],
                     &mut rngs[i],
-                    &mut inboxes[i],
+                    inbox,
+                    &mut outbox,
                     &mut stats,
-                    &mut |u, m| out_bufs[part.shard_of(u)].push((u, v, m)),
+                    &mut |targets, payload| {
+                        *qm += targets.len();
+                        *qw += payload.len();
+                        // Targets are ascending and shards own ascending
+                        // contiguous ranges, so same-shard receivers form
+                        // runs: one payload copy per destination shard.
+                        let mut a = 0;
+                        while a < targets.len() {
+                            let dst = part.shard_of(targets[a]);
+                            let (_, dst_hi) = part.range(dst);
+                            let mut b = a + 1;
+                            while b < targets.len() && targets[b] < dst_hi {
+                                b += 1;
+                            }
+                            let batch = &mut bufs[dst];
+                            let off = u32::try_from(batch.words.len())
+                                .expect("shard batch exceeds u32 words");
+                            batch.words.extend_from_slice(payload);
+                            for &u in &targets[a..b] {
+                                batch.entries.push(WireEntry {
+                                    to: u as u32,
+                                    from: v as u32,
+                                    off,
+                                    len: payload.len() as u32,
+                                });
+                            }
+                            a = b;
+                        }
+                    },
                 );
                 any_sent |= sent;
-                // The sequential loop swaps in fresh inboxes each round;
-                // here the buffers are reused, so consume in place.
-                inboxes[i].clear();
             }
             progs.iter().all(|p| p.is_done())
         }));
@@ -285,15 +373,16 @@ fn shard_worker<P: NodeProgram + Send>(
                 true
             }
         };
+        // Publish outgoing batches: swap each filled batch into its
+        // mailbox cell, taking back the drained batch the receiver left
+        // there (buffer rotation — no allocation).
         for (dst, buf) in out_bufs.iter_mut().enumerate() {
-            if !buf.is_empty() {
-                // The cell was drained by `dst` last round, so this is a
-                // plain hand-off, not an append.
-                *mailboxes[me][dst].lock().unwrap() = std::mem::take(buf);
-            }
+            std::mem::swap(&mut *mailboxes[me][dst].lock().unwrap(), buf);
         }
         flags[me].sent.store(any_sent, Ordering::SeqCst);
         flags[me].done.store(local_done, Ordering::SeqCst);
+        flags[me].queued_msgs.store(queued_msgs, Ordering::SeqCst);
+        flags[me].queued_words.store(queued_words, Ordering::SeqCst);
 
         // --- Round barrier: mailboxes and flags are published --------
         barrier.wait();
@@ -302,15 +391,29 @@ fn shard_worker<P: NodeProgram + Send>(
         }
         let all_done = flags.iter().all(|f| f.done.load(Ordering::SeqCst));
         let any_sent_global = flags.iter().any(|f| f.sent.load(Ordering::SeqCst));
+        // Global queued-traffic totals for the coming round: identical
+        // sums on every worker, hence engine-independent peaks.
+        let round_msgs: usize = flags
+            .iter()
+            .map(|f| f.queued_msgs.load(Ordering::SeqCst))
+            .sum();
+        let round_words: usize = flags
+            .iter()
+            .map(|f| f.queued_words.load(Ordering::SeqCst))
+            .sum();
         stats.rounds += 1;
         round += 1;
+        stats.note_round_load(round_msgs, round_words);
 
         // --- Deliver phase (sender-shard order) -----------------------
+        arena.reset();
         for src_row in mailboxes {
-            let msgs = std::mem::take(&mut *src_row[me].lock().unwrap());
-            for (u, from, m) in msgs {
-                inboxes[u - lo].push((from, m));
+            std::mem::swap(&mut *src_row[me].lock().unwrap(), &mut scratch);
+            let base = arena.push_payload(&scratch.words);
+            for e in &scratch.entries {
+                arena.push_entry(e.to as usize - lo, e.from as NodeId, base + e.off, e.len);
             }
+            scratch.clear();
         }
 
         // Second barrier: every cell drained and every flag consumed

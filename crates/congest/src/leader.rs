@@ -17,7 +17,7 @@ struct FloodMax {
 }
 
 impl NodeProgram for FloodMax {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (_, m) in inbox {
             let cand = (m.word(0), m.word(1));
             if cand > self.best {

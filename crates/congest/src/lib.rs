@@ -67,5 +67,5 @@ pub mod multiflood;
 pub mod sim;
 
 pub use engine::{EngineKind, RoundEngine, SequentialEngine, ShardedEngine};
-pub use message::Message;
-pub use sim::{Inbox, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};
+pub use message::{Message, MsgView, INLINE_WORDS};
+pub use sim::{Inbox, InboxIter, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};

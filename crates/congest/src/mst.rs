@@ -44,7 +44,7 @@ struct NeighborInfo {
 }
 
 impl NodeProgram for MwoeProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         if ctx.round() == 0 {
             if ctx.degree() == 0 {
                 self.initialized = true;
@@ -58,14 +58,14 @@ impl NodeProgram for MwoeProgram {
                 TAG_FRAG => {
                     let idx = ctx
                         .neighbors()
-                        .binary_search(from)
+                        .binary_search(&from)
                         .expect("message from non-neighbor");
                     self.neighbor_info[idx].frag = Some(m.word(1));
                 }
                 TAG_CAND => {
                     let idx = ctx
                         .neighbors()
-                        .binary_search(from)
+                        .binary_search(&from)
                         .expect("message from non-neighbor");
                     // Only same-fragment neighbors participate in the
                     // fragment-internal min-flood.

@@ -57,7 +57,7 @@ impl FloodProgram {
 }
 
 impl NodeProgram for FloodProgram {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (_, m) in inbox {
             let words = m.words();
             for pair in words.chunks(2) {

@@ -19,7 +19,7 @@
 //! back on one simulator; the cumulative statistics add up across runs.
 
 use crate::engine::{EngineKind, NetSpec, RoundEngine, SequentialEngine, ShardedEngine};
-use crate::message::Message;
+use crate::message::{Message, MsgView};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +55,15 @@ pub struct RunStats {
     pub messages: usize,
     /// Total payload words delivered.
     pub words: usize,
+    /// Peak number of point-to-point messages queued for delivery into
+    /// any single round (the in-flight traffic at a round boundary).
+    pub peak_queued_messages: usize,
+    /// Peak payload words materialized for any single round's delivery —
+    /// the inbox-arena footprint. A V-CONGEST broadcast's payload counts
+    /// **once**, not per receiver (deliveries reference one copy; the
+    /// sharded engine holds at most one extra copy per destination shard,
+    /// uncounted so the metric stays engine-independent).
+    pub peak_arena_words: usize,
 }
 
 impl RunStats {
@@ -62,6 +71,14 @@ impl RunStats {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.words += other.words;
+        self.peak_queued_messages = self.peak_queued_messages.max(other.peak_queued_messages);
+        self.peak_arena_words = self.peak_arena_words.max(other.peak_arena_words);
+    }
+
+    /// Folds one round's queued-traffic totals into the peak counters.
+    pub(crate) fn note_round_load(&mut self, queued_messages: usize, arena_words: usize) {
+        self.peak_queued_messages = self.peak_queued_messages.max(queued_messages);
+        self.peak_arena_words = self.peak_arena_words.max(arena_words);
     }
 }
 
@@ -100,48 +117,205 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Messages delivered to a node this round, as `(sender, message)` pairs
-/// sorted by sender id.
-pub type Inbox = [(NodeId, Message)];
-
-pub(crate) enum Outbox {
-    /// V-CONGEST: at most one local-broadcast message.
-    Broadcast(Option<Message>),
-    /// E-CONGEST: at most one message per neighbor (indexed like
-    /// `graph.neighbors(v)`).
-    PerNeighbor(Vec<Option<Message>>),
+/// One delivered message in an engine inbox arena: the sender plus the
+/// payload span in the round's shared word buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InEntry {
+    pub(crate) from: u32,
+    pub(crate) off: u32,
+    pub(crate) len: u32,
 }
 
-impl Outbox {
-    /// An empty outbox for a node of the given degree under `model`.
-    pub(crate) fn new(model: Model, degree: usize) -> Self {
-        match model {
-            Model::VCongest => Outbox::Broadcast(None),
-            Model::ECongest => Outbox::PerNeighbor(vec![None; degree]),
+/// Messages delivered to a node this round, sorted by sender id.
+///
+/// A `Copy`-cheap view into the engine's per-shard inbox arena: payload
+/// words live in one contiguous per-round buffer; each entry is a
+/// `(sender, offset, length)` triple. Iteration yields
+/// `(NodeId, MsgView)` pairs — delivery never clones payloads.
+#[derive(Clone, Copy)]
+pub struct Inbox<'a> {
+    words: &'a [u64],
+    entries: &'a [InEntry],
+}
+
+impl<'a> Inbox<'a> {
+    pub(crate) fn new(words: &'a [u64], entries: &'a [InEntry]) -> Self {
+        Inbox { words, entries }
+    }
+
+    /// Number of delivered messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no message was delivered this round.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th delivered `(sender, payload)` pair (sender-id order).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> (NodeId, MsgView<'a>) {
+        let e = &self.entries[i];
+        let payload = &self.words[e.off as usize..(e.off + e.len) as usize];
+        (e.from as NodeId, MsgView::new(payload))
+    }
+
+    /// The first delivered pair (smallest sender id), if any.
+    pub fn first(&self) -> Option<(NodeId, MsgView<'a>)> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.get(0))
         }
     }
 
-    /// Feeds every outgoing `(receiver, payload)` pair to `f`; returns
+    /// Iterates over `(sender, payload)` pairs in sender-id order.
+    pub fn iter(&self) -> InboxIter<'a> {
+        InboxIter {
+            inbox: *self,
+            next: 0,
+        }
+    }
+}
+
+impl fmt::Debug for Inbox<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.iter().map(|(from, m)| (from, m.words().to_vec())))
+            .finish()
+    }
+}
+
+/// Iterator over an [`Inbox`]'s `(sender, payload)` pairs.
+pub struct InboxIter<'a> {
+    inbox: Inbox<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for InboxIter<'a> {
+    type Item = (NodeId, MsgView<'a>);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.inbox.len() {
+            return None;
+        }
+        let item = self.inbox.get(self.next);
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.inbox.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a> IntoIterator for &Inbox<'a> {
+    type Item = (NodeId, MsgView<'a>);
+    type IntoIter = InboxIter<'a>;
+    fn into_iter(self) -> InboxIter<'a> {
+        self.iter()
+    }
+}
+
+/// Sentinel for "no message on this neighbor slot".
+const NO_SPAN: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// A node's outgoing traffic for one round. Payload words are written
+/// once into a reusable scratch buffer; slots record `(offset, length)`
+/// spans, so a broadcast stores its payload a single time no matter the
+/// degree. The engine owns one `Outbox` per worker and resets it per
+/// node step — the steady state allocates nothing.
+pub(crate) struct Outbox {
+    words: Vec<u64>,
+    kind: OutKind,
+}
+
+enum OutKind {
+    /// V-CONGEST: at most one local-broadcast payload span.
+    Broadcast(Option<(u32, u32)>),
+    /// E-CONGEST: at most one payload span per neighbor (indexed like
+    /// `graph.neighbors(v)`).
+    PerNeighbor(Vec<(u32, u32)>),
+}
+
+impl Outbox {
+    /// An empty outbox for `model`.
+    pub(crate) fn new(model: Model) -> Self {
+        Outbox {
+            words: Vec::new(),
+            kind: match model {
+                Model::VCongest => OutKind::Broadcast(None),
+                Model::ECongest => OutKind::PerNeighbor(Vec::new()),
+            },
+        }
+    }
+
+    /// Clears the outbox for the next node of degree `degree`,
+    /// keeping all buffer capacity.
+    pub(crate) fn reset(&mut self, degree: usize) {
+        self.words.clear();
+        match &mut self.kind {
+            OutKind::Broadcast(slot) => *slot = None,
+            OutKind::PerNeighbor(slots) => {
+                slots.clear();
+                slots.resize(degree, NO_SPAN);
+            }
+        }
+    }
+
+    fn push_payload(&mut self, m: &Message) -> (u32, u32) {
+        let off = u32::try_from(self.words.len()).expect("outbox exceeds u32 words");
+        self.words.extend_from_slice(m.words());
+        (off, m.len() as u32)
+    }
+
+    /// Feeds every outgoing `(receivers, payload)` group to `sink` —
+    /// receivers sharing one payload copy arrive in a single call (a
+    /// V-CONGEST broadcast is one call with all neighbors) — and returns
     /// `true` iff the node attempted a send. (A broadcast from a
     /// degree-0 node delivers nothing but still counts as an attempt —
     /// the historical round-loop semantics, which quiescence timing
     /// depends on.)
-    pub(crate) fn drain(self, neighbors: &[NodeId], mut f: impl FnMut(NodeId, Message)) -> bool {
-        match self {
-            Outbox::Broadcast(Some(m)) => {
-                for &u in neighbors {
-                    f(u, m.clone());
+    pub(crate) fn drain(
+        &self,
+        neighbors: &[NodeId],
+        mut sink: impl FnMut(&[NodeId], &[u64]),
+    ) -> bool {
+        match &self.kind {
+            OutKind::Broadcast(Some((off, len))) => {
+                if !neighbors.is_empty() {
+                    sink(
+                        neighbors,
+                        &self.words[*off as usize..(*off + *len) as usize],
+                    );
                 }
                 true
             }
-            Outbox::Broadcast(None) => false,
-            Outbox::PerNeighbor(slots) => {
+            OutKind::Broadcast(None) => false,
+            OutKind::PerNeighbor(slots) => {
                 let mut any = false;
-                for (i, slot) in slots.into_iter().enumerate() {
-                    if let Some(m) = slot {
-                        any = true;
-                        f(neighbors[i], m);
+                let mut i = 0;
+                while i < slots.len() {
+                    if slots[i] == NO_SPAN {
+                        i += 1;
+                        continue;
                     }
+                    any = true;
+                    // Consecutive slots sharing a span (an E-CONGEST
+                    // broadcast) deliver from one payload copy.
+                    let mut j = i + 1;
+                    while j < slots.len() && slots[j] == slots[i] {
+                        j += 1;
+                    }
+                    let (off, len) = slots[i];
+                    sink(
+                        &neighbors[i..j],
+                        &self.words[off as usize..(off + len) as usize],
+                    );
+                    i = j;
                 }
                 any
             }
@@ -233,26 +407,31 @@ impl<'a> NodeCtx<'a> {
     /// [`NodeCtx::send`] this round, or if `m` exceeds the word budget.
     pub fn broadcast(&mut self, m: Message) {
         self.check_budget(&m);
-        match self.outbox {
-            Outbox::Broadcast(slot) => {
+        match &self.outbox.kind {
+            OutKind::Broadcast(slot) => {
                 assert!(
                     slot.is_none(),
                     "V-CONGEST violation: node {} broadcast twice in round {}",
                     self.id,
                     self.round
                 );
-                *slot = Some(m);
+                let span = self.outbox.push_payload(&m);
+                self.outbox.kind = OutKind::Broadcast(Some(span));
             }
-            Outbox::PerNeighbor(slots) => {
-                for (i, slot) in slots.iter_mut().enumerate() {
+            OutKind::PerNeighbor(slots) => {
+                for (i, slot) in slots.iter().enumerate() {
                     assert!(
-                        slot.is_none(),
+                        *slot == NO_SPAN,
                         "E-CONGEST violation: node {} already sent to neighbor {} in round {}",
                         self.id,
                         self.neighbors[i],
                         self.round
                     );
-                    *slot = Some(m.clone());
+                }
+                // One payload copy shared by every neighbor slot.
+                let span = self.outbox.push_payload(&m);
+                if let OutKind::PerNeighbor(slots) = &mut self.outbox.kind {
+                    slots.fill(span);
                 }
             }
         }
@@ -265,24 +444,27 @@ impl<'a> NodeCtx<'a> {
     /// direction was already used this round, or on word-budget overflow.
     pub fn send(&mut self, to: NodeId, m: Message) {
         self.check_budget(&m);
-        match self.outbox {
-            Outbox::Broadcast(_) => panic!(
+        match &self.outbox.kind {
+            OutKind::Broadcast(_) => panic!(
                 "V-CONGEST violation: node {} attempted a targeted send (only local broadcast is allowed)",
                 self.id
             ),
-            Outbox::PerNeighbor(slots) => {
+            OutKind::PerNeighbor(slots) => {
                 let idx = self
                     .neighbors
                     .binary_search(&to)
                     .unwrap_or_else(|_| panic!("node {} is not a neighbor of {}", to, self.id));
                 assert!(
-                    slots[idx].is_none(),
+                    slots[idx] == NO_SPAN,
                     "E-CONGEST violation: node {} sent twice to {} in round {}",
                     self.id,
                     to,
                     self.round
                 );
-                slots[idx] = Some(m);
+                let span = self.outbox.push_payload(&m);
+                if let OutKind::PerNeighbor(slots) = &mut self.outbox.kind {
+                    slots[idx] = span;
+                }
             }
         }
     }
@@ -311,7 +493,7 @@ impl<'a> NodeCtx<'a> {
 /// automatic in practice.
 pub trait NodeProgram {
     /// Executes one round: read `inbox`, update state, send via `ctx`.
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox);
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>);
 
     /// Local termination flag; the run stops at global quiescence
     /// (all done + no messages in flight).
@@ -493,9 +675,9 @@ mod tests {
     }
 
     impl NodeProgram for HelloOnce {
-        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
             for (from, _m) in inbox {
-                self.heard.push(*from);
+                self.heard.push(from);
             }
             if !self.sent {
                 ctx.broadcast(Message::from_words([ctx.id() as u64]));
@@ -537,7 +719,7 @@ mod tests {
         #[derive(Debug)]
         struct Chatter;
         impl NodeProgram for Chatter {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 ctx.broadcast(Message::from_words([ctx.id() as u64]));
             }
             fn is_done(&self) -> bool {
@@ -594,7 +776,7 @@ mod tests {
         #[derive(Debug)]
         struct Chatter;
         impl NodeProgram for Chatter {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 ctx.broadcast(Message::new());
             }
             fn is_done(&self) -> bool {
@@ -628,7 +810,7 @@ mod tests {
     fn double_broadcast_panics() {
         struct Bad;
         impl NodeProgram for Bad {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 ctx.broadcast(Message::new());
                 ctx.broadcast(Message::new());
             }
@@ -646,7 +828,7 @@ mod tests {
     fn sharded_engine_propagates_program_panics() {
         struct Bad;
         impl NodeProgram for Bad {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 ctx.broadcast(Message::new());
                 ctx.broadcast(Message::new());
             }
@@ -665,7 +847,7 @@ mod tests {
     fn vcongest_rejects_targeted_send() {
         struct Bad;
         impl NodeProgram for Bad {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 let to = ctx.neighbors()[0];
                 ctx.send(to, Message::new());
             }
@@ -683,7 +865,7 @@ mod tests {
     fn word_budget_enforced() {
         struct Fat;
         impl NodeProgram for Fat {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 ctx.broadcast(Message::from_words(0..100));
             }
             fn is_done(&self) -> bool {
@@ -707,7 +889,7 @@ mod tests {
             R(Receiver),
         }
         impl NodeProgram for P {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
                 match self {
                     P::S(_) => {
                         if ctx.round() == 0 {
@@ -781,7 +963,7 @@ mod tests {
             value: Option<u64>,
         }
         impl NodeProgram for Roll {
-            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+            fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
                 if self.value.is_none() {
                     self.value = Some(ctx.rng().gen());
                 }

@@ -296,11 +296,22 @@ pub fn cds_packing_with_state(g: &Graph, config: &CdsPackingConfig) -> (CdsPacki
     let half = layout.jump_start();
 
     // --- Jump start: layers 0..L/2 join random classes. -----------------
+    // One RNG fill per layer: all 3n class picks are drawn into a flat
+    // buffer in a tight loop (draw order — real × vtype — unchanged, so
+    // the stream and the packing stay bit-identical; `cds_digest` is the
+    // oracle), then the cache-heavy join sweep runs without touching the
+    // RNG. The buffer is reused across layers.
+    let mut picks: Vec<u32> = vec![0; 3 * g.n()];
     for layer in 0..half {
+        for p in picks.iter_mut() {
+            *p = rng.gen_range(0..t) as u32;
+        }
+        let mut at = 0usize;
         for real in 0..g.n() {
             for vtype in VType::ALL {
                 let vid = layout.vid(real, layer, vtype);
-                let c = rng.gen_range(0..t);
+                let c = picks[at] as usize;
+                at += 1;
                 class_of[vid] = Some(c as u32);
                 st.join(g, vid, c);
             }

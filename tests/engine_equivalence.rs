@@ -126,7 +126,7 @@ fn round_limit_error_context_identical() {
     #[derive(Debug)]
     struct Chatter;
     impl NodeProgram for Chatter {
-        fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox) {
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
             ctx.broadcast(Message::from_words([ctx.id() as u64]));
         }
         fn is_done(&self) -> bool {
@@ -165,13 +165,13 @@ struct GossipMix {
 }
 
 impl NodeProgram for GossipMix {
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox) {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
         for (from, m) in inbox {
             for &w in m.words() {
                 self.acc = self
                     .acc
                     .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add(w ^ *from as u64);
+                    .wrapping_add(w ^ from as u64);
             }
         }
         if self.rounds_left > 0 {

@@ -1,0 +1,137 @@
+//! Message-plane representation equivalence (PR 4 invariants).
+//!
+//! The zero-allocation message plane stores small payloads inline in the
+//! `Message` struct and spills longer ones to a heap `Vec`. The two
+//! representations must be **observationally identical** — every
+//! accessor, equality, and hashing goes through the payload words, never
+//! the representation — and the word-budget enforcement must reject
+//! exactly the payloads it rejected before (length is all that counts).
+//!
+//! `Message::from_words` builds the inline representation whenever the
+//! payload fits ([`congest::INLINE_WORDS`] words); `From<Vec<u64>>`
+//! deliberately preserves the heap representation even for payloads that
+//! would fit inline, which is what lets these tests pin a heap twin of
+//! any small message.
+
+use connectivity_decomposition::congest::{
+    Inbox, Message, Model, NodeCtx, NodeProgram, Simulator, INLINE_WORDS,
+};
+use connectivity_decomposition::graph::generators;
+use proptest::prelude::*;
+use std::hash::{Hash, Hasher};
+
+fn hash_of(m: &Message) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    m.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Inline vs heap `Message`s over the same words round-trip every
+    /// accessor identically.
+    fn representations_observationally_identical(
+        words in proptest::collection::vec(any::<u64>(), 0..=2 * INLINE_WORDS + 1),
+    ) {
+        let inline_built = Message::from_words(words.iter().copied());
+        let heap_built: Message = words.clone().into();
+
+        prop_assert_eq!(inline_built.words(), words.as_slice());
+        prop_assert_eq!(heap_built.words(), words.as_slice());
+        prop_assert_eq!(inline_built.len(), words.len());
+        prop_assert_eq!(heap_built.len(), words.len());
+        prop_assert_eq!(inline_built.is_empty(), words.is_empty());
+        prop_assert_eq!(heap_built.is_empty(), words.is_empty());
+        for i in 0..words.len() + 2 {
+            prop_assert_eq!(inline_built.get(i), words.get(i).copied());
+            prop_assert_eq!(heap_built.get(i), words.get(i).copied());
+        }
+
+        // Observational equality and hashing are representation-blind.
+        prop_assert_eq!(&inline_built, &heap_built);
+        prop_assert_eq!(hash_of(&inline_built), hash_of(&heap_built));
+    }
+
+    /// Pushing keeps the two representations in lockstep — including
+    /// across the inline→heap spill boundary.
+    fn push_keeps_representations_in_lockstep(
+        words in proptest::collection::vec(any::<u64>(), 0..=INLINE_WORDS + 2),
+        extra in proptest::collection::vec(any::<u64>(), 1..=INLINE_WORDS + 2),
+    ) {
+        let mut inline_built = Message::from_words(words.iter().copied());
+        let mut heap_built: Message = words.clone().into();
+        let mut expect = words;
+        for &w in &extra {
+            inline_built = inline_built.push(w);
+            heap_built = heap_built.push(w);
+            expect.push(w);
+            prop_assert_eq!(inline_built.words(), expect.as_slice());
+            prop_assert_eq!(&inline_built, &heap_built);
+            prop_assert_eq!(hash_of(&inline_built), hash_of(&heap_built));
+        }
+    }
+
+    /// The word budget rejects exactly the same payloads for both
+    /// representations: `len()` (the quantity the simulator checks) is
+    /// representation-independent, so a payload is over budget iff its
+    /// word count is — same as before the inline rewrite.
+    fn word_budget_is_representation_blind(
+        words in proptest::collection::vec(any::<u64>(), 0..=2 * INLINE_WORDS + 1),
+        budget in 0usize..=2 * INLINE_WORDS + 1,
+    ) {
+        let inline_built = Message::from_words(words.iter().copied());
+        let heap_built: Message = words.clone().into();
+        let over = words.len() > budget;
+        prop_assert_eq!(inline_built.len() > budget, over);
+        prop_assert_eq!(heap_built.len() > budget, over);
+    }
+}
+
+/// A program that broadcasts one fixed message once.
+struct SendOnce {
+    m: Option<Message>,
+}
+
+impl NodeProgram for SendOnce {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
+        if let Some(m) = self.m.take() {
+            ctx.broadcast(m);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.m.is_none()
+    }
+}
+
+fn run_budgeted(budget: usize, m: Message) {
+    let g = generators::path(2);
+    let mut sim = Simulator::new(&g, Model::VCongest).with_word_budget(budget);
+    let programs = vec![SendOnce { m: Some(m) }, SendOnce { m: None }];
+    let _ = sim.run(programs, 4);
+}
+
+#[test]
+#[should_panic(expected = "word budget")]
+fn budget_rejects_oversized_inline_payload() {
+    // 3 words, inline representation, budget 2.
+    run_budgeted(2, Message::from_words([1, 2, 3]));
+}
+
+#[test]
+#[should_panic(expected = "word budget")]
+fn budget_rejects_oversized_heap_payload() {
+    // The heap twin of the same payload must be rejected identically.
+    run_budgeted(2, vec![1, 2, 3].into());
+}
+
+#[test]
+fn budget_admits_exact_fit_in_both_representations() {
+    run_budgeted(3, Message::from_words([1, 2, 3]));
+    run_budgeted(3, vec![1, 2, 3].into());
+    // Heap-spilled payload under a budget wider than the inline cap.
+    run_budgeted(
+        INLINE_WORDS + 2,
+        Message::from_words(0..(INLINE_WORDS as u64 + 1)),
+    );
+}
