@@ -1,14 +1,21 @@
 //! E9 — Corollary A.1: gossiping `N` messages (≤ η per node) completes in
-//! `O~(η + (N + n)/k)` rounds via the dominating-tree packing.
+//! `O~(η + (N + n)/k)` rounds via the dominating-tree packing. Each
+//! workload runs under both schedules: the integral reading
+//! (uniform tree choice, greedy relaying) and the fractional regime
+//! (weight-proportional choice + weighted time-sharing, Theorem 1.1).
 
+use decomp_bench::packings::disjoint_pair_packing;
 use decomp_bench::table::{d, f, Table};
-use decomp_broadcast::gossip::{gossip_single_tree_baseline, gossip_via_trees};
+use decomp_broadcast::gossip::{gossip_single_tree_baseline, gossip_via_trees_with, GossipConfig};
 use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
 use decomp_core::cds::tree_extract::to_dom_tree_packing;
-use decomp_core::packing::{DomTreePacking, WeightedDomTree};
 use decomp_graph::generators;
 
 fn main() {
+    let configs = [
+        ("uniform", GossipConfig::default()),
+        ("weighted", GossipConfig::weighted()),
+    ];
     let mut t = Table::new(
         "E9: gossiping (Cor A.1)",
         &[
@@ -17,6 +24,7 @@ fn main() {
             "k",
             "N",
             "eta",
+            "sched",
             "rounds",
             "baseline",
             "bound eta+(N+n)/k",
@@ -27,60 +35,59 @@ fn main() {
         let g = generators::harary(k, n);
         let p = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 2));
         let trees = to_dom_tree_packing(&g, &p).packing;
+        trees.validate(&g, 1e-9).unwrap();
         let origins: Vec<usize> = (0..mult * n).map(|i| i % n).collect();
-        let r = gossip_via_trees(&g, &trees, &origins, 5);
         let base = gossip_single_tree_baseline(&g, &origins, 5);
         let bound = mult as f64 + (origins.len() + n) as f64 / k as f64;
-        t.row(&[
-            "harary".into(),
-            d(n),
-            d(k),
-            d(origins.len()),
-            d(mult),
-            d(r.rounds),
-            d(base.rounds),
-            f(bound),
-        ]);
+        for (sched, config) in configs {
+            let r = gossip_via_trees_with(&g, &trees, &origins, 5, config);
+            t.row(&[
+                "harary".into(),
+                d(n),
+                d(k),
+                d(origins.len()),
+                d(mult),
+                sched.into(),
+                d(r.rounds),
+                d(base.rounds),
+                f(bound),
+            ]);
+        }
     }
     // Vertex-disjoint pair trees (the k >> log n regime).
     for &tcount in &[8usize, 16] {
         let n = 96;
         let g = generators::complete_bipartite(tcount, n - tcount);
-        let packing = DomTreePacking {
-            trees: (0..tcount)
-                .map(|i| WeightedDomTree {
-                    id: i,
-                    weight: 1.0,
-                    edges: vec![(i, tcount + i)],
-                    singleton: None,
-                })
-                .collect(),
-        };
+        let packing = disjoint_pair_packing(&g, tcount);
         let origins: Vec<usize> = (0..4 * n).map(|i| i % n).collect();
-        let r = gossip_via_trees(&g, &packing, &origins, 5);
         let base = gossip_single_tree_baseline(&g, &origins, 5);
         let bound = 4.0 + (origins.len() + n) as f64 / tcount as f64;
-        t.row(&[
-            "disjoint-pairs".into(),
-            d(n),
-            d(tcount),
-            d(origins.len()),
-            d(4),
-            d(r.rounds),
-            d(base.rounds),
-            f(bound),
-        ]);
+        for (sched, config) in configs {
+            let r = gossip_via_trees_with(&g, &packing, &origins, 5, config);
+            t.row(&[
+                "disjoint-pairs".into(),
+                d(n),
+                d(tcount),
+                d(origins.len()),
+                d(4),
+                sched.into(),
+                d(r.rounds),
+                d(base.rounds),
+                f(bound),
+            ]);
+        }
     }
     t.print();
 
     // Cross-validation: the schedule-level simulation vs the real
-    // V-CONGEST protocol on the same workload.
+    // V-CONGEST protocol on the same workload, per tree-choice policy.
     let mut t2 = Table::new(
         "E9b: schedule simulation vs message-passing protocol",
         &[
             "family",
             "n",
             "N",
+            "sched",
             "schedule rounds",
             "protocol rounds",
             "complete",
@@ -89,17 +96,23 @@ fn main() {
     let g = generators::harary(8, 48);
     let p = cds_packing(&g, &CdsPackingConfig::with_known_k(8, 2));
     let trees = to_dom_tree_packing(&g, &p).packing;
+    trees.validate(&g, 1e-9).unwrap();
     let origins: Vec<usize> = (0..g.n()).collect();
-    let sched = gossip_via_trees(&g, &trees, &origins, 5);
-    let proto =
-        decomp_broadcast::gossip_distributed::gossip_protocol(&g, &trees, &origins, 5).unwrap();
-    t2.row(&[
-        "harary".into(),
-        d(g.n()),
-        d(origins.len()),
-        d(sched.rounds),
-        d(proto.stats.rounds),
-        d(proto.complete),
-    ]);
+    for (sched, config) in configs {
+        let sched_r = gossip_via_trees_with(&g, &trees, &origins, 5, config);
+        let proto = decomp_broadcast::gossip_distributed::gossip_protocol_with(
+            &g, &trees, &origins, 5, config,
+        )
+        .unwrap();
+        t2.row(&[
+            "harary".into(),
+            d(g.n()),
+            d(origins.len()),
+            sched.into(),
+            d(sched_r.rounds),
+            d(proto.stats.rounds),
+            d(proto.complete),
+        ]);
+    }
     t2.print();
 }

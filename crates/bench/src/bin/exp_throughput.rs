@@ -2,16 +2,21 @@
 //! information-theoretic limits (`k` msgs/round in V-CONGEST, `λ` in
 //! E-CONGEST) and against the single-BFS-tree baseline.
 
+use decomp_bench::packings::disjoint_pair_packing;
 use decomp_bench::table::{d, f, Table};
-use decomp_broadcast::throughput::{edge_throughput, vertex_throughput};
+use decomp_broadcast::gossip::GossipConfig;
+use decomp_broadcast::throughput::{edge_throughput, vertex_throughput_with};
 use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
 use decomp_core::cds::tree_extract::to_dom_tree_packing;
-use decomp_core::packing::{DomTreePacking, WeightedDomTree};
 use decomp_core::stp::mwu::{fractional_stp_mwu, MwuConfig};
 use decomp_graph::connectivity::edge_connectivity;
 use decomp_graph::generators;
 
 fn main() {
+    let configs = [
+        ("uniform", GossipConfig::default()),
+        ("weighted", GossipConfig::weighted()),
+    ];
     // --- Corollary 1.4: V-CONGEST throughput. ---------------------------
     let mut t = Table::new(
         "E6a: broadcast throughput, V-CONGEST (Cor 1.4)",
@@ -20,6 +25,7 @@ fn main() {
             "n",
             "k",
             "trees",
+            "sched",
             "msgs/round",
             "baseline",
             "limit k",
@@ -29,42 +35,41 @@ fn main() {
         let g = generators::harary(k, n);
         let p = cds_packing(&g, &CdsPackingConfig::with_known_k(k, 2));
         let trees = to_dom_tree_packing(&g, &p).packing;
-        let r = vertex_throughput(&g, &trees, k, 4 * n, 5);
-        t.row(&[
-            "harary".into(),
-            d(n),
-            d(k),
-            d(trees.num_trees()),
-            f(r.messages_per_round),
-            f(r.baseline_messages_per_round),
-            d(k),
-        ]);
+        trees.validate(&g, 1e-9).unwrap();
+        for (sched, config) in configs {
+            let r = vertex_throughput_with(&g, &trees, k, 4 * n, 5, config);
+            t.row(&[
+                "harary".into(),
+                d(n),
+                d(k),
+                d(trees.num_trees()),
+                sched.into(),
+                f(r.messages_per_round),
+                f(r.baseline_messages_per_round),
+                d(k),
+            ]);
+        }
     }
     // The vertex-disjoint regime (what the theorem predicts at k >> log n),
-    // using hand-built disjoint pair trees on K_{t, n-t}.
+    // using the shared hand-built disjoint pair trees on K_{t, n-t}
+    // (weighted feasibly and validated by the helper).
     for &tcount in &[4usize, 8, 16] {
         let n = 96;
         let g = generators::complete_bipartite(tcount, n - tcount);
-        let packing = DomTreePacking {
-            trees: (0..tcount)
-                .map(|i| WeightedDomTree {
-                    id: i,
-                    weight: 1.0,
-                    edges: vec![(i, tcount + i)],
-                    singleton: None,
-                })
-                .collect(),
-        };
-        let r = vertex_throughput(&g, &packing, tcount, 6 * n, 7);
-        t.row(&[
-            "disjoint-pairs".into(),
-            d(n),
-            d(tcount),
-            d(tcount),
-            f(r.messages_per_round),
-            f(r.baseline_messages_per_round),
-            d(tcount),
-        ]);
+        let packing = disjoint_pair_packing(&g, tcount);
+        for (sched, config) in configs {
+            let r = vertex_throughput_with(&g, &packing, tcount, 6 * n, 7, config);
+            t.row(&[
+                "disjoint-pairs".into(),
+                d(n),
+                d(tcount),
+                d(tcount),
+                sched.into(),
+                f(r.messages_per_round),
+                f(r.baseline_messages_per_round),
+                d(tcount),
+            ]);
+        }
     }
     t.print();
 

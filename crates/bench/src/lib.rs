@@ -14,4 +14,5 @@
 //! `decomp_congest::engine`.
 
 pub mod cli;
+pub mod packings;
 pub mod table;

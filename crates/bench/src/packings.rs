@@ -1,0 +1,29 @@
+//! Hand-built packings the experiment binaries share.
+
+use decomp_core::packing::{DomTreePacking, WeightedDomTree};
+use decomp_graph::Graph;
+
+/// Vertex-disjoint pair trees on `K_{t, n−t}`: tree `i` is the edge
+/// `(left_i, right_i)`, and distinct pairs are disjoint — the
+/// k ≫ log n regime of Corollary 1.4. Weighted feasibly through the
+/// same `1/max-multiplicity` rule `to_dom_tree_packing` applies (1.0
+/// here — the pairs are disjoint) and validated against `g`.
+///
+/// # Panics
+/// Panics if `g` is not the matching complete bipartite graph (the
+/// validation rejects non-dominating pairs).
+pub fn disjoint_pair_packing(g: &Graph, tcount: usize) -> DomTreePacking {
+    let mut packing = DomTreePacking {
+        trees: (0..tcount)
+            .map(|i| WeightedDomTree {
+                id: i,
+                weight: 1.0,
+                edges: vec![(i, tcount + i)],
+                singleton: None,
+            })
+            .collect(),
+    };
+    packing.assign_uniform_feasible_weights(g.n());
+    packing.validate(g, 1e-9).unwrap();
+    packing
+}

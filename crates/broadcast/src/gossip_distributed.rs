@@ -8,7 +8,14 @@
 //! completeness, and their round counts must stay within a small factor
 //! (the central scheduler picks relays greedily; the protocol relays
 //! FIFO), which the tests check.
+//!
+//! Tokens carry the tree chosen at the origin; under
+//! [`TreeChoice::Weighted`] that choice comes from the shared
+//! weight-proportional sampler ([`decomp_core::packing::TreeSampler`]),
+//! so the protocol follows the same fractional-regime assignment as the
+//! schedule-level simulation.
 
+use crate::gossip::{GossipConfig, TreeChoice};
 use decomp_congest::{Inbox, Message, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};
 use decomp_core::packing::DomTreePacking;
 use decomp_graph::{Graph, NodeId};
@@ -20,7 +27,11 @@ struct GossipProgram {
     trees: Vec<u32>,
     /// Tokens to relay, FIFO: (msg id, tree id).
     queue: std::collections::VecDeque<(u64, u64)>,
-    /// Which (msg, tree) tokens were already queued/relayed here.
+    /// Message ids already queued/relayed here (keyed on the message
+    /// alone — a message rides exactly one tree, chosen at its origin,
+    /// so one relay per node covers it). Origins enter at injection
+    /// time: an origin inside its own tree must not re-queue its
+    /// message when the broadcast echoes back via a neighbor.
     seen: std::collections::HashSet<u64>,
     /// All message ids received.
     received: std::collections::HashSet<u64>,
@@ -62,6 +73,9 @@ impl NodeProgram for GossipProgram {
 pub struct DistGossipReport {
     /// Whether every node received every message.
     pub complete: bool,
+    /// Tokens assigned to each tree (mirrors
+    /// [`crate::gossip::GossipReport::per_tree_load`]).
+    pub per_tree_load: Vec<usize>,
     /// Full simulator statistics for the run — rounds, messages, words,
     /// and the peak-memory counters (`peak_queued_messages` /
     /// `peak_arena_words`).
@@ -69,8 +83,8 @@ pub struct DistGossipReport {
 }
 
 /// Runs the Appendix-A gossip as a V-CONGEST protocol on a fresh simulator
-/// over `g`: message `i` starts at `origins[i]`, gets a random tree of
-/// `packing`, and is relayed FIFO by that tree's members.
+/// over `g`: message `i` starts at `origins[i]`, gets a uniformly random
+/// tree of `packing`, and is relayed FIFO by that tree's members.
 ///
 /// # Errors
 /// Propagates simulator round-limit errors.
@@ -83,6 +97,57 @@ pub fn gossip_protocol(
     origins: &[NodeId],
     seed: u64,
 ) -> Result<DistGossipReport, SimError> {
+    gossip_protocol_with(g, packing, origins, seed, GossipConfig::default())
+}
+
+/// [`gossip_protocol`] with an explicit [`GossipConfig`]: under
+/// [`TreeChoice::Weighted`] the protocol tokens carry trees drawn by the
+/// shared weight-proportional sampler
+/// ([`decomp_core::packing::TreeSampler`]) instead of uniformly. The
+/// sharing policy does not apply here — relaying is the protocol's FIFO.
+///
+/// # Errors
+/// Propagates simulator round-limit errors.
+///
+/// # Panics
+/// Panics if the packing is empty (or carries no weight under
+/// [`TreeChoice::Weighted`]) or `g` is disconnected.
+pub fn gossip_protocol_with(
+    g: &Graph,
+    packing: &DomTreePacking,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+) -> Result<DistGossipReport, SimError> {
+    let mut sim = Simulator::with_seed(g, Model::VCongest, seed);
+    gossip_protocol_on(&mut sim, packing, origins, seed, config)
+}
+
+/// Runs the protocol on a caller-supplied simulator (engine included —
+/// the regression suites sweep `DECOMP_ENGINE` through here). `seed`
+/// drives the message-to-tree assignment only; per-node RNG streams come
+/// from the simulator itself.
+///
+/// # Errors
+/// Propagates simulator round-limit errors.
+///
+/// # Panics
+/// Panics if the packing is empty (or carries no weight under
+/// [`TreeChoice::Weighted`]), the simulator graph is disconnected, or
+/// the simulator is not in [`Model::VCongest`].
+pub fn gossip_protocol_on(
+    sim: &mut Simulator<'_>,
+    packing: &DomTreePacking,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+) -> Result<DistGossipReport, SimError> {
+    let g = sim.graph();
+    assert_eq!(
+        sim.model(),
+        Model::VCongest,
+        "gossip is a V-CONGEST protocol"
+    );
     assert!(packing.num_trees() > 0, "need at least one tree");
     assert!(
         decomp_graph::traversal::is_connected(g),
@@ -98,23 +163,42 @@ pub fn gossip_protocol(
         }
     }
     let mut injections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+    let sampler = match config.tree_choice {
+        TreeChoice::Uniform => None,
+        TreeChoice::Weighted => Some(packing.sampler()),
+    };
+    let mut per_tree_load = vec![0usize; packing.num_trees()];
     for (i, &origin) in origins.iter().enumerate() {
-        let tree = rng.gen_range(0..packing.num_trees()) as u64;
+        let tree = match &sampler {
+            None => rng.gen_range(0..packing.num_trees()) as u64,
+            Some(s) => s.sample(&mut rng) as u64,
+        };
+        per_tree_load[tree as usize] += 1;
         injections[origin].push_back((i as u64, tree));
     }
     let programs: Vec<GossipProgram> = (0..n)
-        .map(|v| GossipProgram {
-            trees: membership[v].clone(),
-            queue: Default::default(),
-            seen: Default::default(),
-            received: Default::default(),
-            inject: std::mem::take(&mut injections[v]),
+        .map(|v| {
+            let inject = std::mem::take(&mut injections[v]);
+            GossipProgram {
+                trees: membership[v].clone(),
+                queue: Default::default(),
+                // Injected messages are seen at injection: the origin
+                // broadcasts each exactly once, so a tree-member origin
+                // must not re-queue its own message when the echo
+                // arrives.
+                seen: inject.iter().map(|&(m, _)| m).collect(),
+                received: Default::default(),
+                inject,
+            }
         })
         .collect();
-    let mut sim = Simulator::with_seed(g, Model::VCongest, seed);
     let (programs, stats) = sim.run(programs, 64 * (n + origins.len()) + 4096)?;
     let complete = programs.iter().all(|p| p.received.len() == origins.len());
-    Ok(DistGossipReport { complete, stats })
+    Ok(DistGossipReport {
+        complete,
+        per_tree_load,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -138,6 +222,7 @@ mod tests {
         assert!(r.complete, "every node must receive every message");
         assert!(r.stats.rounds > 0);
         assert!(r.stats.messages > 0);
+        assert_eq!(r.per_tree_load.iter().sum::<usize>(), origins.len());
     }
 
     #[test]
@@ -173,5 +258,92 @@ mod tests {
         let packing = packing_for(&g, 2, 0);
         let r = gossip_protocol(&g, &packing, &[], 0).unwrap();
         assert!(r.complete);
+    }
+
+    /// A cycle carrying one dominating tree that spans every vertex, so
+    /// each origin sits inside the tree carrying its own message — the
+    /// configuration that used to double-relay.
+    fn full_cycle_packing(n: usize) -> (Graph, DomTreePacking) {
+        let g = generators::cycle(n);
+        let packing = DomTreePacking {
+            trees: vec![decomp_core::packing::WeightedDomTree {
+                id: 0,
+                weight: 1.0,
+                edges: (0..n - 1).map(|i| (i, i + 1)).collect(),
+                singleton: None,
+            }],
+        };
+        packing.validate(&g, 1e-9).unwrap();
+        (g, packing)
+    }
+
+    #[test]
+    fn duplicate_relay_regression_origin_broadcasts_once() {
+        // Every vertex of the cycle is a member of the one tree, so with
+        // no duplicate relays each of the `N` messages is broadcast by
+        // each of the `n` vertices exactly once (the origin at injection,
+        // everyone else on first reception), and every broadcast delivers
+        // to the cycle's 2 neighbors: `RunStats.messages` must equal
+        // exactly `2 · n · N`. The pre-fix protocol did not mark injected
+        // messages as seen, so a tree-member origin re-queued its own
+        // message when the broadcast echoed back via `accept` — one extra
+        // broadcast (2 extra deliveries) per message, failing this pin.
+        let n = 8;
+        let (g, packing) = full_cycle_packing(n);
+        let origins: Vec<usize> = (0..n).collect();
+        let mut sim = decomp_congest::Simulator::with_seed(&g, Model::VCongest, 3)
+            .with_engine(decomp_testkit::engine_from_env());
+        let r =
+            gossip_protocol_on(&mut sim, &packing, &origins, 3, GossipConfig::default()).unwrap();
+        assert!(r.complete, "every node must receive every message");
+        assert_eq!(
+            r.stats.messages,
+            2 * n * origins.len(),
+            "per-(node, message) broadcast count must be exactly one \
+             broadcast per tree vertex per message — duplicates detected"
+        );
+    }
+
+    #[test]
+    fn weighted_tokens_follow_the_shared_sampler() {
+        // Weighted tree choice must route every token off a zero-weight
+        // tree; uniform choice keeps using it. Both must still complete.
+        let t = 6;
+        let g = generators::complete_bipartite(t, 30);
+        let mut packing = DomTreePacking {
+            trees: (0..t)
+                .map(|i| decomp_core::packing::WeightedDomTree {
+                    id: i,
+                    weight: 1.0,
+                    edges: vec![(i, t + i)],
+                    singleton: None,
+                })
+                .collect(),
+        };
+        packing.trees[0].weight = 0.0;
+        let origins: Vec<usize> = (0..2 * g.n()).map(|i| i % g.n()).collect();
+        let weighted = gossip_protocol_with(
+            &g,
+            &packing,
+            &origins,
+            5,
+            GossipConfig {
+                tree_choice: crate::gossip::TreeChoice::Weighted,
+                sharing: crate::gossip::Sharing::Greedy,
+            },
+        )
+        .unwrap();
+        assert!(weighted.complete);
+        assert_eq!(
+            weighted.per_tree_load[0], 0,
+            "zero-weight tree must carry no tokens under weighted choice"
+        );
+        assert_eq!(weighted.per_tree_load.iter().sum::<usize>(), origins.len());
+        let uniform = gossip_protocol(&g, &packing, &origins, 5).unwrap();
+        assert!(uniform.complete);
+        assert!(
+            uniform.per_tree_load[0] > 0,
+            "uniform choice ignores weights (premise of the comparison)"
+        );
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! * [`gossip`] — all-to-all broadcast (gossiping) by assigning messages to
 //!   random dominating trees and pipelining them up/down each tree
-//!   (Appendix A, Corollary A.1);
+//!   (Appendix A, Corollary A.1); [`gossip::GossipConfig`] selects between
+//!   the integral reading (uniform tree choice, greedy relaying) and the
+//!   fractional regime Theorem 1.1 actually proves (weight-proportional
+//!   choice + weighted per-vertex time-sharing);
 //! * [`throughput`] — steady-state broadcast throughput along the trees of
 //!   a packing, against the information-theoretic limits `k` / `⌈(λ−1)/2⌉`
 //!   (Corollaries 1.4 / 1.5);

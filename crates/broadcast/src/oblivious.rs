@@ -1,10 +1,15 @@
 //! Oblivious routing broadcast congestion (Corollary 1.6).
 //!
-//! The routing is *oblivious*: each broadcast message picks a uniformly
-//! random tree of the packing, independent of the load — and the claim is
-//! that the expected maximum congestion is competitive with the offline
-//! optimum: `O(log n)`-competitive vertex congestion via dominating-tree
-//! packings, `O(1)`-competitive edge congestion via spanning-tree packings.
+//! The routing is *oblivious*: each broadcast message picks a random tree
+//! of the packing with probability proportional to its weight `x_τ / Σx`
+//! (the shared [`decomp_core::packing::TreeSampler`]), independent of the
+//! load — and the claim is that the expected maximum congestion is
+//! competitive with the offline optimum: `O(log n)`-competitive vertex
+//! congestion via dominating-tree packings, `O(1)`-competitive edge
+//! congestion via spanning-tree packings. Corollary 1.6's routing is
+//! weight-proportional for *both* variants: the per-vertex (resp.
+//! per-edge) load bound `Σ_{τ ∋ v} x_τ ≤ 1` is what caps the expected
+//! congestion, and only weight-proportional sampling inherits it.
 //!
 //! Offline lower bounds used for the competitive ratios: broadcasting `N`
 //! messages forces ≥ `N/k` load on some vertex of every size-`k` vertex
@@ -16,7 +21,7 @@
 use decomp_core::packing::{DomTreePacking, SpanTreePacking};
 use decomp_graph::Graph;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Congestion report for oblivious broadcast routing.
 #[derive(Clone, Debug)]
@@ -31,12 +36,16 @@ pub struct CongestionReport {
     pub workload: usize,
 }
 
-/// Routes `workload` broadcast messages obliviously over random trees of a
-/// dominating-tree packing and reports the vertex-congestion
-/// competitiveness against `N/k` (Corollary 1.6: `O(log n)` expected).
+/// Routes `workload` broadcast messages obliviously over
+/// weight-proportionally random trees of a dominating-tree packing and
+/// reports the vertex-congestion competitiveness against `N/k`
+/// (Corollary 1.6: `O(log n)` expected).
 ///
 /// Each message loads every vertex of its tree by 1 (the tree relays the
-/// message through each of its vertices once).
+/// message through each of its vertices once). Trees are drawn with
+/// probability `x_τ / Σx` via the shared sampler — the same
+/// weight-proportional choice [`edge_congestion`] makes, which is what
+/// lets the per-vertex fractional load bound cap the expected congestion.
 pub fn vertex_congestion(
     g: &Graph,
     packing: &DomTreePacking,
@@ -48,10 +57,11 @@ pub fn vertex_congestion(
     assert!(k >= 1, "connectivity must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.n();
+    let sampler = packing.sampler();
     let tree_vertices: Vec<Vec<usize>> = packing.trees.iter().map(|t| t.vertices(n)).collect();
     let mut load = vec![0u64; n];
     for _ in 0..workload {
-        let t = rng.gen_range(0..packing.num_trees());
+        let t = sampler.sample(&mut rng);
         for &v in &tree_vertices[t] {
             load[v] += 1;
         }
@@ -84,20 +94,12 @@ pub fn edge_congestion(
     assert!(packing.num_trees() > 0, "need at least one tree");
     assert!(lambda >= 1, "connectivity must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    let total: f64 = packing.size();
-    assert!(total > 0.0, "packing must carry weight");
+    // Weighted tree choice via the shared sampler (bit-identical to the
+    // historical inline cumulative-weight walk, fallback arm included).
+    let sampler = packing.sampler();
     let mut load = vec![0u64; g.m()];
     for _ in 0..workload {
-        // Weighted tree choice.
-        let mut pick = rng.gen_range(0.0..total);
-        let mut idx = packing.num_trees() - 1;
-        for (i, t) in packing.trees.iter().enumerate() {
-            if pick < t.weight {
-                idx = i;
-                break;
-            }
-            pick -= t.weight;
-        }
+        let idx = sampler.sample(&mut rng);
         for &e in &packing.trees[idx].edge_indices {
             load[e] += 1;
         }
@@ -148,6 +150,74 @@ mod tests {
             r.competitiveness <= 8.0,
             "competitiveness {} should be O(1)",
             r.competitiveness
+        );
+    }
+
+    #[test]
+    fn edge_congestion_skips_zero_weight_leading_trees() {
+        // The sampler's cumulative walk starts at weight-0 trees whose
+        // intervals are empty: every pick must fall through to the
+        // positive-weight tail (on a single positive tree this exercises
+        // the `idx = num_trees - 1` resolution for every draw), so all
+        // load lands on the last tree's edges and none on the edge only
+        // the zero-weight trees use.
+        let g = generators::cycle(4);
+        let p = SpanTreePacking {
+            trees: vec![
+                decomp_core::packing::WeightedSpanTree {
+                    weight: 0.0,
+                    edge_indices: vec![0, 1, 2],
+                },
+                decomp_core::packing::WeightedSpanTree {
+                    weight: 0.0,
+                    edge_indices: vec![0, 1, 2],
+                },
+                decomp_core::packing::WeightedSpanTree {
+                    weight: 1.0,
+                    edge_indices: vec![1, 2, 3],
+                },
+            ],
+        };
+        let r = edge_congestion(&g, &p, 2, 500, 9);
+        assert_eq!(r.workload, 500);
+        assert_eq!(r.max_congestion, 500.0, "all load on the weighted tree");
+        // Edge 0 belongs only to the zero-weight trees: never loaded.
+        // (Recomputed here because the report only carries the max.)
+        let sampler = p.sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_eq!(sampler.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn vertex_congestion_is_weight_proportional() {
+        // Two disjoint pair trees on K_{2,8}, one carrying 9× the weight
+        // of the other: the heavy tree's private vertices must see far
+        // more load than the light tree's.
+        let g = generators::complete_bipartite(2, 8);
+        let packing = DomTreePacking {
+            trees: vec![
+                decomp_core::packing::WeightedDomTree {
+                    id: 0,
+                    weight: 0.1,
+                    edges: vec![(0, 2)],
+                    singleton: None,
+                },
+                decomp_core::packing::WeightedDomTree {
+                    id: 1,
+                    weight: 0.9,
+                    edges: vec![(1, 3)],
+                    singleton: None,
+                },
+            ],
+        };
+        let r = vertex_congestion(&g, &packing, 2, 4000, 11);
+        // max congestion = the heavy tree's load ≈ 0.9 · 4000.
+        assert!(
+            r.max_congestion > 3200.0 && r.max_congestion < 4000.0,
+            "expected ≈3600 draws on the weight-0.9 tree, got {}",
+            r.max_congestion
         );
     }
 

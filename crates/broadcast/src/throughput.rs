@@ -12,7 +12,7 @@
 //! message per round per unit weight, and per-edge loads ≤ 1 make the
 //! time-sharing feasible).
 
-use crate::gossip::gossip_via_trees;
+use crate::gossip::{gossip_via_trees_with, GossipConfig};
 use decomp_core::packing::{DomTreePacking, SpanTreePacking};
 use decomp_graph::Graph;
 
@@ -41,8 +41,27 @@ pub fn vertex_throughput(
     workload: usize,
     seed: u64,
 ) -> VertexThroughputReport {
+    vertex_throughput_with(g, packing, k, workload, seed, GossipConfig::default())
+}
+
+/// [`vertex_throughput`] under an explicit [`GossipConfig`] — the
+/// weighted tree-choice / time-sharing schedule of the fractional
+/// regime. The single-BFS-tree baseline always runs the default config
+/// (one tree: nothing to weight), so baselines stay comparable across
+/// configs.
+///
+/// # Panics
+/// Propagates the gossip simulator's panics (empty packing etc.).
+pub fn vertex_throughput_with(
+    g: &Graph,
+    packing: &DomTreePacking,
+    k: usize,
+    workload: usize,
+    seed: u64,
+    config: GossipConfig,
+) -> VertexThroughputReport {
     let origins: Vec<usize> = (0..workload).map(|i| i % g.n()).collect();
-    let multi = gossip_via_trees(g, packing, &origins, seed);
+    let multi = gossip_via_trees_with(g, packing, &origins, seed, config);
     let single = crate::gossip::gossip_single_tree_baseline(g, &origins, seed);
     VertexThroughputReport {
         messages_per_round: workload as f64 / multi.rounds.max(1) as f64,
@@ -130,6 +149,32 @@ mod tests {
             "{} vs baseline {}",
             r.messages_per_round,
             r.baseline_messages_per_round
+        );
+    }
+
+    #[test]
+    fn weighted_config_stays_within_limits() {
+        // The fractional-regime schedule must respect the same
+        // information-theoretic cap and stay comparable to the default
+        // on a constructed packing.
+        let g = generators::harary(16, 64);
+        let p = cds_packing(&g, &CdsPackingConfig::with_known_k(16, 2));
+        let trees = to_dom_tree_packing(&g, &p).packing;
+        let w = crate::throughput::vertex_throughput_with(
+            &g,
+            &trees,
+            16,
+            2 * g.n(),
+            5,
+            crate::gossip::GossipConfig::weighted(),
+        );
+        assert!(w.messages_per_round <= w.limit as f64 + 1e-9);
+        let d = vertex_throughput(&g, &trees, 16, 2 * g.n(), 5);
+        assert!(
+            w.messages_per_round >= 0.5 * d.messages_per_round,
+            "weighted {} vs default {}",
+            w.messages_per_round,
+            d.messages_per_round
         );
     }
 

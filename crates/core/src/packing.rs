@@ -8,6 +8,85 @@
 
 use decomp_graph::domination::{is_dominating_tree, is_spanning_tree};
 use decomp_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Weight-proportional tree sampler shared across the broadcast layer.
+///
+/// Draws tree indices with probability `x_τ / Σx` by one uniform draw in
+/// `[0, Σx)` resolved against the cumulative weight walk — the
+/// time-sharing distribution of the fractional regime (Theorem 1.1 /
+/// Corollary 1.6): a packing of size `Σx` serves each tree in proportion
+/// to its weight. Built via [`DomTreePacking::sampler`] /
+/// [`SpanTreePacking::sampler`] and used by `broadcast::gossip`,
+/// `broadcast::gossip_distributed`, and `broadcast::oblivious`.
+#[derive(Clone, Debug)]
+pub struct TreeSampler {
+    weights: Vec<f64>,
+    total: f64,
+    /// Index of the last tree with positive weight — the fallback
+    /// target when float rounding exhausts the cumulative walk, so a
+    /// zero-weight tree is never selected even from a float-edge pick.
+    last_positive: usize,
+}
+
+impl TreeSampler {
+    /// Builds a sampler over `weights` (one per tree, in tree order).
+    ///
+    /// # Panics
+    /// Panics on an empty weight vector, a negative or non-finite weight,
+    /// or a zero total (nothing to time-share).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "sampler needs at least one tree");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "tree weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "packing must carry weight");
+        let last_positive = weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive total implies a positive weight");
+        TreeSampler {
+            weights,
+            total,
+            last_positive,
+        }
+    }
+
+    /// Total weight `Σx` (the denominator of the sampling distribution).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Resolves a point `pick ∈ [0, Σx)` to the tree whose cumulative
+    /// weight interval contains it. Zero-weight trees have empty
+    /// intervals and are never selected — including from the fallback
+    /// arm, which resolves a float-edge `pick` near `Σx` (one that
+    /// survives every `pick < w` test because subtraction rounding
+    /// exhausted the walk) to the last *positive-weight* tree.
+    pub fn index_for(&self, mut pick: f64) -> usize {
+        let mut idx = self.last_positive;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if pick < w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        idx
+    }
+
+    /// Samples one tree index proportional to `x_τ / Σx`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        self.index_for(rng.gen_range(0.0..self.total))
+    }
+}
 
 /// One weighted tree of a dominating-tree packing.
 #[derive(Clone, Debug)]
@@ -89,6 +168,27 @@ impl DomTreePacking {
         count.into_iter().max().unwrap_or(0)
     }
 
+    /// A [`TreeSampler`] over this packing's tree weights.
+    ///
+    /// # Panics
+    /// Panics if the packing is empty or carries no weight.
+    pub fn sampler(&self) -> TreeSampler {
+        TreeSampler::new(self.trees.iter().map(|t| t.weight).collect())
+    }
+
+    /// Overwrites every tree weight with `1 / max-multiplicity` — the
+    /// same uniform feasible assignment `cds::tree_extract` uses — and
+    /// returns the weight. This is how hand-built packings (bench
+    /// harnesses, experiments) become feasible *fractional* packings:
+    /// weight 1.0 on overlapping trees overloads shared vertices.
+    pub fn assign_uniform_feasible_weights(&mut self, n: usize) -> f64 {
+        let w = 1.0 / self.max_vertex_multiplicity(n).max(1) as f64;
+        for t in &mut self.trees {
+            t.weight = w;
+        }
+        w
+    }
+
     /// Validates the packing against `g`:
     /// every tree is a dominating tree, weights lie in `[0, 1]`, and every
     /// per-vertex load is at most `1 + tol`.
@@ -167,6 +267,14 @@ impl SpanTreePacking {
         count.into_iter().max().unwrap_or(0)
     }
 
+    /// A [`TreeSampler`] over this packing's tree weights.
+    ///
+    /// # Panics
+    /// Panics if the packing is empty or carries no weight.
+    pub fn sampler(&self) -> TreeSampler {
+        TreeSampler::new(self.trees.iter().map(|t| t.weight).collect())
+    }
+
     /// Validates: every tree spans `g`, weights in `[0,1]`, per-edge load
     /// at most `1 + tol`.
     ///
@@ -205,6 +313,7 @@ impl SpanTreePacking {
 mod tests {
     use super::*;
     use decomp_graph::generators;
+    use rand::SeedableRng;
 
     fn star_packing() -> (Graph, DomTreePacking) {
         let g = generators::star(5);
@@ -325,6 +434,93 @@ mod tests {
         assert_eq!(s.size(), 0.0);
     }
 
+    #[test]
+    fn sampler_skips_zero_weight_leading_trees() {
+        // Zero-weight trees occupy empty cumulative intervals: every
+        // pick in [0, Σx) lands on the positive-weight tail.
+        let s = TreeSampler::new(vec![0.0, 0.0, 2.0]);
+        assert_eq!(s.index_for(0.0), 2);
+        assert_eq!(s.index_for(1.999), 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_eq!(s.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn sampler_fallback_arm_resolves_float_edge_picks() {
+        // 0.1 + 0.2 sums to slightly *more* than 0.3 in binary, so
+        // `pick = total` survives both `pick < w` tests (total − 0.1 =
+        // 0.2000...04 ≥ 0.2) and exhausts the walk — only the fallback
+        // arm produces the answer. `gen_range` never returns `total`
+        // itself, but intermediate subtraction rounding can leave any
+        // near-total pick in the same exhausted state, so the arm must
+        // hand back a valid index instead of walking off the end.
+        let s = TreeSampler::new(vec![0.1, 0.2]);
+        let total = s.total();
+        assert!(total > 0.3, "test premise: rounding leaves slack");
+        assert_eq!(s.index_for(total), 1, "fallback arm must fire");
+        // Ordinary picks resolve through the normal `pick < w` arm.
+        assert_eq!(s.index_for(0.05), 0);
+        assert_eq!(s.index_for(f64::from_bits(total.to_bits() - 1)), 1);
+        // The fallback must never select a trailing zero-weight tree:
+        // it resolves to the last *positive* index, keeping the
+        // zero-weight-trees-are-never-sampled invariant airtight.
+        let s = TreeSampler::new(vec![0.1, 0.2, 0.0]);
+        assert_eq!(s.index_for(s.total()), 1, "skip the trailing zero");
+    }
+
+    #[test]
+    fn packing_samplers_expose_weights() {
+        let (_, p) = star_packing();
+        let s = p.sampler();
+        assert_eq!(s.num_trees(), 1);
+        assert!((s.total() - 1.0).abs() < 1e-12);
+        let sp = SpanTreePacking {
+            trees: vec![
+                WeightedSpanTree {
+                    weight: 0.5,
+                    edge_indices: vec![0, 1, 2],
+                },
+                WeightedSpanTree {
+                    weight: 0.25,
+                    edge_indices: vec![1, 2, 3],
+                },
+            ],
+        };
+        let s = sp.sampler();
+        assert_eq!(s.num_trees(), 2);
+        assert!((s.total() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry weight")]
+    fn sampler_rejects_zero_total() {
+        TreeSampler::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn feasible_weight_assignment_matches_tree_extract_rule() {
+        // Three pairwise-overlapping dominating stars on K_4: weight 1.0
+        // each is infeasible (every vertex carries load 3); the helper
+        // rescales to 1/max-multiplicity exactly like tree_extract.
+        let g = generators::complete(4);
+        let mut p = DomTreePacking {
+            trees: (0..3)
+                .map(|i| WeightedDomTree {
+                    id: i,
+                    weight: 1.0,
+                    edges: (0..4).filter(|&v| v != i).map(|v| (i, v)).collect(),
+                    singleton: None,
+                })
+                .collect(),
+        };
+        assert!(p.validate(&g, 1e-9).is_err(), "weight 1.0 must overload");
+        let w = p.assign_uniform_feasible_weights(g.n());
+        assert!((w - 1.0 / 3.0).abs() < 1e-12);
+        p.validate(&g, 1e-9).unwrap();
+    }
+
     mod properties {
         use super::*;
         use crate::stp::mwu::{fractional_stp_mwu, MwuConfig};
@@ -355,6 +551,32 @@ mod tests {
                 p.scale(scale);
                 prop_assert!(p.validate(&g, 1e-9).is_ok());
                 prop_assert!(p.size() <= before + 1e-9);
+            }
+
+            /// The shared sampler's empirical tree frequencies track
+            /// `x_τ / Σx` on random weight vectors (the distribution the
+            /// fractional regime time-shares by).
+            #[test]
+            fn sampler_frequencies_track_weights(
+                weights in proptest::collection::vec(0.02f64..1.0, 1..8),
+                seed in 0u64..1000,
+            ) {
+                let s = TreeSampler::new(weights.clone());
+                let total: f64 = weights.iter().sum();
+                let draws = 4000usize;
+                let mut counts = vec![0usize; weights.len()];
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                for _ in 0..draws {
+                    counts[s.sample(&mut rng)] += 1;
+                }
+                for (i, &w) in weights.iter().enumerate() {
+                    let expect = w / total;
+                    let got = counts[i] as f64 / draws as f64;
+                    prop_assert!(
+                        (got - expect).abs() < 0.05,
+                        "tree {} frequency {} vs expected {}", i, got, expect
+                    );
+                }
             }
 
             /// Vertex loads are consistent with multiplicities: for a
