@@ -39,8 +39,23 @@
 //! (ties to the lowest tree id) relays its lowest-indexed message, and
 //! the served tree is charged the round's total accrued credit. Both
 //! schedules are digest-pinned against verbatim reference scans.
+//!
+//! ## Faults
+//!
+//! [`gossip_via_trees_faulty`] runs either schedule under a seeded
+//! [`FaultPlan`]: at the start of each scheduled round the victims die
+//! (or edges are cut), dead vertices' relay heaps and credit lanes are
+//! dropped, and every incomplete message is re-checked for progress — a
+//! message whose tree lost a member, a tree edge, or its domination of
+//! the survivors (or whose only eligible relayers are gone) is
+//! reassigned to the lowest-id surviving tree that holds it, or, when
+//! none does, to a flood fallback where every live holder relays. With
+//! `f < k` failures against a `k`-connected packing delivery to every
+//! survivor still completes (the robustness reading of Theorem 1.1);
+//! [`GossipReport::degradation`] records the per-fault curve.
 
-use decomp_core::packing::DomTreePacking;
+use decomp_congest::fault::{Fault, FaultPlan};
+use decomp_core::packing::{DomTreePacking, WeightedDomTree};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,13 +87,18 @@ impl BitRows {
         self.bits[row * self.words_per_row + col / 64] |= 1 << (col % 64);
     }
 
+    #[inline]
+    fn clear(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
+    }
+
     fn words(&self) -> usize {
         self.bits.len()
     }
 }
 
 /// Result of a gossip schedule simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GossipReport {
     /// Rounds until every message reached every vertex.
     pub rounds: usize,
@@ -100,7 +120,63 @@ pub struct GossipReport {
     /// regression tests compare this against a verbatim copy of the
     /// historical `O(nmsg · n)` scan.
     pub schedule_digest: u64,
+    /// One sample per fault round (empty on fault-free runs): the
+    /// degradation curve of the schedule as the plan fires.
+    pub degradation: Vec<DegradationSample>,
+    /// Messages abandoned because every copy was on a dead vertex
+    /// (possible only when a message's origin dies before its first
+    /// relay, or when faults exceed the packing's connectivity).
+    pub lost_messages: usize,
 }
+
+/// A snapshot of schedule health taken each time faults fire, recorded
+/// in order in [`GossipReport::degradation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationSample {
+    /// Schedule round (1-based) at whose start the faults fired.
+    pub round: usize,
+    /// Cumulative fault events fired so far, this round included.
+    pub faults_fired: usize,
+    /// Vertices still alive after this round's faults.
+    pub live_vertices: usize,
+    /// Trees still intact: members alive, tree edges uncut, and the
+    /// live survivors still dominated through live edges.
+    pub surviving_trees: usize,
+    /// Messages not yet delivered to every live vertex.
+    pub incomplete_messages: usize,
+    /// Messages moved to a surviving tree (or the flood fallback) by
+    /// this round's repair pass.
+    pub reassigned_messages: usize,
+    /// Messages declared lost by this round's repair pass.
+    pub lost_messages: usize,
+}
+
+/// Why [`gossip_via_trees_faulty`] refused to run (the conditions the
+/// panicking entry points `assert!` on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipError {
+    /// The packing holds no trees at all.
+    EmptyPacking,
+    /// [`TreeChoice::Weighted`] was requested but no tree carries
+    /// positive weight, so the sampler has nothing to draw from.
+    ZeroWeightPacking,
+    /// The input graph is disconnected; no schedule can complete.
+    Disconnected,
+}
+
+impl std::fmt::Display for GossipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GossipError::EmptyPacking => write!(f, "packing holds no trees"),
+            GossipError::ZeroWeightPacking => {
+                write!(f, "weighted tree choice needs positive total weight")
+            }
+            GossipError::Disconnected => write!(f, "gossip requires a connected graph"),
+        }
+    }
+}
+
+impl std::error::Error for GossipError {}
 
 /// SplitMix-style hash of one relay event; summed per run (within-round
 /// relay order is unobservable, so the fold must be commutative).
@@ -110,6 +186,110 @@ fn relay_hash(round: usize, v: usize, m: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
+}
+
+/// Sentinel tree id for the flood fallback: when no surviving tree can
+/// carry a message, every live holder relays it and every live receiver
+/// relays onward — BFS over the surviving graph.
+const FLOOD: usize = usize::MAX;
+/// `FLOOD` as a lane key (sorts after every real tree id).
+const FLOOD_LANE: u32 = u32::MAX;
+
+/// The schedulers' live view of a [`FaultPlan`]: which faults have
+/// fired so far, mirroring `decomp_congest::fault::FaultState` for the
+/// gossip round counter (1-based; events at rounds 0 and 1 fire before
+/// the first relay choice).
+struct FaultTracker<'p> {
+    events: &'p [decomp_congest::fault::ScheduledFault],
+    next: usize,
+    dead: Vec<bool>,
+    /// Fired edge cuts, normalized and sorted for binary search.
+    cut: Vec<(u32, u32)>,
+    live: usize,
+}
+
+impl<'p> FaultTracker<'p> {
+    fn new(plan: &'p FaultPlan, n: usize) -> Self {
+        FaultTracker {
+            events: plan.events(),
+            next: 0,
+            dead: vec![false; n],
+            cut: Vec::new(),
+            live: n,
+        }
+    }
+
+    /// Fires every event scheduled at a round `≤ round`; vertices that
+    /// died in this call are appended to `newly_dead`. Returns whether
+    /// anything fired (the repair-pass trigger).
+    fn advance(&mut self, round: usize, newly_dead: &mut Vec<usize>) -> bool {
+        let mut fired = false;
+        while self.next < self.events.len() && self.events[self.next].round <= round {
+            match self.events[self.next].fault {
+                Fault::Vertex(v) => {
+                    if v < self.dead.len() && !self.dead[v] {
+                        self.dead[v] = true;
+                        self.live -= 1;
+                        newly_dead.push(v);
+                    }
+                }
+                Fault::Edge(u, v) => {
+                    let key = (u as u32, v as u32);
+                    if let Err(pos) = self.cut.binary_search(&key) {
+                        self.cut.insert(pos, key);
+                    }
+                }
+            }
+            self.next += 1;
+            fired = true;
+        }
+        fired
+    }
+
+    #[inline]
+    fn is_dead(&self, v: usize) -> bool {
+        self.dead[v]
+    }
+
+    /// Whether a relay can cross `{u, v}`: both endpoints live, edge
+    /// not cut.
+    #[inline]
+    fn ok_edge(&self, u: usize, v: usize) -> bool {
+        !self.dead[u]
+            && !self.dead[v]
+            && self
+                .cut
+                .binary_search(&(u.min(v) as u32, u.max(v) as u32))
+                .is_err()
+    }
+
+    /// Whether tree `t` is still intact: every member alive, every tree
+    /// edge uncut, and every live vertex still dominated (a member, or
+    /// adjacent to one through a live edge).
+    fn tree_ok(&self, g: &Graph, t: usize, tree: &WeightedDomTree, member: &BitRows) -> bool {
+        for &(u, v) in &tree.edges {
+            if !self.ok_edge(u, v) {
+                return false;
+            }
+        }
+        if let Some(s) = tree.singleton {
+            if self.dead[s] {
+                return false;
+            }
+        }
+        'outer: for v in 0..g.n() {
+            if self.dead[v] || member.get(t, v) {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if member.get(t, u) && self.ok_edge(v, u) {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
 }
 
 /// A message to gossip: its origin vertex.
@@ -203,6 +383,57 @@ pub fn gossip_via_trees_with(
         decomp_graph::traversal::is_connected(g),
         "gossip requires a connected graph"
     );
+    run_gossip(g, packing, origins, seed, config, None)
+}
+
+/// [`gossip_via_trees_with`] under a seeded [`FaultPlan`] (rounds in the
+/// plan index the schedule's 1-based round counter; events at rounds 0
+/// and 1 fire before the first relay). Dead vertices stop relaying and
+/// no longer count toward delivery, cut edges drop relays in both
+/// directions, and each fault round runs a repair pass that reassigns
+/// stuck messages to surviving trees (or a flood fallback). Returns the
+/// report with its [`degradation`](GossipReport::degradation) curve
+/// filled in; input validation failures come back as [`GossipError`]s
+/// instead of the panics of the fault-free entry points.
+///
+/// The *initial* graph must be connected; completion of every
+/// non-[`lost`](GossipReport::lost_messages) message further requires
+/// the plan to leave the survivors connected in every prefix (e.g.
+/// `f < k` deletions against a `k`-connected graph) — a plan that
+/// disconnects the survivors trips the schedule's stall assertion.
+pub fn gossip_via_trees_faulty(
+    g: &Graph,
+    packing: &DomTreePacking,
+    origins: &[MessageOrigin],
+    seed: u64,
+    config: GossipConfig,
+    plan: &FaultPlan,
+) -> Result<GossipReport, GossipError> {
+    if packing.num_trees() == 0 {
+        return Err(GossipError::EmptyPacking);
+    }
+    if !decomp_graph::traversal::is_connected(g) {
+        return Err(GossipError::Disconnected);
+    }
+    if config.tree_choice == TreeChoice::Weighted && packing.try_sampler().is_none() {
+        return Err(GossipError::ZeroWeightPacking);
+    }
+    Ok(run_gossip(g, packing, origins, seed, config, Some(plan)))
+}
+
+/// Shared body of the gossip entry points: membership bitsets, tree
+/// assignment, schedule dispatch. Inputs are pre-validated (panicking
+/// asserts in the infallible entries, [`GossipError`]s in the faulty
+/// one — except the weighted-sampler panic, kept here so
+/// [`gossip_via_trees_with`] preserves its historical message).
+fn run_gossip(
+    g: &Graph,
+    packing: &DomTreePacking,
+    origins: &[MessageOrigin],
+    seed: u64,
+    config: GossipConfig,
+    faults: Option<&FaultPlan>,
+) -> GossipReport {
     let n = g.n();
     let mut rng = StdRng::seed_from_u64(seed);
     let num_trees = packing.num_trees();
@@ -223,10 +454,10 @@ pub fn gossip_via_trees_with(
 
     // Message state.
     let nmsg = origins.len();
-    let tree_of: Vec<usize> = match config.tree_choice {
+    let mut tree_of: Vec<usize> = match config.tree_choice {
         TreeChoice::Uniform => (0..nmsg).map(|_| rng.gen_range(0..num_trees)).collect(),
         TreeChoice::Weighted => {
-            let sampler = packing.sampler();
+            let sampler = packing.try_sampler().expect("packing must carry weight");
             (0..nmsg).map(|_| sampler.sample(&mut rng)).collect()
         }
     };
@@ -234,37 +465,51 @@ pub fn gossip_via_trees_with(
     for &t in &tree_of {
         per_tree_load[t] += 1;
     }
-    let (rounds, schedule_digest, peak_state_words) = match config.sharing {
-        Sharing::Greedy => greedy_schedule(g, &member, &tree_of, origins),
-        Sharing::Weighted => weighted_schedule(g, packing, &member, &tree_of, origins),
+    let outcome = match config.sharing {
+        Sharing::Greedy => greedy_schedule(g, packing, &member, &mut tree_of, origins, faults),
+        Sharing::Weighted => weighted_schedule(g, packing, &member, &mut tree_of, origins, faults),
     };
     GossipReport {
-        rounds,
+        rounds: outcome.rounds,
         num_messages: nmsg,
         per_tree_load,
         max_tree_diameter: max_diam,
-        peak_state_words,
-        schedule_digest,
+        peak_state_words: outcome.peak_state_words,
+        schedule_digest: outcome.schedule_digest,
+        degradation: outcome.degradation,
+        lost_messages: outcome.lost_messages,
     }
 }
 
+/// What a schedule simulation hands back to [`run_gossip`].
+struct ScheduleOutcome {
+    rounds: usize,
+    schedule_digest: u64,
+    peak_state_words: usize,
+    degradation: Vec<DegradationSample>,
+    lost_messages: usize,
+}
+
 /// The historical greedy schedule: each vertex relays its lowest-indexed
-/// eligible message each round. Returns `(rounds, digest, peak words)`.
+/// eligible message each round.
 fn greedy_schedule(
     g: &Graph,
+    packing: &DomTreePacking,
     member: &BitRows,
-    tree_of: &[usize],
+    tree_of: &mut [usize],
     origins: &[MessageOrigin],
-) -> (usize, u64, usize) {
+    faults: Option<&FaultPlan>,
+) -> ScheduleOutcome {
     let n = g.n();
     let nmsg = origins.len();
     // received: one bit row per message. A vertex's pending relays live
     // in a min-heap over message indices: the greedy schedule relays the
     // lowest-indexed eligible message, exactly as the historical
-    // `O(nmsg · n)` table scan chose it. A (message, vertex) pair enters
-    // a heap at most once (on the vertex's 0→1 reception, members only,
-    // plus the origin hand-off), so popping doubles as the `relayed`
-    // table.
+    // `O(nmsg · n)` table scan chose it. Fault-free, a (message, vertex)
+    // pair enters a heap at most once (on the vertex's 0→1 reception,
+    // members only, plus the origin hand-off), so popping doubles as the
+    // `relayed` table; the fault repair pass reseeds holders, so under a
+    // plan relays are tracked explicitly in the `relayed` bitset.
     let mut received = BitRows::new(nmsg, n);
     let mut remaining: Vec<usize> = vec![n - 1; nmsg];
     let mut pending: Vec<BinaryHeap<Reverse<u32>>> = (0..n).map(|_| BinaryHeap::new()).collect();
@@ -285,6 +530,14 @@ fn greedy_schedule(
     let mut pending_entries = nmsg;
     let mut peak_pending = pending_entries;
 
+    // Fault-path state; `None` everywhere on the (digest-pinned)
+    // fault-free path.
+    let mut tracker = faults.map(|p| FaultTracker::new(p, n));
+    let mut relayed = faults.map(|_| BitRows::new(nmsg, n));
+    let mut degradation: Vec<DegradationSample> = Vec::new();
+    let mut lost_messages = 0usize;
+    let mut newly_dead: Vec<usize> = Vec::new();
+
     let mut rounds = 0usize;
     let mut schedule_digest = 0u64;
     let round_limit = 64 * (n + nmsg) + 1024;
@@ -296,18 +549,120 @@ fn greedy_schedule(
             rounds <= round_limit,
             "gossip schedule failed to complete within {round_limit} rounds"
         );
+        // Phase 0 — faults scheduled at this round fire before any
+        // relay choice is made.
+        if let Some(ft) = tracker.as_mut() {
+            newly_dead.clear();
+            if ft.advance(rounds, &mut newly_dead) {
+                let relayed = relayed.as_mut().expect("fault path tracks relays");
+                // Dead vertices drop their relay queues and no longer
+                // count toward delivery.
+                for &v in &newly_dead {
+                    pending_entries -= pending[v].len();
+                    pending[v].clear();
+                }
+                for (m, rem) in remaining.iter_mut().enumerate() {
+                    if *rem == 0 {
+                        continue;
+                    }
+                    for &v in &newly_dead {
+                        if !received.get(m, v) {
+                            *rem -= 1;
+                            if *rem == 0 {
+                                incomplete -= 1;
+                            }
+                        }
+                    }
+                }
+                // Repair pass: any incomplete message without a live,
+                // unrelayed, relay-eligible holder on an intact tree is
+                // moved to the lowest-id surviving tree holding it —
+                // or floods if no tree can carry it — and its eligible
+                // holders are reseeded (allowed to relay again).
+                let alive: Vec<bool> = packing
+                    .trees
+                    .iter()
+                    .enumerate()
+                    .map(|(t, tree)| ft.tree_ok(g, t, tree, member))
+                    .collect();
+                let mut reassigned = 0usize;
+                let mut lost = 0usize;
+                for m in 0..nmsg {
+                    if remaining[m] == 0 {
+                        continue;
+                    }
+                    let holders: Vec<usize> = (0..n)
+                        .filter(|&v| !ft.is_dead(v) && received.get(m, v))
+                        .collect();
+                    if holders.is_empty() {
+                        remaining[m] = 0;
+                        incomplete -= 1;
+                        lost += 1;
+                        continue;
+                    }
+                    let eligible =
+                        |t: usize, v: usize| t == FLOOD || member.get(t, v) || v == origins[m];
+                    let cur = tree_of[m];
+                    if (cur == FLOOD || alive[cur])
+                        && holders
+                            .iter()
+                            .any(|&v| eligible(cur, v) && !relayed.get(m, v))
+                    {
+                        continue;
+                    }
+                    let target = (0..packing.num_trees())
+                        .find(|&t| alive[t] && holders.iter().any(|&v| eligible(t, v)))
+                        .unwrap_or(FLOOD);
+                    tree_of[m] = target;
+                    reassigned += 1;
+                    for &v in &holders {
+                        if eligible(target, v) {
+                            relayed.clear(m, v);
+                            pending[v].push(Reverse(m as u32));
+                            pending_entries += 1;
+                            if !queued[v] {
+                                queued[v] = true;
+                                worklist.push(v as u32);
+                            }
+                        }
+                    }
+                }
+                lost_messages += lost;
+                degradation.push(DegradationSample {
+                    round: rounds,
+                    faults_fired: ft.next,
+                    live_vertices: ft.live,
+                    surviving_trees: alive.iter().filter(|&&a| a).count(),
+                    incomplete_messages: incomplete,
+                    reassigned_messages: reassigned,
+                    lost_messages: lost,
+                });
+                if incomplete == 0 {
+                    rounds -= 1;
+                    break;
+                }
+            }
+        }
         // Phase 1 — choices, from the state at round start: each active
         // vertex pops its lowest-indexed pending message, lazily
         // discarding messages that completed in earlier rounds (the old
-        // scan skipped them the same way).
+        // scan skipped them the same way) and, on the fault path,
+        // entries this vertex already relayed (reseed duplicates).
         std::mem::swap(&mut frontier, &mut worklist);
         relays.clear();
         for &v in &frontier {
             queued[v as usize] = false;
+            if tracker.as_ref().is_some_and(|t| t.is_dead(v as usize)) {
+                continue;
+            }
             while let Some(&Reverse(m)) = pending[v as usize].peek() {
                 pending[v as usize].pop();
                 pending_entries -= 1;
-                if remaining[m as usize] > 0 {
+                if remaining[m as usize] > 0
+                    && relayed
+                        .as_ref()
+                        .is_none_or(|r| !r.get(m as usize, v as usize))
+                {
                     relays.push((v, m));
                     break;
                 }
@@ -317,15 +672,21 @@ fn greedy_schedule(
         for &(v, m) in &relays {
             schedule_digest =
                 schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
+            if let Some(r) = relayed.as_mut() {
+                r.set(m as usize, v as usize);
+            }
             let tree = tree_of[m as usize];
             for &u in g.neighbors(v as usize) {
+                if tracker.as_ref().is_some_and(|t| !t.ok_edge(v as usize, u)) {
+                    continue;
+                }
                 if !received.get(m as usize, u) {
                     received.set(m as usize, u);
                     remaining[m as usize] -= 1;
                     if remaining[m as usize] == 0 {
                         incomplete -= 1;
                     }
-                    if member.get(tree, u) {
+                    if tree == FLOOD || member.get(tree, u) {
                         pending[u].push(Reverse(m));
                         pending_entries += 1;
                         if !queued[u] {
@@ -348,12 +709,18 @@ fn greedy_schedule(
         assert!(
             !relays.is_empty() || incomplete == 0,
             "gossip schedule stalled: a message can no longer make progress \
-             (is some tree not dominating?)"
+             (is some tree not dominating, or did faults disconnect the survivors?)"
         );
     }
     // Heap entries are u32s: count them in 64-bit words (2 per word).
     let peak_state_words = received.words() + member.words() + peak_pending.div_ceil(2);
-    (rounds, schedule_digest, peak_state_words)
+    ScheduleOutcome {
+        rounds,
+        schedule_digest,
+        peak_state_words,
+        degradation,
+        lost_messages,
+    }
 }
 
 /// One (vertex, tree) lane of the weighted credit scheduler: the trees
@@ -372,31 +739,41 @@ struct TreeLane {
 /// pending message at a vertex earns `x_τ` credit; the highest-credit
 /// tree (ties to the lowest tree id) relays its lowest-indexed pending
 /// message and is charged the round's total accrual across the vertex's
-/// active trees. Returns `(rounds, digest, peak words)`.
+/// active trees. A lane whose heap has drained *and* whose tree has no
+/// incomplete message left anywhere retires — nothing can ever refill
+/// it, so keeping it would only let a finished tree's credit shadow
+/// live ones (and inflate the state peak).
 fn weighted_schedule(
     g: &Graph,
     packing: &DomTreePacking,
     member: &BitRows,
-    tree_of: &[usize],
+    tree_of: &mut [usize],
     origins: &[MessageOrigin],
-) -> (usize, u64, usize) {
+    faults: Option<&FaultPlan>,
+) -> ScheduleOutcome {
     let n = g.n();
     let nmsg = origins.len();
+    let num_trees = packing.num_trees();
     let weight: Vec<f64> = packing.trees.iter().map(|t| t.weight).collect();
+    // Slot per tree plus one for the flood fallback.
+    let tid = |t: usize| if t == FLOOD { num_trees } else { t };
+    let lane_key = |t: usize| if t == FLOOD { FLOOD_LANE } else { t as u32 };
+    let mut tree_incomplete = vec![0usize; num_trees + 1];
     let mut received = BitRows::new(nmsg, n);
     let mut remaining: Vec<usize> = vec![n - 1; nmsg];
     let mut lanes: Vec<Vec<TreeLane>> = (0..n).map(|_| Vec::new()).collect();
-    let mut lane_count = 0usize;
+    let mut live_lanes = 0usize;
     let mut worklist: Vec<u32> = Vec::new();
     let mut queued: Vec<bool> = vec![false; n];
     let mut incomplete = 0usize;
     let mut pending_entries = 0usize;
 
     // Pushes message `m` into vertex `v`'s lane for its tree, creating
-    // the lane on first use (lanes stay sorted by tree id).
+    // the lane on first use (lanes stay sorted by tree id; the flood
+    // lane's key sorts last).
     fn push_pending(
         lanes: &mut [Vec<TreeLane>],
-        lane_count: &mut usize,
+        live_lanes: &mut usize,
         v: usize,
         tree: u32,
         m: u32,
@@ -413,7 +790,7 @@ fn weighted_schedule(
                         heap: BinaryHeap::new(),
                     },
                 );
-                *lane_count += 1;
+                *live_lanes += 1;
                 i
             }
         };
@@ -424,10 +801,11 @@ fn weighted_schedule(
         received.set(m, origin);
         if remaining[m] > 0 {
             incomplete += 1;
+            tree_incomplete[tid(tree_of[m])] += 1;
         }
         push_pending(
             &mut lanes,
-            &mut lane_count,
+            &mut live_lanes,
             origin,
             tree_of[m] as u32,
             m as u32,
@@ -439,6 +817,15 @@ fn weighted_schedule(
         }
     }
     let mut peak_pending = pending_entries;
+    let mut peak_lanes = live_lanes;
+
+    // Fault-path state; `None` everywhere on the (digest-pinned)
+    // fault-free path.
+    let mut tracker = faults.map(|p| FaultTracker::new(p, n));
+    let mut relayed = faults.map(|_| BitRows::new(nmsg, n));
+    let mut degradation: Vec<DegradationSample> = Vec::new();
+    let mut lost_messages = 0usize;
+    let mut newly_dead: Vec<usize> = Vec::new();
 
     let mut rounds = 0usize;
     let mut schedule_digest = 0u64;
@@ -451,32 +838,159 @@ fn weighted_schedule(
             rounds <= round_limit,
             "gossip schedule failed to complete within {round_limit} rounds"
         );
+        // Phase 0 — faults scheduled at this round fire before any
+        // relay choice is made (mirrors `greedy_schedule`).
+        if let Some(ft) = tracker.as_mut() {
+            newly_dead.clear();
+            if ft.advance(rounds, &mut newly_dead) {
+                let relayed = relayed.as_mut().expect("fault path tracks relays");
+                for &v in &newly_dead {
+                    for l in &lanes[v] {
+                        pending_entries -= l.heap.len();
+                    }
+                    live_lanes -= lanes[v].len();
+                    lanes[v].clear();
+                }
+                for m in 0..nmsg {
+                    if remaining[m] == 0 {
+                        continue;
+                    }
+                    for &v in &newly_dead {
+                        if !received.get(m, v) {
+                            remaining[m] -= 1;
+                            if remaining[m] == 0 {
+                                incomplete -= 1;
+                                tree_incomplete[tid(tree_of[m])] -= 1;
+                            }
+                        }
+                    }
+                }
+                let alive: Vec<bool> = packing
+                    .trees
+                    .iter()
+                    .enumerate()
+                    .map(|(t, tree)| ft.tree_ok(g, t, tree, member))
+                    .collect();
+                let mut reassigned = 0usize;
+                let mut lost = 0usize;
+                for m in 0..nmsg {
+                    if remaining[m] == 0 {
+                        continue;
+                    }
+                    let holders: Vec<usize> = (0..n)
+                        .filter(|&v| !ft.is_dead(v) && received.get(m, v))
+                        .collect();
+                    if holders.is_empty() {
+                        remaining[m] = 0;
+                        incomplete -= 1;
+                        tree_incomplete[tid(tree_of[m])] -= 1;
+                        lost += 1;
+                        continue;
+                    }
+                    let eligible =
+                        |t: usize, v: usize| t == FLOOD || member.get(t, v) || v == origins[m];
+                    let cur = tree_of[m];
+                    if (cur == FLOOD || alive[cur])
+                        && holders
+                            .iter()
+                            .any(|&v| eligible(cur, v) && !relayed.get(m, v))
+                    {
+                        continue;
+                    }
+                    let target = (0..num_trees)
+                        .find(|&t| alive[t] && holders.iter().any(|&v| eligible(t, v)))
+                        .unwrap_or(FLOOD);
+                    tree_incomplete[tid(cur)] -= 1;
+                    tree_incomplete[tid(target)] += 1;
+                    tree_of[m] = target;
+                    reassigned += 1;
+                    for &v in &holders {
+                        if eligible(target, v) {
+                            relayed.clear(m, v);
+                            push_pending(
+                                &mut lanes,
+                                &mut live_lanes,
+                                v,
+                                lane_key(target),
+                                m as u32,
+                            );
+                            pending_entries += 1;
+                            if !queued[v] {
+                                queued[v] = true;
+                                worklist.push(v as u32);
+                            }
+                        }
+                    }
+                }
+                lost_messages += lost;
+                degradation.push(DegradationSample {
+                    round: rounds,
+                    faults_fired: ft.next,
+                    live_vertices: ft.live,
+                    surviving_trees: alive.iter().filter(|&&a| a).count(),
+                    incomplete_messages: incomplete,
+                    reassigned_messages: reassigned,
+                    lost_messages: lost,
+                });
+                if incomplete == 0 {
+                    rounds -= 1;
+                    break;
+                }
+            }
+        }
         // Phase 1 — choices, from the state at round start: every active
         // tree at a vertex (one with an eligible pending message, after
-        // lazily discarding messages that completed in earlier rounds)
+        // lazily discarding messages that completed in earlier rounds —
+        // and, on the fault path, entries this vertex already relayed)
         // earns its weight in credit, in ascending tree-id order; the
         // highest-credit active tree wins the relay slot and is charged
-        // the round's total accrual.
+        // the round's total accrual. Drained lanes of finished trees
+        // retire here.
         std::mem::swap(&mut frontier, &mut worklist);
         relays.clear();
         for &v in &frontier {
             queued[v as usize] = false;
+            if tracker.as_ref().is_some_and(|t| t.is_dead(v as usize)) {
+                continue;
+            }
             let vl = &mut lanes[v as usize];
+            vl.retain_mut(|l| {
+                while let Some(&Reverse(m)) = l.heap.peek() {
+                    let stale = remaining[m as usize] == 0
+                        || relayed
+                            .as_ref()
+                            .is_some_and(|r| r.get(m as usize, v as usize));
+                    if !stale {
+                        break;
+                    }
+                    l.heap.pop();
+                    pending_entries -= 1;
+                }
+                let t = if l.tree == FLOOD_LANE {
+                    num_trees
+                } else {
+                    l.tree as usize
+                };
+                if l.heap.is_empty() && tree_incomplete[t] == 0 {
+                    live_lanes -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
             let mut accrued = 0.0f64;
             let mut best: Option<usize> = None;
             for i in 0..vl.len() {
-                while let Some(&Reverse(m)) = vl[i].heap.peek() {
-                    if remaining[m as usize] > 0 {
-                        break;
-                    }
-                    vl[i].heap.pop();
-                    pending_entries -= 1;
-                }
                 if vl[i].heap.is_empty() {
                     continue;
                 }
-                vl[i].credit += weight[vl[i].tree as usize];
-                accrued += weight[vl[i].tree as usize];
+                let w = if vl[i].tree == FLOOD_LANE {
+                    1.0
+                } else {
+                    weight[vl[i].tree as usize]
+                };
+                vl[i].credit += w;
+                accrued += w;
                 best = match best {
                     Some(b) if vl[i].credit <= vl[b].credit => Some(b),
                     _ => Some(i),
@@ -493,16 +1007,23 @@ fn weighted_schedule(
         for &(v, m) in &relays {
             schedule_digest =
                 schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
+            if let Some(r) = relayed.as_mut() {
+                r.set(m as usize, v as usize);
+            }
             let tree = tree_of[m as usize];
             for &u in g.neighbors(v as usize) {
+                if tracker.as_ref().is_some_and(|t| !t.ok_edge(v as usize, u)) {
+                    continue;
+                }
                 if !received.get(m as usize, u) {
                     received.set(m as usize, u);
                     remaining[m as usize] -= 1;
                     if remaining[m as usize] == 0 {
                         incomplete -= 1;
+                        tree_incomplete[tid(tree)] -= 1;
                     }
-                    if member.get(tree, u) {
-                        push_pending(&mut lanes, &mut lane_count, u, tree as u32, m);
+                    if tree == FLOOD || member.get(tree, u) {
+                        push_pending(&mut lanes, &mut live_lanes, u, lane_key(tree), m);
                         pending_entries += 1;
                         if !queued[u] {
                             queued[u] = true;
@@ -513,6 +1034,7 @@ fn weighted_schedule(
             }
         }
         peak_pending = peak_pending.max(pending_entries);
+        peak_lanes = peak_lanes.max(live_lanes);
         // Vertices that still hold pending relays stay on the frontier.
         for &v in &frontier {
             if !queued[v as usize] && lanes[v as usize].iter().any(|l| !l.heap.is_empty()) {
@@ -524,14 +1046,22 @@ fn weighted_schedule(
         assert!(
             !relays.is_empty() || incomplete == 0,
             "gossip schedule stalled: a message can no longer make progress \
-             (is some tree not dominating?)"
+             (is some tree not dominating, or did faults disconnect the survivors?)"
         );
     }
     // Heap entries are u32s (2 per word); a lane adds a tree id, a
-    // credit, and a heap header (~5 words).
+    // credit, and a heap header (~5 words). Lanes retire as their trees
+    // finish, so the lane term is the concurrent peak, not the total
+    // ever created.
     let peak_state_words =
-        received.words() + member.words() + peak_pending.div_ceil(2) + 5 * lane_count;
-    (rounds, schedule_digest, peak_state_words)
+        received.words() + member.words() + peak_pending.div_ceil(2) + 5 * peak_lanes;
+    ScheduleOutcome {
+        rounds,
+        schedule_digest,
+        peak_state_words,
+        degradation,
+        lost_messages,
+    }
 }
 
 /// Baseline: the same workload over a single BFS spanning tree (the
@@ -557,6 +1087,7 @@ pub fn gossip_single_tree_baseline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decomp_congest::fault::ScheduledFault;
     use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
     use decomp_core::cds::tree_extract::to_dom_tree_packing;
     use decomp_graph::generators;
@@ -1023,5 +1554,193 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_lane_retirement_keeps_schedule_pinned_as_trees_finish_early() {
+        // Satellite of the fault suite: lanes whose tree delivered
+        // everything now retire instead of idling forever. Retirement
+        // must be schedule-neutral — an empty lane never accrued credit,
+        // so dropping it cannot change any pick — which the
+        // never-retiring reference oracle certifies by digest, and the
+        // pinned round count guards against future drift. The uneven
+        // workload makes trees finish at very different times (pair
+        // trees with weights 1/6..6/6 and loads drawn by the weighted
+        // sampler), so lanes genuinely retire mid-run.
+        let (g, packing) = uneven_pair_packing(6, 36);
+        let origins: Vec<usize> = (0..3 * g.n()).map(|i| (i * 5) % g.n()).collect();
+        let config = GossipConfig::weighted();
+        let r = gossip_via_trees_with(&g, &packing, &origins, 11, config);
+        let (ref_rounds, ref_digest, _) =
+            reference_weighted_schedule(&g, &packing, &origins, 11, TreeChoice::Weighted);
+        assert_eq!(
+            r.rounds, ref_rounds,
+            "retirement changed the schedule length"
+        );
+        assert_eq!(
+            r.schedule_digest, ref_digest,
+            "retirement changed the schedule"
+        );
+        assert!(
+            packing.trees.iter().map(|t| t.weight).any(|w| w != 1.0),
+            "premise: uneven weights so trees finish at different times"
+        );
+        assert_eq!(
+            r.rounds, 28,
+            "pinned total rounds (update only if the schedule itself changes)"
+        );
+    }
+
+    #[test]
+    fn faulty_with_empty_plan_matches_fault_free_run() {
+        // The fault path's extra machinery (relay table, tracker) must
+        // be schedule-invisible while no fault has fired — and an empty
+        // plan never fires.
+        let (g, packing) = disjoint_pair_packing(6, 36);
+        let origins: Vec<usize> = (0..2 * g.n()).map(|i| i % g.n()).collect();
+        for config in [GossipConfig::default(), GossipConfig::weighted()] {
+            let base = gossip_via_trees_with(&g, &packing, &origins, 3, config);
+            let faulty =
+                gossip_via_trees_faulty(&g, &packing, &origins, 3, config, &FaultPlan::none())
+                    .unwrap();
+            assert_eq!(faulty, base, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn vertex_faults_below_connectivity_still_deliver_everything() {
+        // Theorem 1.1's robustness reading: f < k faults against a
+        // k-connected instance leave the survivors connected, and the
+        // repair pass reroutes every message — nothing is lost and the
+        // schedule completes (the function returning at all proves
+        // delivery; a stuck message trips the stall assert).
+        let (g, packing) = disjoint_pair_packing(8, 64); // K_{8,56}: κ = 8
+        let origins: Vec<usize> = (0..g.n()).collect();
+        for seed in [1u64, 4] {
+            // Faults from round 2 on: every origin has relayed once, so
+            // each message has ≥ deg + 1 ≥ 9 holders > f copies alive.
+            let plan = FaultPlan::random_vertices(&g, 7, (2, 6), seed);
+            for config in [GossipConfig::default(), GossipConfig::weighted()] {
+                let r =
+                    gossip_via_trees_faulty(&g, &packing, &origins, seed, config, &plan).unwrap();
+                assert_eq!(r.lost_messages, 0, "seed {seed} {config:?}");
+                assert!(!r.degradation.is_empty(), "fault rounds must be sampled");
+                let last = r.degradation.last().unwrap();
+                assert_eq!(last.live_vertices, g.n() - 7);
+                assert_eq!(last.faults_fired, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_reassigns_to_single_surviving_tree() {
+        // Kill one endpoint of three of the four pair trees at round 2:
+        // every message on a broken tree must move to the sole intact
+        // tree (f = 3 < κ = 4, so nothing is lost).
+        let (g, packing) = disjoint_pair_packing(4, 16);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([0, 1, 2].map(|v| ScheduledFault {
+            round: 2,
+            fault: Fault::Vertex(v),
+        }));
+        for config in [GossipConfig::default(), GossipConfig::weighted()] {
+            let r = gossip_via_trees_faulty(&g, &packing, &origins, 2, config, &plan).unwrap();
+            assert_eq!(r.lost_messages, 0, "{config:?}");
+            assert_eq!(r.degradation.len(), 1);
+            let s = r.degradation[0];
+            assert_eq!(s.round, 2);
+            assert_eq!(s.surviving_trees, 1, "only pair tree 3 stays intact");
+            assert!(
+                s.reassigned_messages > 0,
+                "messages on broken trees must be rerouted"
+            );
+        }
+    }
+
+    #[test]
+    fn flood_fallback_carries_messages_when_every_tree_breaks() {
+        // Break all four pair trees (three left endpoints plus tree 3's
+        // right endpoint) while keeping the survivors connected through
+        // left vertex 3: with no tree intact, messages fall back to
+        // flooding and still complete.
+        let (g, packing) = disjoint_pair_packing(4, 16);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([0, 1, 2, 4 + 3].map(|v| ScheduledFault {
+            round: 3,
+            fault: Fault::Vertex(v),
+        }));
+        for config in [GossipConfig::default(), GossipConfig::weighted()] {
+            let r = gossip_via_trees_faulty(&g, &packing, &origins, 6, config, &plan).unwrap();
+            assert_eq!(r.lost_messages, 0, "{config:?}");
+            let s = r.degradation[0];
+            assert_eq!(s.surviving_trees, 0, "every tree must be broken");
+            assert!(s.reassigned_messages > 0);
+        }
+    }
+
+    #[test]
+    fn cut_tree_edge_breaks_the_tree_without_killing_vertices() {
+        // An edge fault on pair tree 0's only edge retires the tree but
+        // keeps both endpoints alive and counting toward delivery.
+        let (g, packing) = disjoint_pair_packing(4, 16);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 2,
+            fault: Fault::Edge(0, 4),
+        }]);
+        let r = gossip_via_trees_faulty(&g, &packing, &origins, 9, GossipConfig::default(), &plan)
+            .unwrap();
+        assert_eq!(r.lost_messages, 0);
+        let s = r.degradation[0];
+        assert_eq!(s.live_vertices, g.n(), "edge cuts kill no vertex");
+        assert_eq!(s.surviving_trees, 3, "pair tree 0 lost its only edge");
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        let (g, packing) = disjoint_pair_packing(6, 36);
+        let origins: Vec<usize> = (0..2 * g.n()).map(|i| i % g.n()).collect();
+        let plan = FaultPlan::random_vertices(&g, 5, (2, 8), 13);
+        for config in [GossipConfig::default(), GossipConfig::weighted()] {
+            let a = gossip_via_trees_faulty(&g, &packing, &origins, 8, config, &plan).unwrap();
+            let b = gossip_via_trees_faulty(&g, &packing, &origins, 8, config, &plan).unwrap();
+            assert_eq!(a, b, "same plan + seed must reproduce bit-identically");
+        }
+    }
+
+    #[test]
+    fn faulty_rejects_bad_inputs_with_typed_errors_not_panics() {
+        let (g, packing) = disjoint_pair_packing(4, 16);
+        let plan = FaultPlan::none();
+        assert_eq!(
+            gossip_via_trees_faulty(
+                &g,
+                &DomTreePacking::default(),
+                &[0],
+                0,
+                GossipConfig::default(),
+                &plan
+            ),
+            Err(GossipError::EmptyPacking)
+        );
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(
+            gossip_via_trees_faulty(&split, &packing, &[0], 0, GossipConfig::default(), &plan),
+            Err(GossipError::Disconnected)
+        );
+        // All-zero weights — the shape pruning can leave behind — must
+        // come back as an error under weighted choice, not a panic.
+        let mut zeroed = packing.clone();
+        for t in &mut zeroed.trees {
+            t.weight = 0.0;
+        }
+        assert_eq!(
+            gossip_via_trees_faulty(&g, &zeroed, &[0], 0, GossipConfig::weighted(), &plan),
+            Err(GossipError::ZeroWeightPacking)
+        );
+        // ... but greedy sharing with uniform choice never reads the
+        // weights, so the same packing still runs.
+        let r = gossip_via_trees_faulty(&g, &zeroed, &[0], 0, GossipConfig::default(), &plan);
+        assert!(r.is_ok());
     }
 }

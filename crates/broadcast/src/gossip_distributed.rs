@@ -16,7 +16,10 @@
 //! schedule-level simulation.
 
 use crate::gossip::{GossipConfig, TreeChoice};
-use decomp_congest::{Inbox, Message, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};
+use decomp_congest::{
+    EngineKind, Fault, FaultPlan, Inbox, Message, Model, NodeCtx, NodeProgram, RunStats,
+    ScheduledFault, SimError, Simulator,
+};
 use decomp_core::packing::DomTreePacking;
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -201,6 +204,220 @@ pub fn gossip_protocol_on(
     })
 }
 
+/// Result of a fault-injected protocol run ([`gossip_protocol_faulty`]).
+#[derive(Clone, Debug)]
+pub struct FaultyDistGossipReport {
+    /// Whether every *surviving* node received every message that was
+    /// not lost outright.
+    pub complete: bool,
+    /// Messages whose every copy sat on a dead node when the faulted
+    /// phase quiesced (possible only when an origin dies before its
+    /// first broadcast, or when faults exceed the packing's
+    /// connectivity).
+    pub lost_messages: usize,
+    /// Messages the repair phase re-injected on a surviving tree (or as
+    /// a flood when no tree could carry them).
+    pub reinjected: usize,
+    /// Tokens assigned to each tree at the origin.
+    pub per_tree_load: Vec<usize>,
+    /// Cumulative statistics: the faulted run plus the repair run.
+    pub stats: RunStats,
+}
+
+/// Sentinel token tree id: a flood token, relayed by every surviving
+/// node instead of one tree's members.
+const FLOOD_TOKEN: u32 = u32::MAX;
+
+/// [`gossip_protocol_with`] under a seeded [`FaultPlan`], in two phases:
+/// the protocol first runs on a faulted simulator (dead nodes fall
+/// silent mid-round, in-flight messages drop — the engine-level
+/// semantics of `decomp_congest::fault`), then any message a surviving
+/// node is still missing is re-injected from a live holder on the
+/// lowest-id tree that is intact on the survivors — or as a flood token
+/// every survivor relays — on a second, fault-quiesced simulator run.
+/// Statistics are cumulative across both phases.
+///
+/// With `f < k` faults against a `k`-connected packing and fault rounds
+/// late enough for each origin's first broadcast (round ≥ 2), no
+/// message is lost and `complete` holds on every fixture family — the
+/// protocol-level counterpart of
+/// [`crate::gossip::gossip_via_trees_faulty`].
+///
+/// # Errors
+/// Propagates simulator round-limit errors from either phase.
+///
+/// # Panics
+/// Panics if the packing is empty (or carries no weight under
+/// [`TreeChoice::Weighted`]) or `g` is disconnected.
+pub fn gossip_protocol_faulty(
+    g: &Graph,
+    packing: &DomTreePacking,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+    plan: &FaultPlan,
+    engine: EngineKind,
+) -> Result<FaultyDistGossipReport, SimError> {
+    assert!(packing.num_trees() > 0, "need at least one tree");
+    assert!(
+        decomp_graph::traversal::is_connected(g),
+        "gossip requires a connected graph"
+    );
+    let n = g.n();
+    let nmsg = origins.len();
+    let num_trees = packing.num_trees();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (t, tree) in packing.trees.iter().enumerate() {
+        for v in tree.vertices(n) {
+            membership[v].push(t as u32);
+        }
+    }
+    let sampler = match config.tree_choice {
+        TreeChoice::Uniform => None,
+        TreeChoice::Weighted => Some(packing.sampler()),
+    };
+    let mut per_tree_load = vec![0usize; num_trees];
+    let mut tree_of: Vec<u64> = Vec::with_capacity(nmsg);
+    let mut injections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+    for (i, &origin) in origins.iter().enumerate() {
+        let tree = match &sampler {
+            None => rng.gen_range(0..num_trees) as u64,
+            Some(s) => s.sample(&mut rng) as u64,
+        };
+        per_tree_load[tree as usize] += 1;
+        tree_of.push(tree);
+        injections[origin].push_back((i as u64, tree));
+    }
+    let make_programs = |membership: &[Vec<u32>],
+                         mut injections: Vec<std::collections::VecDeque<(u64, u64)>>|
+     -> Vec<GossipProgram> {
+        (0..n)
+            .map(|v| {
+                let inject = std::mem::take(&mut injections[v]);
+                GossipProgram {
+                    trees: membership[v].clone(),
+                    queue: Default::default(),
+                    seen: inject.iter().map(|&(m, _)| m).collect(),
+                    received: Default::default(),
+                    inject,
+                }
+            })
+            .collect()
+    };
+    let cap = 64 * (n + nmsg) + 4096;
+
+    // Phase 1: the protocol under fire.
+    let mut sim = Simulator::with_seed(g, Model::VCongest, seed)
+        .with_engine(engine)
+        .with_faults(plan.clone());
+    let (phase1, mut stats) = sim.run(make_programs(&membership, injections), cap)?;
+
+    // The survivors' view once every fault has fired.
+    let dead_list = plan.dead_vertices_after(usize::MAX);
+    let mut dead = vec![false; n];
+    for &v in &dead_list {
+        dead[v] = true;
+    }
+    let mut cut: Vec<(usize, usize)> = plan
+        .events()
+        .iter()
+        .filter_map(|e| match e.fault {
+            Fault::Edge(u, v) => Some((u, v)),
+            Fault::Vertex(_) => None,
+        })
+        .collect();
+    cut.sort_unstable();
+    let edge_ok = |u: usize, v: usize| {
+        !dead[u] && !dead[v] && cut.binary_search(&(u.min(v), u.max(v))).is_err()
+    };
+    let is_member = |t: usize, v: usize| membership[v].binary_search(&(t as u32)).is_ok();
+    // A tree is intact on the survivors iff its members are all alive,
+    // its edges all uncut, and every survivor is still dominated
+    // through a live edge.
+    let tree_intact = |t: usize| {
+        packing.trees[t].edges.iter().all(|&(u, v)| edge_ok(u, v))
+            && packing.trees[t].singleton.is_none_or(|s| !dead[s])
+            && (0..n).filter(|&v| !dead[v] && !is_member(t, v)).all(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| is_member(t, u) && edge_ok(v, u))
+            })
+    };
+    let intact: Vec<bool> = (0..num_trees).map(&tree_intact).collect();
+
+    // Repair: re-inject every message some survivor is still missing,
+    // from a live holder, on a surviving tree (or as a flood).
+    let mut reinjections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+    let mut lost = vec![false; nmsg];
+    let mut reinjected = 0usize;
+    for m in 0..nmsg {
+        let missing = (0..n).any(|v| !dead[v] && !phase1[v].received.contains(&(m as u64)));
+        if !missing {
+            continue;
+        }
+        let holders: Vec<usize> = (0..n)
+            .filter(|&v| !dead[v] && phase1[v].received.contains(&(m as u64)))
+            .collect();
+        if holders.is_empty() {
+            lost[m] = true;
+            continue;
+        }
+        let eligible = |t: usize, v: usize| is_member(t, v) || v == origins[m];
+        let carrier = (0..num_trees)
+            .find(|&t| intact[t] && holders.iter().any(|&v| eligible(t, v)))
+            .map(|t| t as u32)
+            .unwrap_or(FLOOD_TOKEN);
+        let injector = *holders
+            .iter()
+            .find(|&&v| carrier == FLOOD_TOKEN || eligible(carrier as usize, v))
+            .expect("carrier choice guarantees an eligible holder");
+        reinjections[injector].push_back((m as u64, carrier as u64));
+        reinjected += 1;
+    }
+
+    // Messages neither delivered everywhere nor re-injected are lost —
+    // with no survivor holding a copy, the repair phase has nothing to
+    // work with, so completeness is judged over the rest.
+    let mut complete = true;
+    if reinjected > 0 {
+        // Every survivor relays flood tokens; tree tokens keep their
+        // membership.
+        let membership2: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                let mut t = membership[v].clone();
+                t.push(FLOOD_TOKEN);
+                t
+            })
+            .collect();
+        // Same final topology, quiesced: every fault fires at round 0.
+        let plan0 = FaultPlan::new(plan.events().iter().map(|e| ScheduledFault {
+            round: 0,
+            fault: e.fault,
+        }));
+        let mut sim2 = Simulator::with_seed(g, Model::VCongest, seed ^ 0xf1f0_0d17)
+            .with_engine(engine)
+            .with_faults(plan0);
+        let (phase2, stats2) = sim2.run(make_programs(&membership2, reinjections), cap)?;
+        stats.absorb(stats2);
+        complete = (0..n).filter(|&v| !dead[v]).all(|v| {
+            (0..nmsg).all(|m| {
+                lost[m]
+                    || phase1[v].received.contains(&(m as u64))
+                    || phase2[v].received.contains(&(m as u64))
+            })
+        });
+    }
+
+    Ok(FaultyDistGossipReport {
+        complete,
+        lost_messages: lost.iter().filter(|&&l| l).count(),
+        reinjected,
+        per_tree_load,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +519,93 @@ mod tests {
             "per-(node, message) broadcast count must be exactly one \
              broadcast per tree vertex per message — duplicates detected"
         );
+    }
+
+    #[test]
+    fn faulty_protocol_completes_below_connectivity() {
+        // f = 3 < κ = 8 node kills from round 2 on (each origin has
+        // broadcast once, so ≥ deg + 1 > f copies exist): nothing is
+        // lost and every survivor ends up with every message, possibly
+        // via the repair phase.
+        let g = generators::harary(8, 40);
+        let packing = packing_for(&g, 8, 1);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::random_vertices(&g, 3, (2, 6), 21);
+        let r = gossip_protocol_faulty(
+            &g,
+            &packing,
+            &origins,
+            5,
+            GossipConfig::default(),
+            &plan,
+            decomp_testkit::engine_from_env(),
+        )
+        .unwrap();
+        assert!(r.complete, "survivors must receive every message");
+        assert_eq!(r.lost_messages, 0, "f < k loses nothing");
+        assert!(r.stats.rounds > 0);
+    }
+
+    #[test]
+    fn origin_killed_at_injection_loses_exactly_its_message() {
+        // Node 4's message dies with it before the first broadcast; the
+        // other messages must still reach every survivor.
+        let g = generators::harary(4, 16);
+        let packing = packing_for(&g, 4, 2);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 0,
+            fault: Fault::Vertex(4),
+        }]);
+        let r = gossip_protocol_faulty(
+            &g,
+            &packing,
+            &origins,
+            7,
+            GossipConfig::default(),
+            &plan,
+            decomp_testkit::engine_from_env(),
+        )
+        .unwrap();
+        assert_eq!(r.lost_messages, 1, "only the dead origin's message dies");
+        assert!(
+            r.complete,
+            "completeness is judged over the non-lost messages"
+        );
+    }
+
+    #[test]
+    fn faulty_protocol_is_engine_equivalent_and_deterministic() {
+        let g = generators::harary(6, 30);
+        let packing = packing_for(&g, 6, 4);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::random_vertices(&g, 4, (2, 5), 9);
+        let run = |engine| {
+            let r = gossip_protocol_faulty(
+                &g,
+                &packing,
+                &origins,
+                3,
+                GossipConfig::weighted(),
+                &plan,
+                engine,
+            )
+            .unwrap();
+            (
+                r.complete,
+                r.lost_messages,
+                r.reinjected,
+                r.per_tree_load.clone(),
+                r.stats,
+            )
+        };
+        let engines = decomp_testkit::engines();
+        let baseline = run(engines[0]);
+        assert!(baseline.0);
+        assert_eq!(baseline.1, 0);
+        for &engine in &engines[1..] {
+            assert_eq!(run(engine), baseline, "{engine} diverged");
+        }
     }
 
     #[test]

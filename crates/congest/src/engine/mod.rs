@@ -50,6 +50,7 @@ pub mod sharded;
 pub use sequential::SequentialEngine;
 pub use sharded::ShardedEngine;
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::sim::{InEntry, Inbox, Model, NodeCtx, NodeProgram, Outbox, RunStats, SimError};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -122,6 +123,10 @@ pub struct NetSpec<'g> {
     pub model: Model,
     /// Per-message payload budget in words.
     pub word_budget: usize,
+    /// Deterministic failure schedule, if any (see [`crate::fault`]).
+    /// Engines derive identical per-run `FaultState`s from it — the
+    /// sharded backend builds one per worker, advanced in lockstep.
+    pub faults: Option<&'g FaultPlan>,
 }
 
 /// The outcome of one engine run.
@@ -241,6 +246,47 @@ impl InboxArena {
     pub(crate) fn total_msgs(&self) -> usize {
         self.total_msgs
     }
+
+    /// Removes every delivery `drop(local, sender)` rejects — the
+    /// fault-firing purge (a dead node's pending inbox, and anything a
+    /// dead or disconnected sender had in flight toward this shard).
+    /// Payload words stay in the buffer until the round-boundary reset;
+    /// only the entries (and `total_msgs`) go away.
+    pub(crate) fn purge(&mut self, mut drop: impl FnMut(usize, NodeId) -> bool) {
+        let mut t = 0;
+        while t < self.touched.len() {
+            let local = self.touched[t] as usize;
+            let before = self.entries[local].len();
+            self.entries[local].retain(|e| !drop(local, e.from as NodeId));
+            self.total_msgs -= before - self.entries[local].len();
+            if self.entries[local].is_empty() {
+                self.touched.swap_remove(t);
+            } else {
+                t += 1;
+            }
+        }
+    }
+}
+
+/// The round-limit error context, counted at one shared point so both
+/// engines agree bit-for-bit even when the cap hits with messages in
+/// flight mid-round: `undelivered` is the arena's post-purge in-flight
+/// count, `unfinished` the surviving (non-faulted) programs still
+/// reporting `!is_done()`. The sharded engine calls this per shard
+/// (`base` = the shard's first global node id) and sums.
+pub(crate) fn cutoff_context<P: NodeProgram>(
+    arena: &InboxArena,
+    programs: &[P],
+    faults: Option<&FaultState<'_>>,
+    base: NodeId,
+) -> (usize, usize) {
+    let undelivered = arena.total_msgs();
+    let unfinished = programs
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| faults.is_none_or(|f| !f.is_dead(base + i)) && !p.is_done())
+        .count();
+    (undelivered, unfinished)
 }
 
 /// Executes one node's round: runs the program against the engine's
@@ -249,11 +295,18 @@ impl InboxArena {
 /// payload copy (a local broadcast) arrive in a single call, so delivery
 /// never clones payloads.
 ///
-/// Returns `true` iff the node attempted a send. Both engines funnel
-/// through this helper, so per-node behavior (RNG consumption, model
-/// enforcement, stats accounting) is identical by construction. The
-/// caller sorts the inbox (see [`InboxArena::sort`]) before building the
-/// view.
+/// Under an active fault schedule, targets that are dead or sit behind a
+/// cut edge are filtered *here*, before any accounting: the surviving
+/// receivers arrive as maximal contiguous runs, and stats count only
+/// what is actually delivered. Both engines get identical runs because
+/// the split happens in this shared helper.
+///
+/// Returns `true` iff the node attempted a send (even one whose targets
+/// all died — the attempt still holds the run open one round, matching
+/// the degree-0 broadcast semantics). Both engines funnel through this
+/// helper, so per-node behavior (RNG consumption, model enforcement,
+/// stats accounting) is identical by construction. The caller sorts the
+/// inbox (see [`InboxArena::sort`]) before building the view.
 #[allow(clippy::too_many_arguments)] // the full per-node execution state, threaded once per engine
 pub(crate) fn step_node<P: NodeProgram>(
     net: &NetSpec<'_>,
@@ -261,6 +314,7 @@ pub(crate) fn step_node<P: NodeProgram>(
     round: usize,
     program: &mut P,
     rng: &mut StdRng,
+    faults: Option<&FaultState<'_>>,
     inbox: Inbox<'_>,
     outbox: &mut Outbox,
     stats: &mut RunStats,
@@ -281,10 +335,30 @@ pub(crate) fn step_node<P: NodeProgram>(
         );
         program.round(&mut ctx, &inbox);
     }
-    outbox.drain(neighbors, |targets, payload| {
-        stats.messages += targets.len();
-        stats.words += payload.len() * targets.len();
-        sink(targets, payload);
+    let live_faults = faults.filter(|f| f.any_fired());
+    outbox.drain(neighbors, |targets, payload| match live_faults {
+        None => {
+            stats.messages += targets.len();
+            stats.words += payload.len() * targets.len();
+            sink(targets, payload);
+        }
+        Some(f) => {
+            let mut a = 0;
+            while a < targets.len() {
+                if !f.deliverable(v, targets[a]) {
+                    a += 1;
+                    continue;
+                }
+                let mut b = a + 1;
+                while b < targets.len() && f.deliverable(v, targets[b]) {
+                    b += 1;
+                }
+                stats.messages += b - a;
+                stats.words += payload.len() * (b - a);
+                sink(&targets[a..b], payload);
+                a = b;
+            }
+        }
     })
 }
 

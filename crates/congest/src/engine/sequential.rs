@@ -5,7 +5,10 @@
 //! round's; the buffers swap at the round boundary and are reset (not
 //! reallocated), so the steady-state loop performs no heap allocation.
 
-use super::{is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine};
+use super::{
+    cutoff_context, is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine,
+};
+use crate::fault::FaultState;
 use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
 use rand::rngs::StdRng;
 
@@ -32,11 +35,19 @@ impl RoundEngine for SequentialEngine {
         let mut cur = InboxArena::new(n);
         let mut next = InboxArena::new(n);
         let mut outbox = Outbox::new(net.model);
+        let mut faults = net.faults.map(|plan| FaultState::new(plan, n));
         let mut round = 0usize;
         loop {
+            // Faults scheduled for this round fire first: the victims'
+            // in-flight deliveries are purged before the cutoff check
+            // and before any inbox is consumed.
+            if let Some(fs) = faults.as_mut() {
+                if fs.advance_to(round) {
+                    cur.purge(|local, from| !fs.deliverable(from, local));
+                }
+            }
             if round >= max_rounds {
-                let undelivered = cur.total_msgs();
-                let unfinished = programs.iter().filter(|p| !p.is_done()).count();
+                let (undelivered, unfinished) = cutoff_context(&cur, programs, faults.as_ref(), 0);
                 return EngineRun {
                     stats,
                     error: Some(SimError::ExceededMaxRounds {
@@ -49,6 +60,9 @@ impl RoundEngine for SequentialEngine {
             let mut any_sent = false;
             let mut queued_words = 0usize;
             for v in 0..n {
+                if faults.as_ref().is_some_and(|f| f.is_dead(v)) {
+                    continue;
+                }
                 if !is_active(round, cur.has_mail(v), &programs[v]) {
                     continue;
                 }
@@ -62,6 +76,7 @@ impl RoundEngine for SequentialEngine {
                     round,
                     &mut programs[v],
                     &mut rngs[v],
+                    faults.as_ref(),
                     inbox,
                     &mut outbox,
                     &mut stats,
@@ -80,7 +95,10 @@ impl RoundEngine for SequentialEngine {
             stats.note_round_load(next.total_msgs(), queued_words);
             std::mem::swap(&mut cur, &mut next);
             next.reset();
-            let all_done = programs.iter().all(|p| p.is_done());
+            let all_done = programs
+                .iter()
+                .enumerate()
+                .all(|(v, p)| faults.as_ref().is_some_and(|f| f.is_dead(v)) || p.is_done());
             if all_done && !any_sent {
                 break;
             }

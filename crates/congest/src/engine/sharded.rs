@@ -41,8 +41,10 @@
 //! calling thread.
 
 use super::{
-    is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine, SequentialEngine,
+    cutoff_context, is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine,
+    SequentialEngine,
 };
+use crate::fault::FaultState;
 use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
 use decomp_graph::NodeId;
 use rand::rngs::StdRng;
@@ -291,14 +293,27 @@ fn shard_worker<P: NodeProgram + Send>(
     let mut outbox = Outbox::new(net.model);
     let mut out_bufs: Vec<OutBatch> = (0..s).map(|_| OutBatch::default()).collect();
     let mut scratch = OutBatch::default();
+    // Every worker derives its own fault view from the shared plan and
+    // advances it in lockstep — a pure function of (plan, round), so all
+    // shards agree on the global dead set without communication.
+    let mut faults = net.faults.map(|plan| FaultState::new(plan, net.graph.n()));
     let mut round = 0usize;
     loop {
+        // Faults fire at round start, before the cutoff check and before
+        // inbox consumption: purge in-flight deliveries the failures
+        // invalidated (global sender id, shard-local receiver).
+        if let Some(fs) = faults.as_mut() {
+            if fs.advance_to(round) {
+                arena.purge(|local, from| !fs.deliverable(from, lo + local));
+            }
+        }
         // All workers share the same lockstep round counter, so they all
         // take this exit in the same round (no barrier crossing needed).
         if round >= max_rounds {
-            let undelivered = arena.total_msgs();
-            let unfinished = progs.iter().filter(|p| !p.is_done()).count();
-            return (stats, Some((undelivered, unfinished)));
+            return (
+                stats,
+                Some(cutoff_context(&arena, progs, faults.as_ref(), lo)),
+            );
         }
 
         // --- Compute phase -------------------------------------------
@@ -311,12 +326,15 @@ fn shard_worker<P: NodeProgram + Send>(
         // or the other shards would deadlock there.
         let step = panic::catch_unwind(AssertUnwindSafe(|| {
             for i in 0..local_n {
+                let v = lo + i;
+                if faults.as_ref().is_some_and(|f| f.is_dead(v)) {
+                    continue;
+                }
                 if !is_active(round, arena.has_mail(i), &progs[i]) {
                     continue;
                 }
                 arena.sort(i);
                 let inbox = arena.inbox(i);
-                let v = lo + i;
                 let bufs = &mut out_bufs;
                 let qm = &mut queued_msgs;
                 let qw = &mut queued_words;
@@ -326,6 +344,7 @@ fn shard_worker<P: NodeProgram + Send>(
                     round,
                     &mut progs[i],
                     &mut rngs[i],
+                    faults.as_ref(),
                     inbox,
                     &mut outbox,
                     &mut stats,
@@ -361,7 +380,10 @@ fn shard_worker<P: NodeProgram + Send>(
                 );
                 any_sent |= sent;
             }
-            progs.iter().all(|p| p.is_done())
+            progs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| faults.as_ref().is_some_and(|f| f.is_dead(lo + i)) || p.is_done())
         }));
         let local_done = match step {
             Ok(done) => done,

@@ -1,0 +1,390 @@
+//! Deterministic fault injection: seeded vertex/edge deletion schedules.
+//!
+//! A [`FaultPlan`] is a list of [`ScheduledFault`]s — vertex or edge
+//! deletions, each pinned to a round — that the round engines apply
+//! mid-run: when round `r` begins, every fault scheduled at a round
+//! `≤ r` fires *before* inboxes are consumed, so a dying node's
+//! in-flight messages (sent in round `r − 1`) are dropped along with it.
+//! From that point the node is silenced — it is never stepped again, its
+//! RNG stream stops advancing, and quiescence is decided over the
+//! surviving programs only. Cut edges drop traffic in both directions
+//! but leave their endpoints running.
+//!
+//! Plans are pure data built from explicit seeds ([`FaultPlan::random_vertices`]
+//! et al. derive everything from a `u64`), so the same plan + seed +
+//! engine reproduces the identical failure schedule, message trace, and
+//! stats on every run — the determinism contract of
+//! `docs/DETERMINISM.md` extends to the failure path. The paper's
+//! robustness claim (Theorem 1.1: a `k`-connected packing survives up to
+//! `k − 1` failures) is exercised by choosing `f < k` faults and
+//! checking delivery still completes over the surviving trees.
+
+use decomp_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Vertex `v` crashes: silenced from its fault round on, all
+    /// incident traffic (in-flight included) dropped.
+    Vertex(NodeId),
+    /// Edge `{u, v}` is cut in both directions; endpoints keep running.
+    /// Stored normalized (`u < v`).
+    Edge(NodeId, NodeId),
+}
+
+impl Fault {
+    /// Normalizes an edge fault so `u < v`; vertex faults pass through.
+    fn normalized(self) -> Fault {
+        match self {
+            Fault::Edge(u, v) if u > v => Fault::Edge(v, u),
+            other => other,
+        }
+    }
+}
+
+/// A [`Fault`] pinned to the round at whose *start* it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduledFault {
+    /// Round index (0-based, in the running protocol's round counter) at
+    /// whose start the fault fires.
+    pub round: usize,
+    /// What fails.
+    pub fault: Fault,
+}
+
+/// A deterministic failure schedule, sorted by round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults ever fire).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit events. Edge faults are normalized and the
+    /// schedule is stably sorted by round, so logically equal plans
+    /// compare equal regardless of construction order.
+    pub fn new(events: impl IntoIterator<Item = ScheduledFault>) -> Self {
+        let mut events: Vec<ScheduledFault> = events
+            .into_iter()
+            .map(|e| ScheduledFault {
+                round: e.round,
+                fault: e.fault.normalized(),
+            })
+            .collect();
+        events.sort_by_key(|e| e.round);
+        FaultPlan { events }
+    }
+
+    /// `f` distinct vertices chosen uniformly at random (seeded), each
+    /// failing at a round drawn uniformly from `rounds` (inclusive
+    /// bounds). `f` is clamped to `g.n()`.
+    pub fn random_vertices(g: &Graph, f: usize, rounds: (usize, usize), seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_0001);
+        let mut ids: Vec<NodeId> = (0..g.n()).collect();
+        let f = f.min(ids.len());
+        // Partial Fisher–Yates: the first f slots become the sample.
+        for i in 0..f {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        Self::new(ids[..f].iter().map(|&v| ScheduledFault {
+            round: draw_round(&mut rng, rounds),
+            fault: Fault::Vertex(v),
+        }))
+    }
+
+    /// The worst-case vertex policy: the `f` highest-degree vertices
+    /// (ties broken toward lower ids), all failing at `round`.
+    pub fn worst_case_vertices(g: &Graph, f: usize, round: usize) -> Self {
+        let mut ids: Vec<NodeId> = (0..g.n()).collect();
+        ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        Self::new(ids.into_iter().take(f).map(|v| ScheduledFault {
+            round,
+            fault: Fault::Vertex(v),
+        }))
+    }
+
+    /// `f` distinct edges chosen uniformly at random (seeded), each cut
+    /// at a round drawn uniformly from `rounds`. `f` is clamped to
+    /// `g.m()`.
+    pub fn random_edges(g: &Graph, f: usize, rounds: (usize, usize), seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_0002);
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+        let f = f.min(edges.len());
+        for i in 0..f {
+            let j = rng.gen_range(i..edges.len());
+            edges.swap(i, j);
+        }
+        Self::new(edges[..f].iter().map(|&(u, v)| ScheduledFault {
+            round: draw_round(&mut rng, rounds),
+            fault: Fault::Edge(u, v),
+        }))
+    }
+
+    /// The worst-case edge policy: the `f` edges with the largest
+    /// endpoint-degree sum (ties broken lexicographically), all cut at
+    /// `round`.
+    pub fn worst_case_edges(g: &Graph, f: usize, round: usize) -> Self {
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+        edges.sort_by_key(|&(u, v)| (std::cmp::Reverse(g.degree(u) + g.degree(v)), u, v));
+        Self::new(edges.into_iter().take(f).map(|(u, v)| ScheduledFault {
+            round,
+            fault: Fault::Edge(u, v),
+        }))
+    }
+
+    /// The schedule, sorted by round.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Distinct rounds at which at least one fault fires, ascending.
+    pub fn fault_rounds(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.events.iter().map(|e| e.round).collect();
+        out.dedup();
+        out
+    }
+
+    /// Vertices dead once every fault scheduled at a round `≤ round` has
+    /// fired, ascending.
+    pub fn dead_vertices_after(&self, round: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .take_while(|e| e.round <= round)
+            .filter_map(|e| match e.fault {
+                Fault::Vertex(v) => Some(v),
+                Fault::Edge(..) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The surviving topology after every fault scheduled at a round
+    /// `≤ round`: same vertex set (dead vertices become isolated), minus
+    /// cut edges and every edge incident to a dead vertex.
+    pub fn surviving_graph(&self, g: &Graph, round: usize) -> Graph {
+        let dead = self.dead_vertices_after(round);
+        let cut: Vec<(NodeId, NodeId)> = self
+            .events
+            .iter()
+            .take_while(|e| e.round <= round)
+            .filter_map(|e| match e.fault {
+                Fault::Edge(u, v) => Some((u, v)),
+                Fault::Vertex(_) => None,
+            })
+            .collect();
+        g.edge_subgraph(|u, v| {
+            dead.binary_search(&u).is_err()
+                && dead.binary_search(&v).is_err()
+                && !cut.contains(&(u.min(v), u.max(v)))
+        })
+    }
+}
+
+fn draw_round(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    assert!(lo <= hi, "empty fault round range {lo}..={hi}");
+    rng.gen_range(lo..=hi)
+}
+
+/// The engines' live view of a plan: which faults have fired so far.
+/// Each sharded worker derives its own copy from the shared plan and
+/// advances it in lockstep — the state is a pure function of
+/// `(plan, round)`, so all workers agree without communication.
+pub(crate) struct FaultState<'p> {
+    plan: &'p FaultPlan,
+    /// Index of the first unfired event.
+    next: usize,
+    dead: Vec<bool>,
+    /// Fired edge cuts, normalized and sorted for binary search.
+    cut_edges: Vec<(u32, u32)>,
+    any: bool,
+}
+
+impl<'p> FaultState<'p> {
+    pub(crate) fn new(plan: &'p FaultPlan, n: usize) -> Self {
+        FaultState {
+            plan,
+            next: 0,
+            dead: vec![false; n],
+            cut_edges: Vec::new(),
+            any: false,
+        }
+    }
+
+    /// Fires every event scheduled at a round `≤ round`; returns whether
+    /// any event fired in this call (the purge trigger).
+    pub(crate) fn advance_to(&mut self, round: usize) -> bool {
+        let events = self.plan.events();
+        let mut fired = false;
+        while self.next < events.len() && events[self.next].round <= round {
+            match events[self.next].fault {
+                Fault::Vertex(v) => {
+                    if v < self.dead.len() {
+                        self.dead[v] = true;
+                    }
+                }
+                Fault::Edge(u, v) => {
+                    let key = (u as u32, v as u32);
+                    if let Err(pos) = self.cut_edges.binary_search(&key) {
+                        self.cut_edges.insert(pos, key);
+                    }
+                }
+            }
+            self.next += 1;
+            fired = true;
+            self.any = true;
+        }
+        fired
+    }
+
+    /// Whether any fault has fired so far (fast path: `false` means
+    /// delivery filtering can be skipped wholesale).
+    pub(crate) fn any_fired(&self) -> bool {
+        self.any
+    }
+
+    pub(crate) fn is_dead(&self, v: NodeId) -> bool {
+        self.dead[v]
+    }
+
+    /// Whether a message from `from` to `to` survives: both endpoints
+    /// live and the edge between them not cut.
+    pub(crate) fn deliverable(&self, from: NodeId, to: NodeId) -> bool {
+        !self.dead[from]
+            && !self.dead[to]
+            && self
+                .cut_edges
+                .binary_search(&(from.min(to) as u32, from.max(to) as u32))
+                .is_err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_graph::generators;
+
+    #[test]
+    fn new_normalizes_edges_and_sorts_by_round() {
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 5,
+                fault: Fault::Edge(3, 1),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::Vertex(0),
+            },
+        ]);
+        assert_eq!(plan.events()[0].round, 2);
+        assert_eq!(plan.events()[1].fault, Fault::Edge(1, 3));
+        assert_eq!(plan.fault_rounds(), vec![2, 5]);
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic_and_distinct_across_seeds() {
+        let g = generators::harary(4, 24);
+        let a = FaultPlan::random_vertices(&g, 3, (1, 9), 7);
+        let b = FaultPlan::random_vertices(&g, 3, (1, 9), 7);
+        assert_eq!(a, b);
+        let c = FaultPlan::random_vertices(&g, 3, (1, 9), 8);
+        assert_ne!(a, c);
+        // Distinct vertices, rounds inside the window.
+        let mut vs: Vec<NodeId> = a
+            .events()
+            .iter()
+            .map(|e| match e.fault {
+                Fault::Vertex(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        assert_eq!(vs.len(), 3);
+        assert!(a.events().iter().all(|e| (1..=9).contains(&e.round)));
+
+        let e1 = FaultPlan::random_edges(&g, 4, (0, 3), 5);
+        assert_eq!(e1, FaultPlan::random_edges(&g, 4, (0, 3), 5));
+        assert_eq!(e1.len(), 4);
+    }
+
+    #[test]
+    fn worst_case_vertices_picks_highest_degree_ties_to_low_id() {
+        // star(4): center 0 has degree 3, leaves degree 1.
+        let g = generators::star(4);
+        let plan = FaultPlan::worst_case_vertices(&g, 2, 1);
+        assert_eq!(
+            plan.events().iter().map(|e| e.fault).collect::<Vec<_>>(),
+            vec![Fault::Vertex(0), Fault::Vertex(1)]
+        );
+    }
+
+    #[test]
+    fn surviving_graph_isolates_dead_vertices_and_drops_cut_edges() {
+        let g = generators::cycle(5);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 1,
+                fault: Fault::Vertex(0),
+            },
+            ScheduledFault {
+                round: 3,
+                fault: Fault::Edge(2, 3),
+            },
+        ]);
+        let after1 = plan.surviving_graph(&g, 1);
+        assert_eq!(after1.n(), 5);
+        assert_eq!(after1.degree(0), 0);
+        assert_eq!(after1.m(), g.m() - 2);
+        let after3 = plan.surviving_graph(&g, 3);
+        assert_eq!(after3.m(), g.m() - 3);
+        assert_eq!(plan.dead_vertices_after(3), vec![0]);
+    }
+
+    #[test]
+    fn fault_state_fires_in_round_order_and_filters_delivery() {
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::Vertex(1),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::Edge(0, 2),
+            },
+        ]);
+        let mut fs = FaultState::new(&plan, 4);
+        assert!(!fs.advance_to(1));
+        assert!(!fs.any_fired());
+        assert!(fs.deliverable(0, 1));
+        assert!(fs.advance_to(2));
+        assert!(fs.is_dead(1));
+        assert!(!fs.deliverable(0, 1));
+        assert!(!fs.deliverable(1, 0));
+        assert!(fs.deliverable(0, 2));
+        assert!(!fs.advance_to(3));
+        assert!(fs.advance_to(4));
+        assert!(!fs.deliverable(0, 2));
+        assert!(!fs.deliverable(2, 0));
+        assert!(fs.deliverable(2, 3));
+    }
+}

@@ -60,6 +60,7 @@ pub mod bfs;
 pub mod broadcast;
 pub mod components;
 pub mod engine;
+pub mod fault;
 pub mod leader;
 pub mod message;
 pub mod mst;
@@ -67,5 +68,6 @@ pub mod multiflood;
 pub mod sim;
 
 pub use engine::{EngineKind, RoundEngine, SequentialEngine, ShardedEngine};
+pub use fault::{Fault, FaultPlan, ScheduledFault};
 pub use message::{Message, MsgView, INLINE_WORDS};
 pub use sim::{Inbox, InboxIter, Model, NodeCtx, NodeProgram, RunStats, SimError, Simulator};

@@ -19,6 +19,7 @@
 //! back on one simulator; the cumulative statistics add up across runs.
 
 use crate::engine::{EngineKind, NetSpec, RoundEngine, SequentialEngine, ShardedEngine};
+use crate::fault::FaultPlan;
 use crate::message::{Message, MsgView};
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -67,7 +68,11 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    fn absorb(&mut self, other: RunStats) {
+    /// Folds another run's totals into this one: counters add, peaks
+    /// take the max — the aggregate of running the two phases back to
+    /// back (multi-phase protocols report their cumulative cost this
+    /// way).
+    pub fn absorb(&mut self, other: RunStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.words += other.words;
@@ -507,6 +512,7 @@ pub struct Simulator<'g> {
     model: Model,
     word_budget: usize,
     engine: EngineKind,
+    faults: Option<FaultPlan>,
     rngs: Vec<StdRng>,
     cumulative: RunStats,
 }
@@ -533,6 +539,7 @@ impl<'g> Simulator<'g> {
             model,
             word_budget: DEFAULT_WORD_BUDGET,
             engine: EngineKind::Sequential,
+            faults: None,
             rngs,
             cumulative: RunStats::default(),
         }
@@ -542,6 +549,23 @@ impl<'g> Simulator<'g> {
     pub fn with_word_budget(mut self, words: usize) -> Self {
         self.word_budget = words;
         self
+    }
+
+    /// Installs a deterministic failure schedule (see [`crate::fault`]).
+    /// Faults fire at the start of their scheduled round, before inbox
+    /// consumption: the engines drop the victims' in-flight messages,
+    /// silence dead nodes for the rest of the run (their RNG streams stop
+    /// advancing), and decide quiescence over surviving programs only.
+    /// The plan applies to every subsequent [`Simulator::run`], each run
+    /// restarting the schedule from round 0.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The installed failure schedule, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Selects the round-execution backend. Engine choice never changes
@@ -625,6 +649,7 @@ impl<'g> Simulator<'g> {
             graph: self.graph,
             model: self.model,
             word_budget: self.word_budget,
+            faults: self.faults.as_ref(),
         };
         let outcome = match self.engine {
             EngineKind::Sequential => {
@@ -945,6 +970,148 @@ mod tests {
             let (_, stats) = sim.run(programs, 10).unwrap();
             assert_eq!(stats.rounds, 2, "{engine}");
             assert_eq!(stats.messages, 0, "{engine}");
+        }
+    }
+
+    /// Counts everything heard and rebroadcasts its id for `chatty`
+    /// rounds — the fault-path workhorse.
+    struct Counter {
+        heard: usize,
+        chatty: usize,
+    }
+
+    impl NodeProgram for Counter {
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
+            self.heard += inbox.len();
+            if self.chatty > 0 {
+                self.chatty -= 1;
+                ctx.broadcast(Message::from_words([ctx.id() as u64]));
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.chatty == 0
+        }
+    }
+
+    #[test]
+    fn vertex_fault_silences_node_and_drops_in_flight() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Triangle, everyone chats for 4 rounds; node 2 dies at the
+        // start of round 1, so its round-0 broadcast (in flight into
+        // round 1) is dropped and nobody ever hears from it.
+        for engine in engines() {
+            let g = generators::cycle(3);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 1,
+                fault: Fault::Vertex(2),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = (0..3)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 4,
+                })
+                .collect();
+            let (ps, _) = sim.run(programs, 20).unwrap();
+            // 0 and 1 hear only each other: 4 broadcasts each.
+            assert_eq!(ps[0].heard, 4, "{engine}");
+            assert_eq!(ps[1].heard, 4, "{engine}");
+            // The dead node was stepped only in round 0.
+            assert_eq!(ps[2].chatty, 3, "{engine}");
+            assert_eq!(ps[2].heard, 0, "{engine}");
+        }
+    }
+
+    #[test]
+    fn edge_fault_cuts_both_directions_but_keeps_endpoints() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        for engine in engines() {
+            let g = generators::cycle(3);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 0,
+                fault: Fault::Edge(0, 1),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = (0..3)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 2,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 20).unwrap();
+            // Each endpoint of the cut edge hears only node 2; node 2
+            // still hears both.
+            assert_eq!(ps[0].heard, 2, "{engine}");
+            assert_eq!(ps[1].heard, 2, "{engine}");
+            assert_eq!(ps[2].heard, 4, "{engine}");
+            // 2 rounds × (2 + 2 + 2 deliveries minus 2 cut per round).
+            assert_eq!(stats.messages, 8, "{engine}");
+        }
+    }
+
+    #[test]
+    fn quiescence_ignores_dead_stragglers() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Node 1 would chat forever, but dies at round 2: the run must
+        // still reach quiescence instead of spinning to the limit.
+        for engine in engines() {
+            let g = generators::path(3);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 2,
+                fault: Fault::Vertex(1),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = vec![
+                Counter {
+                    heard: 0,
+                    chatty: 1,
+                },
+                Counter {
+                    heard: 0,
+                    chatty: usize::MAX,
+                },
+                Counter {
+                    heard: 0,
+                    chatty: 1,
+                },
+            ];
+            let (_, stats) = sim.run(programs, 50).unwrap();
+            assert!(stats.rounds <= 4, "{engine}: {}", stats.rounds);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_bit_identical_across_engines() {
+        use crate::fault::FaultPlan;
+        let g = generators::harary(4, 20);
+        let plan = FaultPlan::random_vertices(&g, 3, (1, 6), 42);
+        let run = |engine| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, 9)
+                .with_engine(engine)
+                .with_faults(plan.clone());
+            let programs = (0..g.n())
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 8,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 100).unwrap();
+            (
+                ps.into_iter()
+                    .map(|p| (p.heard, p.chatty))
+                    .collect::<Vec<_>>(),
+                stats,
+            )
+        };
+        let baseline = run(EngineKind::Sequential);
+        for engine in engines() {
+            assert_eq!(run(engine), baseline, "{engine}");
         }
     }
 

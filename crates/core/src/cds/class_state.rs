@@ -21,6 +21,13 @@
 //! projected real subgraph `G[Ψ(i)]`: `N_i` is that component count, and
 //! `N_i == 1` certifies the projection connected with no traversal.
 //!
+//! The state is also *deletion-aware*: when a vertex fails (the fault &
+//! churn suite), [`delete_vertex`](ClassState::delete_vertex) repairs
+//! exactly the classes the dead node belonged to — each touched class's
+//! union-find stride is dissolved and re-unioned over an order-1 sparse
+//! certificate ([`decomp_graph::sparsecert`]) of the surviving members'
+//! induced subgraph — instead of rerunning the full layer loop.
+//!
 //! The centralized layer loop ([`crate::cds::centralized`]) drives the
 //! state and reads components through [`comp_root`](ClassState::comp_root)
 //! (behind a per-layer memo of its own, since roots are stable between
@@ -34,6 +41,7 @@
 //! `ClassState` in the integration suites.
 
 use crate::virtual_graph::{VirtualId, VirtualLayout};
+use decomp_graph::sparsecert::sparse_certificate;
 use decomp_graph::unionfind::UnionFind;
 use decomp_graph::{Graph, NodeId};
 use std::collections::HashMap;
@@ -209,6 +217,85 @@ impl ClassState {
         out
     }
 
+    /// Deletion-aware repacking: removes real node `dead` from every class
+    /// it belongs to and repairs the component structure of exactly those
+    /// classes, leaving every untouched class's forest intact. Returns the
+    /// sorted touched classes (so a caller can re-verify or re-extract
+    /// only those). `g` is the current surviving graph — pass the graph
+    /// *after* any accompanying edge deletions.
+    ///
+    /// Union-find cannot split, so each touched class's stride is
+    /// dissolved ([`UnionFind::reset_block`]) and re-unioned over an
+    /// order-1 sparse certificate of the surviving member-induced
+    /// subgraph: at most `|members| − 1` union operations per class, with
+    /// the scan bounded by the members' degrees — no full layer-loop
+    /// rerun. Bit-identical to a from-scratch rebuild (the property suite
+    /// cross-checks counts, excess, and `comp_of` labels).
+    pub fn delete_vertex(&mut self, g: &Graph, dead: NodeId) -> Vec<u32> {
+        let touched = std::mem::take(&mut self.classes_at[dead]);
+        for &class in &touched {
+            let class = class as usize;
+            self.occupied[dead * self.t + class] = false;
+            self.rebuild_class(g, class);
+        }
+        touched
+    }
+
+    /// Edge-deletion counterpart of [`delete_vertex`](Self::delete_vertex):
+    /// repairs every class with a member on *both* endpoints (the only
+    /// classes whose projection can lose the edge). `g` is the graph
+    /// **without** the deleted edge. Returns the sorted touched classes.
+    pub fn delete_edge(&mut self, g: &Graph, u: NodeId, v: NodeId) -> Vec<u32> {
+        let touched: Vec<u32> = self.classes_at[u]
+            .iter()
+            .copied()
+            .filter(|c| self.classes_at[v].binary_search(c).is_ok())
+            .collect();
+        for &class in &touched {
+            self.rebuild_class(g, class as usize);
+        }
+        touched
+    }
+
+    /// Dissolves one class's union-find stride and re-unions its surviving
+    /// members over a spanning forest of their induced subgraph, fixing
+    /// `comp_count` and the running excess.
+    fn rebuild_class(&mut self, g: &Graph, class: usize) {
+        let n = self.layout.n();
+        let stride: Vec<usize> = (0..n).map(|v| v * self.t + class).collect();
+        self.uf.reset_block(&stride);
+        self.excess -= self.comp_count[class].saturating_sub(1);
+
+        // Surviving members, densely renumbered for the certificate.
+        let members: Vec<NodeId> = (0..n)
+            .filter(|&v| self.occupied[v * self.t + class])
+            .collect();
+        let index_of: HashMap<NodeId, usize> =
+            members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut edges = Vec::new();
+        for (i, &v) in members.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                if let Some(&j) = index_of.get(&u) {
+                    if j < i {
+                        edges.push((j, i));
+                    }
+                }
+            }
+        }
+        let mut count = members.len();
+        if !members.is_empty() {
+            let induced = Graph::from_edges(members.len(), edges);
+            for &(a, b) in sparse_certificate(&induced, 1).edges() {
+                let (sa, sb) = (members[a] * self.t + class, members[b] * self.t + class);
+                if self.uf.union(sa, sb) {
+                    count -= 1;
+                }
+            }
+        }
+        self.comp_count[class] = count;
+        self.excess += count.saturating_sub(1);
+    }
+
     /// From-scratch recomputation of `(component counts, excess)` by a
     /// full union-find rebuild over the current members — the oracle the
     /// property suite compares the incremental counters against.
@@ -325,6 +412,109 @@ mod tests {
                 assert_eq!(st.component_count(c), want, "class {c} after join {i}");
             }
             assert_eq!(st.excess(), excess, "excess after join {i}");
+        }
+    }
+
+    #[test]
+    fn delete_vertex_splits_a_bridged_component() {
+        let g = generators::path(3); // 0 - 1 - 2, all in class 0
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in 0..3 {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        assert_eq!(st.component_count(0), 1);
+        let touched = st.delete_vertex(&g, 1);
+        assert_eq!(touched, vec![0]);
+        assert_eq!(st.component_count(0), 2, "losing the bridge splits 0 and 2");
+        assert_eq!(st.excess(), 1);
+        assert_eq!(st.classes_at(1), &[] as &[u32]);
+        assert_eq!(st.comp_root(1, 0), None);
+        assert_ne!(st.comp_root(0, 0), st.comp_root(2, 0));
+    }
+
+    #[test]
+    fn delete_vertex_touches_only_its_classes() {
+        let g = generators::complete(4);
+        let layout = VirtualLayout::new(4, 4);
+        let mut st = ClassState::new(layout, 3);
+        for v in 0..4 {
+            st.join(&g, layout.vid(v, 0, VType::T1), v % 2);
+        }
+        st.join(&g, layout.vid(3, 0, VType::T2), 2);
+        // Node 3 sits in classes 1 and 2; class 0 must keep its forest.
+        let root0 = st.comp_root(0, 0);
+        let touched = st.delete_vertex(&g, 3);
+        assert_eq!(touched, vec![1, 2]);
+        assert_eq!(st.comp_root(0, 0), root0, "untouched class keeps its roots");
+        assert_eq!(st.component_count(2), 0, "class 2 lost its only member");
+        let (counts, excess) = st.recompute_from_scratch(&g);
+        assert_eq!(
+            (0..3).map(|c| st.component_count(c)).collect::<Vec<_>>(),
+            counts
+        );
+        assert_eq!(st.excess(), excess);
+    }
+
+    #[test]
+    fn delete_edge_repairs_shared_classes_only() {
+        // Square 0 - 1 - 2 - 3 - 0, everyone in class 0; node 0 also in 1.
+        let square = |edges: &[(usize, usize)]| Graph::from_edges(4, edges.to_vec());
+        let g = square(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let layout = VirtualLayout::new(4, 4);
+        let mut st = ClassState::new(layout, 2);
+        for v in 0..4 {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        st.join(&g, layout.vid(0, 0, VType::T2), 1);
+        // Cutting one cycle edge keeps the class connected...
+        let g1 = square(&[(1, 2), (2, 3), (3, 0)]);
+        assert_eq!(st.delete_edge(&g1, 0, 1), vec![0]);
+        assert_eq!(st.component_count(0), 1);
+        // ...cutting a second splits it; class 1 (no member on 2 or 3)
+        // is never touched.
+        let g2 = square(&[(1, 2), (3, 0)]);
+        assert_eq!(st.delete_edge(&g2, 2, 3), vec![0]);
+        assert_eq!(st.component_count(0), 2);
+        assert_eq!(st.excess(), 1);
+        let (counts, excess) = st.recompute_from_scratch(&g2);
+        assert_eq!(counts[0], 2);
+        assert_eq!(st.excess(), excess);
+        assert_eq!(st.component_count(1), counts[1]);
+    }
+
+    #[test]
+    fn churn_matches_scratch_and_fresh_replay() {
+        // Random-ish joins on a grid, then a deletion sequence; after every
+        // deletion the incremental state must match (a) the from-scratch
+        // oracle on counts and excess and (b) a freshly replayed state on
+        // the exact `comp_of` labels — bit-for-bit repack equivalence.
+        let g = generators::grid(4, 5);
+        let layout = VirtualLayout::new(20, 4);
+        let joins: Vec<(usize, usize)> = (0..20).map(|i| (i * 7 % 20, i % 3)).collect();
+        let mut st = ClassState::new(layout, 3);
+        for &(v, c) in &joins {
+            st.join(&g, layout.vid(v, 0, VType::ALL[c]), c);
+        }
+        let mut deleted: Vec<usize> = Vec::new();
+        for dead in [13usize, 0, 7, 19, 4] {
+            st.delete_vertex(&g, dead);
+            deleted.push(dead);
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                assert_eq!(st.component_count(c), want, "class {c} after {deleted:?}");
+            }
+            assert_eq!(st.excess(), excess, "excess after {deleted:?}");
+            let mut fresh = ClassState::new(layout, 3);
+            for &(v, c) in joins.iter().filter(|(v, _)| !deleted.contains(v)) {
+                fresh.join(&g, layout.vid(v, 0, VType::ALL[c]), c);
+            }
+            for c in 0..3 {
+                assert_eq!(st.comp_of(c), fresh.comp_of(c), "labels after {deleted:?}");
+            }
+            for v in 0..20 {
+                assert_eq!(st.classes_at(v), fresh.classes_at(v));
+            }
         }
     }
 

@@ -31,6 +31,47 @@ pub struct GuessedPacking {
     pub attempts: Vec<(usize, bool)>,
 }
 
+/// Why the doubling search cannot run (or could not finish).
+///
+/// The disconnected case matters in the failure regime: after `f ≥ κ`
+/// deletions the surviving graph may be disconnected, and every guess —
+/// including `k̃ = 1` — then fails domination forever. Detecting that up
+/// front turns an infinite halving loop (or, distributed, a spin to the
+/// simulator's `max_rounds`) into an immediate typed error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuessError {
+    /// The input graph is empty or disconnected; no guess can verify.
+    Disconnected,
+    /// A distributed attempt hit a simulator error (round cap).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for GuessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuessError::Disconnected => {
+                write!(f, "unknown-k search requires a connected non-empty graph")
+            }
+            GuessError::Sim(e) => write!(f, "unknown-k search attempt failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GuessError {}
+
+impl From<SimError> for GuessError {
+    fn from(e: SimError) -> Self {
+        GuessError::Sim(e)
+    }
+}
+
+/// The initial (largest) guess: `n/2` rounded up to a power of two,
+/// explicitly capped at `n` — connectivity never exceeds `n − 1`, so any
+/// guess above `n` is a wasted attempt the search must never emit.
+fn initial_guess(n: usize) -> usize {
+    (n.next_power_of_two() / 2).clamp(1, n.max(1))
+}
+
 /// Runs the try-and-error loop of Remark 3.1: guesses `n/2^j` for
 /// `j = 1, 2, ...`, builds the packing for each guess, keeps the first one
 /// whose classes all verify as CDSs.
@@ -39,26 +80,37 @@ pub struct GuessedPacking {
 /// class containing every virtual node, which is trivially a CDS.
 ///
 /// # Panics
-/// Panics if `g` is empty or disconnected.
+/// Panics if `g` is empty or disconnected — use
+/// [`try_cds_packing_unknown_k`] when the input may have been
+/// disconnected by failures.
 pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
-    assert!(
-        decomp_graph::traversal::is_connected(g) && g.n() > 0,
-        "guessing requires a connected non-empty graph"
-    );
+    try_cds_packing_unknown_k(g, seed).expect("guessing requires a connected non-empty graph")
+}
+
+/// Fallible variant of [`cds_packing_unknown_k`] for the failure regime:
+/// returns [`GuessError::Disconnected`] instead of panicking when the
+/// (post-deletion) graph is empty or disconnected — the situation where
+/// every guess, including `k̃ = 1`, would fail verification forever.
+///
+/// # Errors
+/// [`GuessError::Disconnected`] on empty or disconnected inputs.
+pub fn try_cds_packing_unknown_k(g: &Graph, seed: u64) -> Result<GuessedPacking, GuessError> {
+    if g.n() == 0 || !decomp_graph::traversal::is_connected(g) {
+        return Err(GuessError::Disconnected);
+    }
     let mut attempts = Vec::new();
-    let mut guess = g.n().next_power_of_two() / 2;
+    let mut guess = initial_guess(g.n());
     loop {
-        guess = guess.max(1);
         let cfg = CdsPackingConfig::with_known_k(guess, seed ^ (guess as u64));
         let packing = cds_packing(g, &cfg);
         let ok = verify_centralized(g, &packing.classes) == VerifyOutcome::Pass;
         attempts.push((guess, ok));
         if ok {
-            return GuessedPacking {
+            return Ok(GuessedPacking {
                 packing,
                 guess,
                 attempts,
-            };
+            });
         }
         assert!(
             guess > 1,
@@ -83,8 +135,11 @@ pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
 /// single class containing every virtual node, which is trivially a CDS.
 ///
 /// # Errors
-/// Propagates simulator round-limit errors from the construction or the
-/// verifier.
+/// [`GuessError::Disconnected`] when the graph is empty or disconnected
+/// (e.g. after `f ≥ κ` deletions) — returned up front rather than letting
+/// every attempt spin to the simulator's round cap;
+/// [`GuessError::Sim`] wraps round-limit errors from the construction or
+/// the verifier.
 ///
 /// # Example
 ///
@@ -105,21 +160,18 @@ pub fn cds_packing_unknown_k(g: &Graph, seed: u64) -> GuessedPacking {
 /// ```
 ///
 /// # Panics
-/// Panics if `sim`'s graph is empty or disconnected, or if `sim` is not
-/// a V-CONGEST simulator.
+/// Panics if `sim` is not a V-CONGEST simulator.
 pub fn cds_packing_unknown_k_distributed(
     sim: &mut Simulator<'_>,
     seed: u64,
-) -> Result<GuessedPacking, SimError> {
+) -> Result<GuessedPacking, GuessError> {
     let n = sim.graph().n();
-    assert!(
-        n > 0 && decomp_graph::traversal::is_connected(sim.graph()),
-        "guessing requires a connected non-empty graph"
-    );
+    if n == 0 || !decomp_graph::traversal::is_connected(sim.graph()) {
+        return Err(GuessError::Disconnected);
+    }
     let mut attempts = Vec::new();
-    let mut guess = n.next_power_of_two() / 2;
+    let mut guess = initial_guess(n);
     loop {
-        guess = guess.max(1);
         let attempt_seed = seed ^ (guess as u64);
         let cfg = CdsPackingConfig::with_known_k(guess, attempt_seed);
         let packing = cds_packing_distributed(sim, &cfg)?;
@@ -193,6 +245,73 @@ mod tests {
         for w in r.attempts.windows(2) {
             assert!(w[1].0 < w[0].0);
         }
+    }
+
+    #[test]
+    fn guesses_never_exceed_n() {
+        // The explicit cap: every guess the search emits — in particular
+        // the first, largest one — stays within `n` on every size,
+        // power-of-two or not.
+        for n in [2usize, 3, 5, 9, 16, 17] {
+            let g = generators::path(n);
+            let r = cds_packing_unknown_k(&g, 7);
+            for &(guess, _) in &r.attempts {
+                assert!(guess <= n, "n={n}: guess {guess} exceeds n");
+                assert!(guess >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_input_is_a_typed_error_not_a_spin() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(
+            try_cds_packing_unknown_k(&g, 5).unwrap_err(),
+            GuessError::Disconnected
+        );
+        let mut sim = Simulator::new(&g, Model::VCongest);
+        assert_eq!(
+            cds_packing_unknown_k_distributed(&mut sim, 5).unwrap_err(),
+            GuessError::Disconnected
+        );
+        assert_eq!(
+            sim.stats().rounds,
+            0,
+            "detected up front, zero rounds spent"
+        );
+    }
+
+    #[test]
+    fn deletion_can_strand_an_accepted_guess() {
+        // A hub-and-spokes graph: the pre-failure search happily accepts a
+        // guess (k̃ = 1 always verifies), but every class leans on the hub.
+        // Once the hub fails the survivors are disconnected — re-running
+        // the search must return the typed error immediately instead of
+        // halving forever / spinning to the round cap.
+        let hub = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pre = try_cds_packing_unknown_k(&hub, 4).unwrap();
+        assert!(pre.attempts.last().unwrap().1, "pre-failure guess verifies");
+        let survivors = Graph::from_edges(4, vec![]); // hub deleted, spokes stranded
+        assert_eq!(
+            try_cds_packing_unknown_k(&survivors, 4).unwrap_err(),
+            GuessError::Disconnected
+        );
+        // With f < κ the re-search instead succeeds on the survivors: drop
+        // vertex 0 from a 4-connected harary graph and renumber.
+        let g = generators::harary(4, 12);
+        let survivors: Vec<(usize, usize)> = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| u != 0 && v != 0)
+            .map(|&(u, v)| (u - 1, v - 1))
+            .collect();
+        let g1 = Graph::from_edges(11, survivors);
+        let post = try_cds_packing_unknown_k(&g1, 4).unwrap();
+        assert!(
+            post.attempts.last().unwrap().1,
+            "post-failure re-search verifies"
+        );
+        assert!(post.guess <= 11);
     }
 
     #[test]

@@ -41,17 +41,27 @@ impl TreeSampler {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "tree weights must be finite and non-negative"
         );
+        Self::try_new(weights).expect("packing must carry weight")
+    }
+
+    /// Non-panicking [`TreeSampler::new`]: returns `None` on an empty
+    /// weight vector, a negative or non-finite weight, or a zero total —
+    /// the degenerate packings the fault path can produce (every
+    /// surviving tree pruned, or all weight on dead trees).
+    pub fn try_new(weights: Vec<f64>) -> Option<Self> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "packing must carry weight");
-        let last_positive = weights
-            .iter()
-            .rposition(|&w| w > 0.0)
-            .expect("positive total implies a positive weight");
-        TreeSampler {
+        let last_positive = weights.iter().rposition(|&w| w > 0.0)?;
+        if total <= 0.0 {
+            return None;
+        }
+        Some(TreeSampler {
             weights,
             total,
             last_positive,
-        }
+        })
     }
 
     /// Total weight `Σx` (the denominator of the sampling distribution).
@@ -174,6 +184,13 @@ impl DomTreePacking {
     /// Panics if the packing is empty or carries no weight.
     pub fn sampler(&self) -> TreeSampler {
         TreeSampler::new(self.trees.iter().map(|t| t.weight).collect())
+    }
+
+    /// Non-panicking [`DomTreePacking::sampler`]: `None` if the packing
+    /// is empty or carries no weight (e.g. after fault pruning zeroed
+    /// every surviving tree).
+    pub fn try_sampler(&self) -> Option<TreeSampler> {
+        TreeSampler::try_new(self.trees.iter().map(|t| t.weight).collect())
     }
 
     /// Overwrites every tree weight with `1 / max-multiplicity` — the
@@ -497,6 +514,46 @@ mod tests {
     #[should_panic(expected = "carry weight")]
     fn sampler_rejects_zero_total() {
         TreeSampler::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_new_rejects_every_degenerate_weight_vector() {
+        // The shapes the fault path can produce: all surviving weight
+        // pruned to zero, nothing left at all, or corrupted weights —
+        // each must be a `None`, never a panic.
+        assert!(TreeSampler::try_new(vec![]).is_none(), "empty");
+        assert!(TreeSampler::try_new(vec![0.0, 0.0]).is_none(), "zero total");
+        assert!(TreeSampler::try_new(vec![1.0, -0.5]).is_none(), "negative");
+        assert!(TreeSampler::try_new(vec![f64::NAN]).is_none(), "NaN");
+        assert!(
+            TreeSampler::try_new(vec![f64::INFINITY, 1.0]).is_none(),
+            "non-finite"
+        );
+        let s = TreeSampler::try_new(vec![0.0, 0.75]).expect("valid weights");
+        assert_eq!(s.num_trees(), 2);
+        assert!((s.total() - 0.75).abs() < 1e-12);
+        assert_eq!(s.index_for(0.5), 1);
+    }
+
+    #[test]
+    fn try_sampler_covers_pruned_and_single_tree_packings() {
+        let (g, mut p) = star_packing();
+        assert!(p.try_sampler().is_some());
+        // Fault pruning zeroes every surviving tree's weight.
+        for t in &mut p.trees {
+            t.weight = 0.0;
+        }
+        assert!(p.try_sampler().is_none(), "all-zero-weight packing");
+        // A single surviving tree still samples — always itself.
+        p.trees.truncate(1);
+        p.trees[0].weight = 0.5;
+        let s = p.try_sampler().expect("single live tree");
+        assert_eq!(s.num_trees(), 1);
+        assert_eq!(s.index_for(0.25), 0);
+        // And the empty packing is a `None`, not a panic.
+        p.trees.clear();
+        assert!(p.try_sampler().is_none(), "empty packing");
+        let _ = g;
     }
 
     #[test]

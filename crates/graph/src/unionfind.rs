@@ -85,6 +85,43 @@ impl UnionFind {
         self.num_sets
     }
 
+    /// Dissolves a *closed* block of elements back into singletons.
+    ///
+    /// `block` must be duplicate-free and closed under set membership: no
+    /// element outside the block may share a set with an element inside it
+    /// (unions that only ever touch the block — per-stride rebuilds — keep
+    /// a block closed by construction). Afterwards every block element is
+    /// its own singleton set and `num_sets` is adjusted accordingly. Union-
+    /// find cannot split, so dissolving and re-unioning the affected block
+    /// from fresh data is the deletion primitive.
+    ///
+    /// # Panics
+    /// Panics if any element is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use decomp_graph::unionfind::UnionFind;
+    ///
+    /// let mut uf = UnionFind::new(4);
+    /// uf.union(0, 1);
+    /// uf.union(2, 3);
+    /// uf.reset_block(&[0, 1]);
+    /// assert!(!uf.same(0, 1));
+    /// assert!(uf.same(2, 3)); // untouched sets keep their structure
+    /// assert_eq!(uf.num_sets(), 3);
+    /// ```
+    pub fn reset_block(&mut self, block: &[usize]) {
+        let mut roots: Vec<usize> = block.iter().map(|&x| self.find(x)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        self.num_sets += block.len() - roots.len();
+        for &x in block {
+            self.parent[x] = x;
+            self.rank[x] = 0;
+        }
+    }
+
     /// Canonical labeling: `labels[x]` is the same value for all `x` in one
     /// set, namely the smallest element of that set.
     pub fn labels(&mut self) -> Vec<usize> {
@@ -142,6 +179,43 @@ mod tests {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.num_sets(), 0);
+    }
+
+    #[test]
+    fn reset_block_dissolves_only_the_block() {
+        // Elements 0..4 form one closed block, 4..8 another.
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        uf.union(6, 7);
+        assert_eq!(uf.num_sets(), 3 + 1); // {0,1,2} {3} {4,5} {6,7}
+        uf.reset_block(&[0, 1, 2, 3]);
+        assert_eq!(uf.num_sets(), 6); // four singletons + {4,5} + {6,7}
+        for x in 0..4 {
+            assert_eq!(uf.find(x), x);
+        }
+        assert!(uf.same(4, 5));
+        assert!(uf.same(6, 7));
+        assert!(!uf.same(4, 6));
+    }
+
+    #[test]
+    fn rebuild_after_reset_matches_fresh_structure() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(3, 4);
+        // Dissolve everything and re-union a strict subset of the chain.
+        uf.reset_block(&[0, 1, 2, 3, 4]);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        let mut fresh = UnionFind::new(5);
+        fresh.union(0, 1);
+        fresh.union(3, 4);
+        assert_eq!(uf.num_sets(), fresh.num_sets());
+        assert_eq!(uf.labels(), fresh.labels());
     }
 
     proptest! {

@@ -155,6 +155,52 @@ fn round_limit_error_context_identical() {
     }
 }
 
+#[test]
+fn round_limit_error_context_identical_under_faults() {
+    use connectivity_decomposition::congest::fault::FaultPlan;
+    // The cap hits with messages in flight mid-run *and* part of the
+    // network dead: both engines must report the same post-purge
+    // `undelivered` count and the same live-only `unfinished` count —
+    // the unified counting point in `engine::cutoff_context`.
+    #[derive(Debug)]
+    struct Chatter;
+    impl NodeProgram for Chatter {
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &Inbox<'_>) {
+            ctx.broadcast(Message::from_words([ctx.id() as u64]));
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    for f in fixtures::small() {
+        let dead = f.graph.n() / 3;
+        let plan = FaultPlan::random_vertices(&f.graph, dead, (2, 5), 77);
+        assert_equivalent(&f.name, |engine| {
+            let mut sim = Simulator::new(&f.graph, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan.clone());
+            let err = sim
+                .run((0..f.graph.n()).map(|_| Chatter).collect(), 7)
+                .unwrap_err();
+            match err {
+                SimError::ExceededMaxRounds {
+                    max_rounds,
+                    undelivered,
+                    unfinished,
+                } => {
+                    assert_eq!(max_rounds, 7);
+                    // Only live programs are unfinished, and only
+                    // live-to-live traffic is still in flight.
+                    assert_eq!(unfinished, f.graph.n() - dead);
+                    let surviving = plan.surviving_graph(&f.graph, 7);
+                    assert_eq!(undelivered, 2 * surviving.m(), "dead lanes purged");
+                    (undelivered, unfinished, sim.stats())
+                }
+            }
+        });
+    }
+}
+
 /// A message-heavy randomized program: every node gossips random words to
 /// its neighbors for a few rounds and folds everything it hears into an
 /// accumulator. Exercises RNG streams, V-CONGEST broadcast, activity

@@ -1,0 +1,254 @@
+//! Fault & churn scenario suite: seeded mid-run vertex/edge deletions
+//! against the full stack — the k-connectivity robustness claim of
+//! Theorem 1.1 (a CDS packing survives up to `k − 1` failures) exercised
+//! end to end.
+//!
+//! Covers: gossip completion via surviving trees under `f < κ` deletions
+//! on every fixture family (greedy and weighted schedules, vertex and
+//! edge faults), seed-reproducibility of `FaultPlan` schedules,
+//! bit-for-bit equivalence of incremental deletion-aware repacking
+//! against from-scratch rebuilds, and the distributed two-phase repair
+//! protocol on the env-selected engine (CI sweeps `DECOMP_ENGINE`).
+
+use connectivity_decomposition::broadcast::gossip::{
+    gossip_via_trees_faulty, gossip_via_trees_with, GossipConfig,
+};
+use connectivity_decomposition::broadcast::gossip_distributed::gossip_protocol_faulty;
+use connectivity_decomposition::congest::{Fault, FaultPlan, ScheduledFault};
+use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::class_state::ClassState;
+use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
+use connectivity_decomposition::core::packing::DomTreePacking;
+use connectivity_decomposition::core::virtual_graph::{VType, VirtualLayout};
+use decomp_testkit::{fixtures, SEEDS};
+
+/// The fixture's dominating-tree packing, built the same way the
+/// end-to-end pipeline builds it.
+fn packing_for(f: &fixtures::Fixture) -> DomTreePacking {
+    let cds = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa.max(1), 4));
+    to_dom_tree_packing(&f.graph, &cds).packing
+}
+
+#[test]
+fn vertex_faults_below_kappa_still_complete_on_every_family() {
+    for f in fixtures::small() {
+        let packing = packing_for(&f);
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+        let faults = f.kappa.saturating_sub(1);
+        for seed in SEEDS {
+            let plan = FaultPlan::random_vertices(&f.graph, faults, (2, 6), seed);
+            let dead = plan.dead_vertices_after(usize::MAX).len();
+            for config in [GossipConfig::default(), GossipConfig::weighted()] {
+                let r = gossip_via_trees_faulty(&f.graph, &packing, &origins, seed, config, &plan)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", f.name));
+                assert_eq!(
+                    r.lost_messages, 0,
+                    "{} seed {seed}: f = κ − 1 must never lose a message",
+                    f.name
+                );
+                assert_eq!(r.num_messages, f.graph.n());
+                // The degradation curve ends on the post-fault state.
+                if let Some(last) = r.degradation.last() {
+                    assert_eq!(last.live_vertices, f.graph.n() - dead, "{}", f.name);
+                    assert!(last.faults_fired <= plan.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_faults_below_kappa_still_complete() {
+    for f in fixtures::small() {
+        if f.kappa < 2 {
+            continue; // zero cuttable edges below λ ≥ κ = 1
+        }
+        let packing = packing_for(&f);
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+        let plan = FaultPlan::random_edges(&f.graph, f.kappa - 1, (2, 6), 7);
+        let r = gossip_via_trees_faulty(
+            &f.graph,
+            &packing,
+            &origins,
+            7,
+            GossipConfig::default(),
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(r.lost_messages, 0, "{}: cuts below λ lose nothing", f.name);
+        // Edge cuts kill no vertices.
+        for s in &r.degradation {
+            assert_eq!(s.live_vertices, f.graph.n(), "{}", f.name);
+        }
+    }
+}
+
+#[test]
+fn mixed_vertex_and_edge_faults_complete() {
+    let f = fixtures::small()
+        .into_iter()
+        .find(|f| f.name == "harary_k8_n40")
+        .unwrap();
+    let packing = packing_for(&f);
+    let origins: Vec<usize> = (0..f.graph.n()).collect();
+    // 3 vertex deaths + 4 edge cuts = 7 = κ − 1 total faults.
+    let mut events: Vec<ScheduledFault> = FaultPlan::random_vertices(&f.graph, 3, (2, 4), 5)
+        .events()
+        .to_vec();
+    events.extend(
+        FaultPlan::random_edges(&f.graph, 4, (3, 6), 5)
+            .events()
+            .iter()
+            .cloned(),
+    );
+    let plan = FaultPlan::new(events);
+    let r = gossip_via_trees_faulty(
+        &f.graph,
+        &packing,
+        &origins,
+        5,
+        GossipConfig::weighted(),
+        &plan,
+    )
+    .unwrap();
+    assert_eq!(r.lost_messages, 0);
+    assert_eq!(r.num_messages, f.graph.n());
+}
+
+#[test]
+fn fault_schedules_and_reports_are_seed_reproducible() {
+    let f = fixtures::small()
+        .into_iter()
+        .find(|f| f.name == "harary_k8_n40")
+        .unwrap();
+    let packing = packing_for(&f);
+    let origins: Vec<usize> = (0..f.graph.n()).collect();
+    let run = |seed: u64| {
+        let plan = FaultPlan::random_vertices(&f.graph, 7, (2, 6), seed);
+        let report = gossip_via_trees_faulty(
+            &f.graph,
+            &packing,
+            &origins,
+            3,
+            GossipConfig::default(),
+            &plan,
+        )
+        .unwrap();
+        (plan.events().to_vec(), report)
+    };
+    // Same seed ⇒ identical failure schedule and identical report
+    // (degradation curve and schedule digest included).
+    assert_eq!(run(1), run(1));
+    // Distinct seeds draw distinct schedules on this instance.
+    assert_ne!(run(1).0, run(7).0);
+}
+
+#[test]
+fn faulty_run_without_faults_matches_the_fault_free_schedule() {
+    // An empty plan must take the exact fault-free code path: same
+    // rounds, same digest, same per-tree loads — the faulty entry point
+    // adds no overhead and no RNG drift when nothing fails.
+    for f in fixtures::small() {
+        let packing = packing_for(&f);
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+        let plain =
+            gossip_via_trees_with(&f.graph, &packing, &origins, 9, GossipConfig::weighted());
+        let faulty = gossip_via_trees_faulty(
+            &f.graph,
+            &packing,
+            &origins,
+            9,
+            GossipConfig::weighted(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(plain, faulty, "{}", f.name);
+    }
+}
+
+#[test]
+fn incremental_repack_is_bit_identical_to_scratch() {
+    // Deletion-aware repacking vs. the from-scratch oracle, on every
+    // family, across a worst-case (highest-degree-first) deletion
+    // sequence: component counts, excess, projections, and the exact
+    // densified component labels must all match a freshly replayed
+    // state — this is the equivalence CI's determinism step re-runs.
+    for f in fixtures::small() {
+        let g = &f.graph;
+        let n = g.n();
+        let layout = VirtualLayout::new(n, 4);
+        let t = 3usize;
+        let joins: Vec<(usize, usize)> = (0..n).map(|i| (i * 7 % n, i % t)).collect();
+        let mut st = ClassState::new(layout, t);
+        for &(v, c) in &joins {
+            st.join(g, layout.vid(v, 0, VType::ALL[c]), c);
+        }
+        let plan = FaultPlan::worst_case_vertices(g, n / 4, 1);
+        let mut deleted: Vec<usize> = Vec::new();
+        for dead in plan.dead_vertices_after(usize::MAX) {
+            let touched = st.delete_vertex(g, dead);
+            deleted.push(dead);
+            assert!(touched.len() <= t, "{}", f.name);
+            let (counts, excess) = st.recompute_from_scratch(g);
+            for (c, &want) in counts.iter().enumerate() {
+                assert_eq!(
+                    st.component_count(c),
+                    want,
+                    "{} class {c} after deleting {deleted:?}",
+                    f.name
+                );
+            }
+            assert_eq!(st.excess(), excess, "{} after {deleted:?}", f.name);
+            let mut fresh = ClassState::new(layout, t);
+            for &(v, c) in joins.iter().filter(|(v, _)| !deleted.contains(v)) {
+                fresh.join(g, layout.vid(v, 0, VType::ALL[c]), c);
+            }
+            for c in 0..t {
+                assert_eq!(st.comp_of(c), fresh.comp_of(c), "{} labels", f.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_repair_protocol_completes_on_env_engine() {
+    // The two-phase distributed protocol (faulted run + repair
+    // re-injection) on the engine CI selects via DECOMP_ENGINE.
+    for name in ["harary_k4_n24", "hypercube_d4"] {
+        let f = fixtures::small()
+            .into_iter()
+            .find(|f| f.name == name)
+            .unwrap();
+        let packing = packing_for(&f);
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+        let plan = FaultPlan::random_vertices(&f.graph, f.kappa - 1, (2, 5), 13);
+        let r = gossip_protocol_faulty(
+            &f.graph,
+            &packing,
+            &origins,
+            13,
+            GossipConfig::default(),
+            &plan,
+            decomp_testkit::engine_from_env(),
+        )
+        .unwrap();
+        assert!(r.complete, "{name}: surviving nodes must converge");
+        assert_eq!(r.lost_messages, 0, "{name}: f < κ loses nothing");
+        assert_eq!(r.per_tree_load.iter().sum::<usize>(), f.graph.n());
+        assert!(r.stats.rounds > 0);
+    }
+}
+
+#[test]
+fn worst_case_plans_target_high_degree_vertices() {
+    // The adversarial policy is deterministic and kills the
+    // highest-degree vertices first — on a star that is the hub.
+    let g = connectivity_decomposition::graph::generators::star(6);
+    let plan = FaultPlan::worst_case_vertices(&g, 1, 3);
+    assert_eq!(plan.events().len(), 1);
+    match plan.events()[0].fault {
+        Fault::Vertex(v) => assert_eq!(g.degree(v), 5, "hub dies first"),
+        ref other => panic!("unexpected fault {other:?}"),
+    }
+    assert_eq!(plan.events()[0].round, 3);
+}
