@@ -26,7 +26,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decomp_broadcast::gossip::{gossip_via_trees_with, GossipConfig, GossipReport};
-use decomp_broadcast::gossip_distributed::gossip_protocol;
+use decomp_broadcast::gossip_distributed::gossip_protocol_on;
+use decomp_congest::{EngineKind, Model, Simulator};
 use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
 use decomp_core::cds::tree_extract::to_dom_tree_packing;
 use decomp_core::packing::{DomTreePacking, WeightedDomTree};
@@ -198,23 +199,43 @@ fn bench_gossip_scale(c: &mut Criterion) {
     group.finish();
 
     // The same dissemination as a real V-CONGEST protocol on the
-    // simulator: prints the engine's peak-memory counters (the inbox
-    // arena is the structure the zero-allocation message plane added).
+    // simulator, swept across engines: prints the peak-memory counters
+    // (the inbox arena is the structure the zero-allocation message
+    // plane added) and the locality split (`local_words` /
+    // `cross_shard_words` — the partitioner's cut measured on delivered
+    // protocol traffic; sequential reports all-local by definition).
     // One message per 8th node keeps this a side-check, not a second
     // multi-minute workload.
     let origins: Vec<usize> = (0..n).step_by(8).collect();
-    let t0 = Instant::now();
-    let protocol =
-        gossip_protocol(&harary, &harary_disjoint, &origins, 7).expect("protocol completes");
-    assert!(protocol.complete);
-    println!(
-        "protocol harary_k16_n10k/disjoint8 (n/8 msgs): {:.1}s wall-clock rounds={} \
-         peak_queued_messages={} peak_arena_words={}",
-        t0.elapsed().as_secs_f64(),
-        protocol.stats.rounds,
-        protocol.stats.peak_queued_messages,
-        protocol.stats.peak_arena_words,
-    );
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::sharded(4),
+        EngineKind::sharded_topo(4),
+    ] {
+        let mut sim = Simulator::with_seed(&harary, Model::VCongest, 7).with_engine(engine);
+        let t0 = Instant::now();
+        let protocol = gossip_protocol_on(
+            &mut sim,
+            &harary_disjoint,
+            &origins,
+            7,
+            GossipConfig::default(),
+        )
+        .expect("protocol completes");
+        assert!(protocol.complete);
+        println!(
+            "protocol harary_k16_n10k/disjoint8 (n/8 msgs) [{engine}]: {:.1}s wall-clock \
+             rounds={} peak_queued_messages={} peak_arena_words={} \
+             local_words={} cross_shard_words={} ({:.1}% cross)",
+            t0.elapsed().as_secs_f64(),
+            protocol.stats.rounds,
+            protocol.stats.peak_queued_messages,
+            protocol.stats.peak_arena_words,
+            protocol.stats.local_words,
+            protocol.stats.cross_shard_words,
+            100.0 * protocol.stats.cross_shard_words as f64 / protocol.stats.words.max(1) as f64,
+        );
+    }
 }
 
 criterion_group!(benches, bench_gossip_scale);

@@ -73,11 +73,12 @@ fn run_gossip(g: &Graph, engine: EngineKind) -> (u64, decomp_congest::RunStats) 
     (digest, stats)
 }
 
-fn engines() -> [EngineKind; 3] {
+fn engines() -> [EngineKind; 4] {
     [
         EngineKind::Sequential,
-        EngineKind::Sharded { shards: 2 },
-        EngineKind::Sharded { shards: 4 },
+        EngineKind::sharded(2),
+        EngineKind::sharded(4),
+        EngineKind::sharded_topo(4),
     ]
 }
 
@@ -85,10 +86,24 @@ fn bench_round_loop(c: &mut Criterion) {
     let g = generators::random_regular(N, DEGREE, 1);
 
     // Engine equivalence on the bench workload itself: identical digests
-    // AND identical stats (peak-memory counters included).
+    // AND identical stats (peak-memory counters included; the locality
+    // split is the one partition-dependent pair, printed instead).
     let expected = run_gossip(&g, EngineKind::Sequential);
     for engine in engines().into_iter().skip(1) {
-        assert_eq!(run_gossip(&g, engine), expected, "engine {engine} diverged");
+        let got = run_gossip(&g, engine);
+        assert_eq!(
+            (got.0, got.1.locality_blind()),
+            (expected.0, expected.1.locality_blind()),
+            "engine {engine} diverged"
+        );
+        // The partitioner's cut, measured on the real workload: the
+        // fraction of delivered words that crossed a shard boundary.
+        println!(
+            "gossip16_rr10k_d8 locality[{engine}]: local_words={} cross_shard_words={} ({:.1}% cross)",
+            got.1.local_words,
+            got.1.cross_shard_words,
+            100.0 * got.1.cross_shard_words as f64 / got.1.words.max(1) as f64
+        );
     }
     // Memory footprint alongside the wall-clock columns (BENCH_SIM.md):
     // the arena holds each broadcast payload once, so peak_arena_words ≈

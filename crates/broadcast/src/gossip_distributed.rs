@@ -596,7 +596,7 @@ mod tests {
                 r.lost_messages,
                 r.reinjected,
                 r.per_tree_load.clone(),
-                r.stats,
+                r.stats.locality_blind(),
             )
         };
         let engines = decomp_testkit::engines();

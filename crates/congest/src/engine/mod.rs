@@ -6,9 +6,18 @@
 //!
 //! * [`SequentialEngine`] — the classic single-threaded lockstep loop;
 //! * [`ShardedEngine`] — a deterministic multi-core backend that
-//!   partitions the nodes into contiguous shards, steps each shard's
-//!   programs on its own scoped worker thread, and exchanges cross-shard
-//!   traffic through per-shard mailboxes under a round barrier.
+//!   partitions the nodes into shards via a pluggable [`partition`]
+//!   (balanced-contiguous by default, topology-aware BFS growth under
+//!   `sharded:<N>:topo`), steps each shard's programs on its own scoped
+//!   worker thread, delivers same-shard traffic directly into the next
+//!   round's inbox arena (bypassing the mailbox plane entirely), and
+//!   exchanges only cross-shard traffic through per-shard mailboxes
+//!   under a round barrier.
+//!
+//! Both engines keep per-node *activity* state as struct-of-arrays
+//! bitset slabs (see `ActivitySlab`): done/dead/mail live in packed
+//! per-shard words, so the per-round active scan streams 64 nodes per
+//! load instead of chasing one program struct per node.
 //!
 //! ## Determinism contract
 //!
@@ -39,14 +48,25 @@
 //! payload is stored once per shard instead of cloned per receiver
 //! (the message-plane invariants of `docs/DETERMINISM.md`).
 //!
+//! The one deliberate exception: the [`RunStats`] locality split
+//! (`local_words` / `cross_shard_words`) describes the *partition*, not
+//! the protocol — the sequential engine reports everything local, and
+//! each sharded partition reports its own cut. Cross-engine comparisons
+//! normalize it away with [`RunStats::locality_blind`]; every other
+//! counter (including `words == local_words + cross_shard_words`) is
+//! engine-independent.
+//!
 //! The equivalence is enforced by `tests/engine_equivalence.rs` (every
-//! testkit fixture family, sequential vs. 2- and 4-shard runs) and by the
-//! CI job that reruns the simulator-driven suites — golden registry
-//! included — under `DECOMP_ENGINE=sharded:4`.
+//! testkit fixture family, sequential vs. 2- and 4-shard contiguous and
+//! 4-shard topo runs) and by the CI jobs that rerun the simulator-driven
+//! suites — golden registry included — under `DECOMP_ENGINE=sharded:4`
+//! and `DECOMP_ENGINE=sharded:4:topo`.
 
+pub mod partition;
 pub mod sequential;
 pub mod sharded;
 
+pub use partition::PartitionKind;
 pub use sequential::SequentialEngine;
 pub use sharded::ShardedEngine;
 
@@ -65,34 +85,68 @@ pub const DEFAULT_SHARDS: usize = 4;
 pub enum EngineKind {
     /// Single-threaded lockstep loop (the default).
     Sequential,
-    /// Scoped-thread worker pool over `shards` contiguous node shards.
+    /// Scoped-thread worker pool over `shards` node shards grouped by
+    /// `partition`.
     Sharded {
         /// Number of shards (worker threads). Clamped to `n` at run time;
         /// `1` degenerates to the sequential loop.
         shards: usize,
+        /// How nodes are grouped into shards; cannot affect outputs,
+        /// only the locality split (see [`partition`]).
+        partition: PartitionKind,
     },
 }
 
 impl EngineKind {
+    /// A sharded engine over balanced contiguous id ranges (the
+    /// deterministic default partition).
+    pub fn sharded(shards: usize) -> EngineKind {
+        EngineKind::Sharded {
+            shards,
+            partition: PartitionKind::Contiguous,
+        }
+    }
+
+    /// A sharded engine over the topology-aware BFS-growth partition.
+    pub fn sharded_topo(shards: usize) -> EngineKind {
+        EngineKind::Sharded {
+            shards,
+            partition: PartitionKind::Topo,
+        }
+    }
+
     /// Parses `"sequential"`, `"sharded"` (= [`DEFAULT_SHARDS`] shards),
-    /// or `"sharded:<N>"`.
+    /// `"sharded:<N>"`, or `"sharded:<N>:topo"` /
+    /// `"sharded:<N>:contig"` to pick the partitioner.
     ///
     /// # Errors
-    /// Returns a human-readable message on unknown names or bad shard
-    /// counts.
+    /// Returns a human-readable message on unknown names, bad shard
+    /// counts, or unknown partition kinds.
     pub fn parse(s: &str) -> Result<EngineKind, String> {
         match s {
             "sequential" | "seq" => Ok(EngineKind::Sequential),
-            "sharded" => Ok(EngineKind::Sharded {
-                shards: DEFAULT_SHARDS,
-            }),
+            "sharded" => Ok(EngineKind::sharded(DEFAULT_SHARDS)),
             _ => match s.strip_prefix("sharded:") {
-                Some(num) => match num.parse::<usize>() {
-                    Ok(shards) if shards >= 1 => Ok(EngineKind::Sharded { shards }),
-                    _ => Err(format!("bad shard count in engine spec '{s}'")),
-                },
+                Some(rest) => {
+                    let (num, partition) = match rest.split_once(':') {
+                        None => (rest, PartitionKind::Contiguous),
+                        Some((num, "topo")) => (num, PartitionKind::Topo),
+                        Some((num, "contig" | "contiguous")) => (num, PartitionKind::Contiguous),
+                        Some((_, other)) => {
+                            return Err(format!(
+                                "unknown partition '{other}' in engine spec '{s}' \
+                                 (expected 'topo' or 'contig')"
+                            ))
+                        }
+                    };
+                    match num.parse::<usize>() {
+                        Ok(shards) if shards >= 1 => Ok(EngineKind::Sharded { shards, partition }),
+                        _ => Err(format!("bad shard count in engine spec '{s}'")),
+                    }
+                }
                 None => Err(format!(
-                    "unknown engine '{s}' (expected 'sequential', 'sharded', or 'sharded:<N>')"
+                    "unknown engine '{s}' (expected 'sequential', 'sharded', \
+                     'sharded:<N>', or 'sharded:<N>:topo')"
                 )),
             },
         }
@@ -103,7 +157,13 @@ impl fmt::Display for EngineKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineKind::Sequential => write!(f, "sequential"),
-            EngineKind::Sharded { shards } => write!(f, "sharded:{shards}"),
+            EngineKind::Sharded {
+                shards,
+                partition: PartitionKind::Contiguous,
+            } => write!(f, "sharded:{shards}"),
+            EngineKind::Sharded { shards, partition } => {
+                write!(f, "sharded:{shards}:{partition}")
+            }
         }
     }
 }
@@ -127,6 +187,10 @@ pub struct NetSpec<'g> {
     /// Engines derive identical per-run `FaultState`s from it — the
     /// sharded backend builds one per worker, advanced in lockstep.
     pub faults: Option<&'g FaultPlan>,
+    /// The run's base seed. Engines may use it for *non-observable*
+    /// choices only — today, seeding the topology-aware partitioner —
+    /// never for anything that reaches program state or RNG streams.
+    pub seed: u64,
 }
 
 /// The outcome of one engine run.
@@ -164,11 +228,6 @@ pub trait RoundEngine {
     ) -> EngineRun;
 }
 
-/// Whether node `v`'s program must be stepped this round.
-pub(crate) fn is_active<P: NodeProgram>(round: usize, has_mail: bool, program: &P) -> bool {
-    round == 0 || has_mail || !program.is_done()
-}
-
 /// A flat per-shard inbox arena: one contiguous word buffer holding every
 /// payload delivered into the current round, plus per-node
 /// `(sender, offset, length)` entry lists. Reset — **not** reallocated —
@@ -181,6 +240,9 @@ pub(crate) struct InboxArena {
     /// Local node indices with at least one entry (so `reset` is
     /// `O(touched)`, not `O(n)`).
     touched: Vec<u32>,
+    /// Packed has-mail bits, one per local node — the SoA row the
+    /// active scan streams (see [`ActivitySlab::pending_word`]).
+    mail: Vec<u64>,
     total_msgs: usize,
 }
 
@@ -190,6 +252,7 @@ impl InboxArena {
             words: Vec::new(),
             entries: vec![Vec::new(); nodes],
             touched: Vec::new(),
+            mail: vec![0; nodes.div_ceil(64)],
             total_msgs: 0,
         }
     }
@@ -198,6 +261,7 @@ impl InboxArena {
     pub(crate) fn reset(&mut self) {
         for &local in &self.touched {
             self.entries[local as usize].clear();
+            self.mail[local as usize / 64] &= !(1 << (local % 64));
         }
         self.touched.clear();
         self.words.clear();
@@ -216,6 +280,7 @@ impl InboxArena {
     pub(crate) fn push_entry(&mut self, local: usize, from: NodeId, off: u32, len: u32) {
         if self.entries[local].is_empty() {
             self.touched.push(local as u32);
+            self.mail[local / 64] |= 1 << (local % 64);
         }
         self.entries[local].push(InEntry {
             from: from as u32,
@@ -225,9 +290,9 @@ impl InboxArena {
         self.total_msgs += 1;
     }
 
-    /// Whether local node `local` has mail this round.
-    pub(crate) fn has_mail(&self, local: usize) -> bool {
-        !self.entries[local].is_empty()
+    /// The packed has-mail bitset row (64 local nodes per word).
+    pub(crate) fn mail_bits(&self) -> &[u64] {
+        &self.mail
     }
 
     /// Sorts `local`'s entries by sender id (senders are unique per
@@ -261,6 +326,7 @@ impl InboxArena {
             self.total_msgs -= before - self.entries[local].len();
             if self.entries[local].is_empty() {
                 self.touched.swap_remove(t);
+                self.mail[local / 64] &= !(1 << (local % 64));
             } else {
                 t += 1;
             }
@@ -268,23 +334,112 @@ impl InboxArena {
     }
 }
 
+/// Struct-of-arrays per-shard activity state: packed done/dead bitset
+/// rows sized to the shard's node count, combined per 64-node block with
+/// the arena's has-mail row to drive the active scan. One word load
+/// covers 64 nodes, and fully-quiescent blocks (all done, no mail) are
+/// skipped without touching a single program struct.
+///
+/// `done` caches each program's last reported `is_done()`. That cache is
+/// sound because `is_done()` is a pure function of program state, and
+/// program state only changes inside that node's own `round()` call —
+/// so the bit is refreshed exactly when it can change, right after the
+/// step. Nodes skipped in a round keep their (still valid) bit.
+pub(crate) struct ActivitySlab {
+    done: Vec<u64>,
+    dead: Vec<u64>,
+    n: usize,
+}
+
+impl ActivitySlab {
+    pub(crate) fn new(n: usize) -> Self {
+        ActivitySlab {
+            done: vec![0; n.div_ceil(64)],
+            dead: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    pub(crate) fn num_words(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Refreshes local node `i`'s cached done bit after its step.
+    #[inline]
+    pub(crate) fn set_done(&mut self, i: usize, done: bool) {
+        let mask = 1u64 << (i % 64);
+        if done {
+            self.done[i / 64] |= mask;
+        } else {
+            self.done[i / 64] &= !mask;
+        }
+    }
+
+    /// Marks local node `i` as faulted (never stepped again, excluded
+    /// from quiescence).
+    #[inline]
+    pub(crate) fn mark_dead(&mut self, i: usize) {
+        self.dead[i / 64] |= 1 << (i % 64);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_dead(&self, i: usize) -> bool {
+        self.dead[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The 64-node pending mask for block `w`: nodes to step this round
+    /// (`mail | !done`, round 0 steps everyone), gated on being alive
+    /// and in range. `mail_word` is the arena's [`InboxArena::mail_bits`]
+    /// word for the same block — together they encode the activation
+    /// rule of [`RoundEngine::run`] (round 0, non-empty inbox, or not
+    /// done) bit for bit.
+    #[inline]
+    pub(crate) fn pending_word(&self, w: usize, mail_word: u64, round: usize) -> u64 {
+        let tail = if (w + 1) * 64 > self.n {
+            !0u64 >> (64 - self.n % 64)
+        } else {
+            !0u64
+        };
+        let want = if round == 0 {
+            !0u64
+        } else {
+            mail_word | !self.done[w]
+        };
+        want & !self.dead[w] & tail
+    }
+
+    /// Whether every live node is done — the shard-local half of the
+    /// quiescence test.
+    pub(crate) fn all_done(&self) -> bool {
+        self.done
+            .iter()
+            .zip(&self.dead)
+            .enumerate()
+            .all(|(w, (&done, &dead))| {
+                let tail = if (w + 1) * 64 > self.n {
+                    !0u64 >> (64 - self.n % 64)
+                } else {
+                    !0u64
+                };
+                !done & !dead & tail == 0
+            })
+    }
+}
+
 /// The round-limit error context, counted at one shared point so both
 /// engines agree bit-for-bit even when the cap hits with messages in
 /// flight mid-round: `undelivered` is the arena's post-purge in-flight
 /// count, `unfinished` the surviving (non-faulted) programs still
-/// reporting `!is_done()`. The sharded engine calls this per shard
-/// (`base` = the shard's first global node id) and sums.
-pub(crate) fn cutoff_context<P: NodeProgram>(
+/// reporting `!is_done()`. The sharded engine calls this per shard with
+/// its `(global id, program)` pairs and sums.
+pub(crate) fn cutoff_context<'a, P: NodeProgram + 'a>(
     arena: &InboxArena,
-    programs: &[P],
+    programs: impl Iterator<Item = (NodeId, &'a P)>,
     faults: Option<&FaultState<'_>>,
-    base: NodeId,
 ) -> (usize, usize) {
     let undelivered = arena.total_msgs();
     let unfinished = programs
-        .iter()
-        .enumerate()
-        .filter(|(i, p)| faults.is_none_or(|f| !f.is_dead(base + i)) && !p.is_done())
+        .filter(|&(v, p)| faults.is_none_or(|f| !f.is_dead(v)) && !p.is_done())
         .count();
     (undelivered, unfinished)
 }
@@ -370,21 +525,56 @@ mod tests {
     fn parse_roundtrip() {
         for kind in [
             EngineKind::Sequential,
-            EngineKind::Sharded { shards: 2 },
-            EngineKind::Sharded { shards: 7 },
+            EngineKind::sharded(2),
+            EngineKind::sharded(7),
+            EngineKind::sharded_topo(4),
+            EngineKind::sharded_topo(1),
         ] {
             assert_eq!(EngineKind::parse(&kind.to_string()), Ok(kind));
         }
         assert_eq!(
             EngineKind::parse("sharded"),
-            Ok(EngineKind::Sharded {
-                shards: DEFAULT_SHARDS
-            })
+            Ok(EngineKind::sharded(DEFAULT_SHARDS))
         );
         assert_eq!(EngineKind::parse("seq"), Ok(EngineKind::Sequential));
+        assert_eq!(
+            EngineKind::parse("sharded:4:contig"),
+            Ok(EngineKind::sharded(4))
+        );
+        assert_eq!(
+            EngineKind::parse("sharded:8:topo"),
+            Ok(EngineKind::sharded_topo(8))
+        );
         assert!(EngineKind::parse("async").is_err());
         assert!(EngineKind::parse("sharded:0").is_err());
         assert!(EngineKind::parse("sharded:x").is_err());
-        assert_eq!("sharded:3".parse(), Ok(EngineKind::Sharded { shards: 3 }));
+        assert!(EngineKind::parse("sharded:4:metis").is_err());
+        assert!(EngineKind::parse("sharded:0:topo").is_err());
+        assert_eq!("sharded:3".parse(), Ok(EngineKind::sharded(3)));
+        assert_eq!("sharded:3:topo".parse(), Ok(EngineKind::sharded_topo(3)));
+    }
+
+    #[test]
+    fn activity_slab_pending_masks() {
+        let mut slab = ActivitySlab::new(70);
+        // Round 0 steps every live node, whatever the cached bits say.
+        assert_eq!(slab.pending_word(0, 0, 0), !0u64);
+        assert_eq!(slab.pending_word(1, 0, 0), 0x3f, "tail mask caps at n");
+        // Afterward: mail or not-done, minus the dead.
+        slab.set_done(3, true);
+        slab.set_done(64, true);
+        slab.mark_dead(5);
+        assert!(slab.is_dead(5));
+        assert_eq!(slab.pending_word(0, 0, 1), !((1u64 << 3) | (1 << 5)));
+        assert_eq!(slab.pending_word(0, 1 << 3, 1), !(1u64 << 5));
+        assert_eq!(slab.pending_word(1, 0, 1), 0x3f & !1);
+        assert!(!slab.all_done());
+        for i in 0..70 {
+            slab.set_done(i, true);
+        }
+        assert!(slab.all_done());
+        // Dead nodes are excluded from the quiescence test.
+        slab.set_done(5, false);
+        assert!(slab.all_done(), "dead nodes never block quiescence");
     }
 }

@@ -4,9 +4,13 @@
 //! current round's arena while their sends are written into the next
 //! round's; the buffers swap at the round boundary and are reset (not
 //! reallocated), so the steady-state loop performs no heap allocation.
+//! The active scan streams the `ActivitySlab` bitset rows — one word
+//! load decides 64 nodes, and fully quiescent blocks are skipped without
+//! touching a program struct.
 
 use super::{
-    cutoff_context, is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine,
+    cutoff_context, step_node, ActivitySlab, EngineKind, EngineRun, InboxArena, NetSpec,
+    RoundEngine,
 };
 use crate::fault::FaultState;
 use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
@@ -34,6 +38,7 @@ impl RoundEngine for SequentialEngine {
         // being queued for the following round.
         let mut cur = InboxArena::new(n);
         let mut next = InboxArena::new(n);
+        let mut slab = ActivitySlab::new(n);
         let mut outbox = Outbox::new(net.model);
         let mut faults = net.faults.map(|plan| FaultState::new(plan, n));
         let mut round = 0usize;
@@ -44,10 +49,19 @@ impl RoundEngine for SequentialEngine {
             if let Some(fs) = faults.as_mut() {
                 if fs.advance_to(round) {
                     cur.purge(|local, from| !fs.deliverable(from, local));
+                    for v in 0..n {
+                        if fs.is_dead(v) {
+                            slab.mark_dead(v);
+                        }
+                    }
                 }
             }
             if round >= max_rounds {
-                let (undelivered, unfinished) = cutoff_context(&cur, programs, faults.as_ref(), 0);
+                let (undelivered, unfinished) =
+                    cutoff_context(&cur, programs.iter().enumerate(), faults.as_ref());
+                // One thread owns every node: the whole run is
+                // shard-local by definition.
+                stats.local_words = stats.words;
                 return EngineRun {
                     stats,
                     error: Some(SimError::ExceededMaxRounds {
@@ -59,50 +73,47 @@ impl RoundEngine for SequentialEngine {
             }
             let mut any_sent = false;
             let mut queued_words = 0usize;
-            for v in 0..n {
-                if faults.as_ref().is_some_and(|f| f.is_dead(v)) {
-                    continue;
+            for w in 0..slab.num_words() {
+                let mut pend = slab.pending_word(w, cur.mail_bits()[w], round);
+                while pend != 0 {
+                    let v = w * 64 + pend.trailing_zeros() as usize;
+                    pend &= pend - 1;
+                    cur.sort(v);
+                    let inbox = cur.inbox(v);
+                    let next_arena = &mut next;
+                    let queued = &mut queued_words;
+                    let sent = step_node(
+                        net,
+                        v,
+                        round,
+                        &mut programs[v],
+                        &mut rngs[v],
+                        faults.as_ref(),
+                        inbox,
+                        &mut outbox,
+                        &mut stats,
+                        &mut |targets, payload| {
+                            *queued += payload.len();
+                            let off = next_arena.push_payload(payload);
+                            for &u in targets {
+                                next_arena.push_entry(u, v, off, payload.len() as u32);
+                            }
+                        },
+                    );
+                    any_sent |= sent;
+                    slab.set_done(v, programs[v].is_done());
                 }
-                if !is_active(round, cur.has_mail(v), &programs[v]) {
-                    continue;
-                }
-                cur.sort(v);
-                let inbox = cur.inbox(v);
-                let next_arena = &mut next;
-                let queued = &mut queued_words;
-                let sent = step_node(
-                    net,
-                    v,
-                    round,
-                    &mut programs[v],
-                    &mut rngs[v],
-                    faults.as_ref(),
-                    inbox,
-                    &mut outbox,
-                    &mut stats,
-                    &mut |targets, payload| {
-                        *queued += payload.len();
-                        let off = next_arena.push_payload(payload);
-                        for &u in targets {
-                            next_arena.push_entry(u, v, off, payload.len() as u32);
-                        }
-                    },
-                );
-                any_sent |= sent;
             }
             stats.rounds += 1;
             round += 1;
             stats.note_round_load(next.total_msgs(), queued_words);
             std::mem::swap(&mut cur, &mut next);
             next.reset();
-            let all_done = programs
-                .iter()
-                .enumerate()
-                .all(|(v, p)| faults.as_ref().is_some_and(|f| f.is_dead(v)) || p.is_done());
-            if all_done && !any_sent {
+            if slab.all_done() && !any_sent {
                 break;
             }
         }
+        stats.local_words = stats.words;
         EngineRun { stats, error: None }
     }
 }

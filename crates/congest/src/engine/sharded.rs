@@ -1,21 +1,33 @@
 //! The deterministic sharded multi-core engine.
 //!
-//! Nodes are partitioned into `s` contiguous shards; each shard's
-//! programs, RNG streams, and inbox arena are owned exclusively by one
-//! scoped worker thread for the whole run (no per-round thread spawns).
-//! A round has two phases separated by barriers:
+//! Nodes are grouped into `s` shards by a pluggable
+//! `Partition` — balanced-contiguous id
+//! ranges by default, topology-aware BFS growth under
+//! `sharded:<N>:topo`. Each shard's programs, RNG streams, and inbox
+//! arenas are owned exclusively by one scoped worker thread for the
+//! whole run (no per-round thread spawns). A round has two phases
+//! separated by barriers:
 //!
-//! 1. **compute** — every worker steps its shard's active nodes (in node
-//!    id order); outgoing payloads are written once per destination shard
-//!    into per-shard outgoing batches (one word buffer + one
-//!    `(to, from, off, len)` entry list each — a broadcast's payload is
-//!    never copied per receiver); the shard's send/done flags and
-//!    queued-traffic totals are published;
+//! 1. **compute** — every worker streams its shard's
+//!    `ActivitySlab` pending bitset and steps the
+//!    active nodes (in ascending node id order). **Same-shard receivers
+//!    bypass the mailbox plane entirely**: their deliveries are written
+//!    straight into the shard's *next-round* inbox arena (the arenas are
+//!    double-buffered, exactly like the sequential engine's). Only
+//!    cross-shard receivers go through per-destination-shard outgoing
+//!    batches (one word buffer + one `(to, from, off, len)` entry list
+//!    each — a payload is stored at most once per destination shard per
+//!    send); the shard's send/done flags and queued-traffic totals are
+//!    published;
 //! 2. **deliver** — after the barrier, every worker drains its mailbox
-//!    column (in sender-shard order) into its local `InboxArena` (one
-//!    `memcpy` of the words plus offset-rebased entries per batch), and
-//!    all workers take the same continue/stop decision from the
-//!    published flags.
+//!    column (in sender-shard order) into its next-round arena (one
+//!    `memcpy` of the words plus offset-rebased entries per batch),
+//!    swaps the arena buffers, and all workers take the same
+//!    continue/stop decision from the published flags.
+//!
+//! With a topology-aware partition the mailbox plane carries only the
+//! cut fraction of the traffic; the [`RunStats`] `local_words` /
+//! `cross_shard_words` split reports the realized ratio.
 //!
 //! Mailbox cell `[src][dst]` is written only by shard `src` during
 //! compute and drained only by shard `dst` during deliver, with the two
@@ -26,23 +38,24 @@
 //! nothing.
 //!
 //! Determinism (see the [module docs](super)): node order within a shard
-//! is ascending, shards cover ascending id ranges, inbox entries are
-//! re-sorted by sender at consumption, RNG streams are per-node, and
-//! [`RunStats`] counters are shard-local sums merged in shard order — so
-//! a run is bit-identical to the sequential engine for *any* shard
-//! count. The peak-memory counters are counted on the *sender* side
-//! (payload words once per send, messages once per receiver) and summed
-//! across shards through the published per-round totals, so they too are
-//! engine-independent.
+//! is ascending, inbox entries are re-sorted by sender at consumption,
+//! RNG streams are per-node, and [`RunStats`] counters are shard-local
+//! sums merged in shard order — so a run is bit-identical to the
+//! sequential engine for *any* shard count and *any* partition, the
+//! locality split excepted. The peak-memory counters are counted on the
+//! *sender* side (payload words once per send, messages once per
+//! receiver) and summed across shards through the published per-round
+//! totals, so they too are engine-independent.
 //!
 //! A panic inside program code (model violations are panics by contract)
 //! is caught on the worker, propagated through a shared flag so every
 //! other worker unblocks at the next barrier, and re-raised on the
 //! calling thread.
 
+use super::partition::{Partition, PartitionKind};
 use super::{
-    cutoff_context, is_active, step_node, EngineKind, EngineRun, InboxArena, NetSpec, RoundEngine,
-    SequentialEngine,
+    cutoff_context, step_node, ActivitySlab, EngineKind, EngineRun, InboxArena, NetSpec,
+    RoundEngine, SequentialEngine,
 };
 use crate::fault::FaultState;
 use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
@@ -53,54 +66,22 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::thread;
 
-/// Scoped-thread worker pool over contiguous node shards.
+/// Scoped-thread worker pool over partitioned node shards.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedEngine {
     shards: usize,
+    partition: PartitionKind,
 }
 
 impl ShardedEngine {
-    /// An engine with `shards` worker threads.
+    /// An engine with `shards` worker threads grouping nodes by
+    /// `partition`.
     ///
     /// # Panics
     /// Panics if `shards == 0`.
-    pub fn new(shards: usize) -> Self {
+    pub fn new(shards: usize, partition: PartitionKind) -> Self {
         assert!(shards >= 1, "need at least one shard");
-        ShardedEngine { shards }
-    }
-}
-
-/// Balanced contiguous partition of `0..n` into `s` ranges: the first
-/// `n % s` shards get one extra node.
-#[derive(Clone, Copy)]
-struct Partition {
-    base: usize,
-    rem: usize,
-}
-
-impl Partition {
-    fn new(n: usize, s: usize) -> Self {
-        Partition {
-            base: n / s,
-            rem: n % s,
-        }
-    }
-
-    /// Half-open node range `[lo, hi)` owned by `shard`.
-    fn range(&self, shard: usize) -> (usize, usize) {
-        let lo = shard * self.base + shard.min(self.rem);
-        let hi = lo + self.base + usize::from(shard < self.rem);
-        (lo, hi)
-    }
-
-    /// The shard owning node `v`.
-    fn shard_of(&self, v: NodeId) -> usize {
-        let fat = self.rem * (self.base + 1);
-        if v < fat {
-            v / (self.base + 1)
-        } else {
-            self.rem + (v - fat) / self.base.max(1)
-        }
+        ShardedEngine { shards, partition }
     }
 }
 
@@ -145,6 +126,7 @@ impl RoundEngine for ShardedEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Sharded {
             shards: self.shards,
+            partition: self.partition,
         }
     }
 
@@ -160,7 +142,7 @@ impl RoundEngine for ShardedEngine {
         if s <= 1 {
             return SequentialEngine.run(net, programs, rngs, max_rounds);
         }
-        let part = Partition::new(n, s);
+        let part = Partition::build(self.partition, net.graph, s, net.seed);
 
         // Cross-shard mailboxes: cell [src][dst] is written by src in the
         // compute phase and drained by dst in the deliver phase.
@@ -180,23 +162,40 @@ impl RoundEngine for ShardedEngine {
         let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
         // Hand each worker exclusive ownership of its shard's programs
-        // and RNG streams.
-        let mut prog_tail = programs;
-        let mut rng_tail = rngs;
-        let mut shard_state: Vec<(usize, &mut [P], &mut [StdRng])> = Vec::with_capacity(s);
-        for shard in 0..s {
-            let (lo, hi) = part.range(shard);
-            let (p_head, p_rest) = prog_tail.split_at_mut(hi - lo);
-            let (r_head, r_rest) = rng_tail.split_at_mut(hi - lo);
-            prog_tail = p_rest;
-            rng_tail = r_rest;
-            shard_state.push((shard, p_head, r_head));
-        }
+        // and RNG streams. Shards own arbitrary (disjoint, covering) node
+        // sets, so the hand-off takes each `&mut` out of an option slot
+        // rather than splitting slices.
+        let mut prog_slots: Vec<Option<&mut P>> = programs.iter_mut().map(Some).collect();
+        let mut rng_slots: Vec<Option<&mut StdRng>> = rngs.iter_mut().map(Some).collect();
+        let shard_state: Vec<(usize, Vec<&mut P>, Vec<&mut StdRng>)> = (0..s)
+            .map(|me| {
+                let progs = part
+                    .nodes(me)
+                    .iter()
+                    .map(|&v| {
+                        prog_slots[v]
+                            .take()
+                            .expect("node owned by exactly one shard")
+                    })
+                    .collect();
+                let my_rngs = part
+                    .nodes(me)
+                    .iter()
+                    .map(|&v| {
+                        rng_slots[v]
+                            .take()
+                            .expect("node owned by exactly one shard")
+                    })
+                    .collect();
+                (me, progs, my_rngs)
+            })
+            .collect();
 
         let results: Vec<(RunStats, Option<(usize, usize)>)> = thread::scope(|scope| {
             let handles: Vec<_> = shard_state
                 .into_iter()
-                .map(|(me, progs, my_rngs)| {
+                .map(|(me, mut progs, mut my_rngs)| {
+                    let part = &part;
                     let mailboxes = &mailboxes;
                     let flags = &flags;
                     let barrier = &barrier;
@@ -208,8 +207,8 @@ impl RoundEngine for ShardedEngine {
                             part,
                             s,
                             me,
-                            progs,
-                            my_rngs,
+                            &mut progs,
+                            &mut my_rngs,
                             max_rounds,
                             mailboxes,
                             flags,
@@ -232,7 +231,8 @@ impl RoundEngine for ShardedEngine {
 
         // Shard-local stats, merged in shard order. Rounds advance in
         // lockstep and peaks are global per-round sums every shard
-        // observes identically, so those fields agree across shards.
+        // observes identically, so those fields agree across shards; the
+        // locality split is a per-shard sum like messages/words.
         let mut stats = RunStats::default();
         let mut exceeded: Option<(usize, usize)> = None;
         for (shard_stats, shard_err) in results {
@@ -244,6 +244,8 @@ impl RoundEngine for ShardedEngine {
             stats.rounds = stats.rounds.max(shard_stats.rounds);
             stats.messages += shard_stats.messages;
             stats.words += shard_stats.words;
+            stats.local_words += shard_stats.local_words;
+            stats.cross_shard_words += shard_stats.cross_shard_words;
             stats.peak_queued_messages = stats
                 .peak_queued_messages
                 .max(shard_stats.peak_queued_messages);
@@ -271,11 +273,11 @@ impl RoundEngine for ShardedEngine {
 #[allow(clippy::too_many_arguments)] // the shared-state plumbing of one worker
 fn shard_worker<P: NodeProgram + Send>(
     net: &NetSpec<'_>,
-    part: Partition,
+    part: &Partition,
     s: usize,
     me: usize,
-    progs: &mut [P],
-    rngs: &mut [StdRng],
+    progs: &mut [&mut P],
+    rngs: &mut [&mut StdRng],
     max_rounds: usize,
     mailboxes: &[Vec<Mutex<OutBatch>>],
     flags: &[ShardFlags],
@@ -283,16 +285,35 @@ fn shard_worker<P: NodeProgram + Send>(
     panicked: &AtomicBool,
     panic_payload: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
 ) -> (RunStats, Option<(usize, usize)>) {
-    let (lo, _hi) = part.range(me);
-    let local_n = progs.len();
+    let nodes = part.nodes(me);
+    let local_n = nodes.len();
     let mut stats = RunStats::default();
-    // This shard's inbox arena (deliveries into the current round) and
-    // per-destination-shard outgoing batches; `scratch` rotates through
-    // the mailbox cells during deliver. All reused every round.
-    let mut arena = InboxArena::new(local_n);
+    // This shard's double-buffered inbox arenas (`cur` = deliveries into
+    // the current round, `next` = the coming round, fed by the local
+    // bypass during compute and the mailbox drain during deliver), the
+    // SoA activity slab, and per-destination-shard outgoing batches;
+    // `scratch` rotates through the mailbox cells. All reused every
+    // round.
+    let mut cur = InboxArena::new(local_n);
+    let mut next = InboxArena::new(local_n);
+    let mut slab = ActivitySlab::new(local_n);
     let mut outbox = Outbox::new(net.model);
     let mut out_bufs: Vec<OutBatch> = (0..s).map(|_| OutBatch::default()).collect();
     let mut scratch = OutBatch::default();
+    // Per-destination payload dedup across the runs of one sink call
+    // (one `(receivers, payload)` group): stamps record which
+    // destinations already hold this group's payload (and at which
+    // offset), so a topo partition's interleaved target shards still
+    // store one copy per destination — distinct payloads from the same
+    // node never share a stamp because every sink call bumps `send_id`.
+    let mut send_id = 0u64;
+    let mut dst_stamp = vec![0u64; s];
+    let mut dst_off = vec![0u32; s];
+    // Local running tallies for the locality split (folded into `stats`
+    // at exit — the sink closure runs while `stats` is borrowed by
+    // `step_node`).
+    let mut local_words_total = 0usize;
+    let mut cross_words_total = 0usize;
     // Every worker derives its own fault view from the shared plan and
     // advances it in lockstep — a pure function of (plan, round), so all
     // shards agree on the global dead set without communication.
@@ -304,86 +325,124 @@ fn shard_worker<P: NodeProgram + Send>(
         // invalidated (global sender id, shard-local receiver).
         if let Some(fs) = faults.as_mut() {
             if fs.advance_to(round) {
-                arena.purge(|local, from| !fs.deliverable(from, lo + local));
+                cur.purge(|local, from| !fs.deliverable(from, nodes[local]));
+                for (i, &v) in nodes.iter().enumerate() {
+                    if fs.is_dead(v) {
+                        slab.mark_dead(i);
+                    }
+                }
             }
         }
         // All workers share the same lockstep round counter, so they all
         // take this exit in the same round (no barrier crossing needed).
         if round >= max_rounds {
-            return (
-                stats,
-                Some(cutoff_context(&arena, progs, faults.as_ref(), lo)),
+            stats.local_words = local_words_total;
+            stats.cross_shard_words = cross_words_total;
+            let ctx = cutoff_context(
+                &cur,
+                nodes.iter().copied().zip(progs.iter().map(|p| &**p)),
+                faults.as_ref(),
             );
+            return (stats, Some(ctx));
         }
 
         // --- Compute phase -------------------------------------------
         let mut any_sent = false;
         let mut queued_msgs = 0usize;
         let mut queued_words = 0usize;
-        // `is_done()` runs inside the same catch_unwind as `round()`: a
+        // `round()` and `is_done()` run inside the same catch_unwind: a
         // panicking program (or a panic leaving state that makes
         // `is_done` panic) must never kill the worker before the barrier
         // or the other shards would deadlock there.
         let step = panic::catch_unwind(AssertUnwindSafe(|| {
-            for i in 0..local_n {
-                let v = lo + i;
-                if faults.as_ref().is_some_and(|f| f.is_dead(v)) {
-                    continue;
-                }
-                if !is_active(round, arena.has_mail(i), &progs[i]) {
-                    continue;
-                }
-                arena.sort(i);
-                let inbox = arena.inbox(i);
-                let bufs = &mut out_bufs;
-                let qm = &mut queued_msgs;
-                let qw = &mut queued_words;
-                let sent = step_node(
-                    net,
-                    v,
-                    round,
-                    &mut progs[i],
-                    &mut rngs[i],
-                    faults.as_ref(),
-                    inbox,
-                    &mut outbox,
-                    &mut stats,
-                    &mut |targets, payload| {
-                        *qm += targets.len();
-                        *qw += payload.len();
-                        // Targets are ascending and shards own ascending
-                        // contiguous ranges, so same-shard receivers form
-                        // runs: one payload copy per destination shard.
-                        let mut a = 0;
-                        while a < targets.len() {
-                            let dst = part.shard_of(targets[a]);
-                            let (_, dst_hi) = part.range(dst);
-                            let mut b = a + 1;
-                            while b < targets.len() && targets[b] < dst_hi {
-                                b += 1;
+            for w in 0..slab.num_words() {
+                let mut pend = slab.pending_word(w, cur.mail_bits()[w], round);
+                while pend != 0 {
+                    let i = w * 64 + pend.trailing_zeros() as usize;
+                    pend &= pend - 1;
+                    let v = nodes[i];
+                    cur.sort(i);
+                    let inbox = cur.inbox(i);
+                    let next_arena = &mut next;
+                    let bufs = &mut out_bufs;
+                    let qm = &mut queued_msgs;
+                    let qw = &mut queued_words;
+                    let lw = &mut local_words_total;
+                    let cw = &mut cross_words_total;
+                    let sid = &mut send_id;
+                    let dst_stamp = &mut dst_stamp;
+                    let dst_off = &mut dst_off;
+                    let sent = step_node(
+                        net,
+                        v,
+                        round,
+                        &mut *progs[i],
+                        &mut *rngs[i],
+                        faults.as_ref(),
+                        inbox,
+                        &mut outbox,
+                        &mut stats,
+                        &mut |targets, payload| {
+                            *qm += targets.len();
+                            *qw += payload.len();
+                            *sid += 1;
+                            let my_send = *sid;
+                            // Group consecutive same-shard targets into
+                            // runs; each destination (this shard
+                            // included) receives at most one payload
+                            // copy per send, guarded by the stamps.
+                            let mut a = 0;
+                            while a < targets.len() {
+                                let dst = part.shard_of(targets[a]);
+                                let mut b = a + 1;
+                                while b < targets.len() && part.shard_of(targets[b]) == dst {
+                                    b += 1;
+                                }
+                                let run_words = payload.len() * (b - a);
+                                if dst == me {
+                                    // Local bypass: deliver straight into
+                                    // the next-round arena, skipping the
+                                    // mailbox plane.
+                                    *lw += run_words;
+                                    if dst_stamp[me] != my_send {
+                                        dst_stamp[me] = my_send;
+                                        dst_off[me] = next_arena.push_payload(payload);
+                                    }
+                                    for &u in &targets[a..b] {
+                                        next_arena.push_entry(
+                                            part.local_of(u),
+                                            v,
+                                            dst_off[me],
+                                            payload.len() as u32,
+                                        );
+                                    }
+                                } else {
+                                    *cw += run_words;
+                                    let batch = &mut bufs[dst];
+                                    if dst_stamp[dst] != my_send {
+                                        dst_stamp[dst] = my_send;
+                                        dst_off[dst] = u32::try_from(batch.words.len())
+                                            .expect("shard batch exceeds u32 words");
+                                        batch.words.extend_from_slice(payload);
+                                    }
+                                    for &u in &targets[a..b] {
+                                        batch.entries.push(WireEntry {
+                                            to: u as u32,
+                                            from: v as u32,
+                                            off: dst_off[dst],
+                                            len: payload.len() as u32,
+                                        });
+                                    }
+                                }
+                                a = b;
                             }
-                            let batch = &mut bufs[dst];
-                            let off = u32::try_from(batch.words.len())
-                                .expect("shard batch exceeds u32 words");
-                            batch.words.extend_from_slice(payload);
-                            for &u in &targets[a..b] {
-                                batch.entries.push(WireEntry {
-                                    to: u as u32,
-                                    from: v as u32,
-                                    off,
-                                    len: payload.len() as u32,
-                                });
-                            }
-                            a = b;
-                        }
-                    },
-                );
-                any_sent |= sent;
+                        },
+                    );
+                    any_sent |= sent;
+                    slab.set_done(i, progs[i].is_done());
+                }
             }
-            progs
-                .iter()
-                .enumerate()
-                .all(|(i, p)| faults.as_ref().is_some_and(|f| f.is_dead(lo + i)) || p.is_done())
+            slab.all_done()
         }));
         let local_done = match step {
             Ok(done) => done,
@@ -397,9 +456,12 @@ fn shard_worker<P: NodeProgram + Send>(
         };
         // Publish outgoing batches: swap each filled batch into its
         // mailbox cell, taking back the drained batch the receiver left
-        // there (buffer rotation — no allocation).
+        // there (buffer rotation — no allocation). The own-shard cell
+        // stays empty: local traffic already sits in `next`.
         for (dst, buf) in out_bufs.iter_mut().enumerate() {
-            std::mem::swap(&mut *mailboxes[me][dst].lock().unwrap(), buf);
+            if dst != me {
+                std::mem::swap(&mut *mailboxes[me][dst].lock().unwrap(), buf);
+            }
         }
         flags[me].sent.store(any_sent, Ordering::SeqCst);
         flags[me].done.store(local_done, Ordering::SeqCst);
@@ -409,6 +471,8 @@ fn shard_worker<P: NodeProgram + Send>(
         // --- Round barrier: mailboxes and flags are published --------
         barrier.wait();
         if panicked.load(Ordering::SeqCst) {
+            stats.local_words = local_words_total;
+            stats.cross_shard_words = cross_words_total;
             return (stats, None);
         }
         let all_done = flags.iter().all(|f| f.done.load(Ordering::SeqCst));
@@ -428,46 +492,35 @@ fn shard_worker<P: NodeProgram + Send>(
         stats.note_round_load(round_msgs, round_words);
 
         // --- Deliver phase (sender-shard order) -----------------------
-        arena.reset();
-        for src_row in mailboxes {
+        // Cross-shard deliveries join the locally bypassed ones already
+        // sitting in `next`; entry order is unobservable (inboxes are
+        // re-sorted by sender at consumption).
+        for (src, src_row) in mailboxes.iter().enumerate() {
+            if src == me {
+                continue;
+            }
             std::mem::swap(&mut *src_row[me].lock().unwrap(), &mut scratch);
-            let base = arena.push_payload(&scratch.words);
+            let base = next.push_payload(&scratch.words);
             for e in &scratch.entries {
-                arena.push_entry(e.to as usize - lo, e.from as NodeId, base + e.off, e.len);
+                next.push_entry(
+                    part.local_of(e.to as NodeId),
+                    e.from as NodeId,
+                    base + e.off,
+                    e.len,
+                );
             }
             scratch.clear();
         }
+        std::mem::swap(&mut cur, &mut next);
+        next.reset();
 
         // Second barrier: every cell drained and every flag consumed
         // before the next compute phase overwrites them.
         barrier.wait();
         if all_done && !any_sent_global {
+            stats.local_words = local_words_total;
+            stats.cross_shard_words = cross_words_total;
             return (stats, None);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn partition_is_balanced_and_invertible() {
-        for n in [1usize, 2, 5, 7, 16, 33, 100] {
-            for s in 1..=n.min(9) {
-                let part = Partition::new(n, s);
-                let mut covered = 0;
-                for shard in 0..s {
-                    let (lo, hi) = part.range(shard);
-                    assert!(hi - lo >= n / s && hi - lo <= n / s + 1);
-                    assert_eq!(lo, covered, "ranges must be contiguous");
-                    covered = hi;
-                    for v in lo..hi {
-                        assert_eq!(part.shard_of(v), shard, "n={n} s={s} v={v}");
-                    }
-                }
-                assert_eq!(covered, n);
-            }
         }
     }
 }

@@ -65,6 +65,19 @@ pub struct RunStats {
     /// sharded engine holds at most one extra copy per destination shard,
     /// uncounted so the metric stays engine-independent).
     pub peak_arena_words: usize,
+    /// Payload words delivered between a same-shard sender/receiver pair
+    /// — traffic that never touched the mailbox plane. The sequential
+    /// engine (one thread owns every node) reports everything here.
+    /// `local_words + cross_shard_words == words`, always.
+    ///
+    /// **The one engine-dependent field pair**: the split describes the
+    /// engine's *partition*, not the protocol — normalize with
+    /// [`RunStats::locality_blind`] before cross-engine comparisons.
+    pub local_words: usize,
+    /// Payload words delivered across a shard boundary (through the
+    /// sharded engine's mailbox plane) — the partition's realized cut
+    /// traffic. Zero under the sequential engine.
+    pub cross_shard_words: usize,
 }
 
 impl RunStats {
@@ -76,8 +89,19 @@ impl RunStats {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.words += other.words;
+        self.local_words += other.local_words;
+        self.cross_shard_words += other.cross_shard_words;
         self.peak_queued_messages = self.peak_queued_messages.max(other.peak_queued_messages);
         self.peak_arena_words = self.peak_arena_words.max(other.peak_arena_words);
+    }
+
+    /// These stats with the engine-dependent locality split zeroed —
+    /// what cross-engine equivalence checks compare, since every other
+    /// counter is bit-identical across engines by contract.
+    pub fn locality_blind(mut self) -> RunStats {
+        self.local_words = 0;
+        self.cross_shard_words = 0;
+        self
     }
 
     /// Folds one round's queued-traffic totals into the peak counters.
@@ -513,6 +537,7 @@ pub struct Simulator<'g> {
     word_budget: usize,
     engine: EngineKind,
     faults: Option<FaultPlan>,
+    seed: u64,
     rngs: Vec<StdRng>,
     cumulative: RunStats,
 }
@@ -540,6 +565,7 @@ impl<'g> Simulator<'g> {
             word_budget: DEFAULT_WORD_BUDGET,
             engine: EngineKind::Sequential,
             faults: None,
+            seed,
             rngs,
             cumulative: RunStats::default(),
         }
@@ -569,8 +595,9 @@ impl<'g> Simulator<'g> {
     }
 
     /// Selects the round-execution backend. Engine choice never changes
-    /// outputs or statistics (see [`crate::engine`]), only wall-clock
-    /// behavior.
+    /// outputs or statistics (see [`crate::engine`]) beyond the
+    /// [`RunStats`] locality split — which describes the engine's
+    /// partition, not the protocol — only wall-clock behavior.
     ///
     /// # Example
     ///
@@ -583,12 +610,17 @@ impl<'g> Simulator<'g> {
     /// let run = |engine| {
     ///     let mut sim = Simulator::new(&g, Model::VCongest).with_engine(engine);
     ///     let tree = distributed_bfs(&mut sim, 0).unwrap();
-    ///     (tree.dist, tree.parent, sim.stats())
+    ///     (tree.dist, tree.parent, sim.stats().locality_blind())
     /// };
-    /// // Bit-for-bit equivalent across engines: same tree, same stats.
+    /// // Bit-for-bit equivalent across engines and partitions: same
+    /// // tree, same stats (modulo the local/cross-shard word split).
     /// assert_eq!(
     ///     run(EngineKind::Sequential),
-    ///     run(EngineKind::Sharded { shards: 4 }),
+    ///     run(EngineKind::sharded(4)),
+    /// );
+    /// assert_eq!(
+    ///     run(EngineKind::Sequential),
+    ///     run(EngineKind::sharded_topo(4)),
     /// );
     /// ```
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
@@ -650,15 +682,16 @@ impl<'g> Simulator<'g> {
             model: self.model,
             word_budget: self.word_budget,
             faults: self.faults.as_ref(),
+            seed: self.seed,
         };
-        let outcome = match self.engine {
-            EngineKind::Sequential => {
-                SequentialEngine.run(&net, &mut programs, &mut self.rngs, max_rounds)
-            }
-            EngineKind::Sharded { shards } => {
-                ShardedEngine::new(shards).run(&net, &mut programs, &mut self.rngs, max_rounds)
-            }
-        };
+        let outcome =
+            match self.engine {
+                EngineKind::Sequential => {
+                    SequentialEngine.run(&net, &mut programs, &mut self.rngs, max_rounds)
+                }
+                EngineKind::Sharded { shards, partition } => ShardedEngine::new(shards, partition)
+                    .run(&net, &mut programs, &mut self.rngs, max_rounds),
+            };
         self.cumulative.absorb(outcome.stats);
         match outcome.error {
             Some(err) => Err(err),
@@ -714,11 +747,12 @@ mod tests {
         }
     }
 
-    fn engines() -> [EngineKind; 3] {
+    fn engines() -> [EngineKind; 4] {
         [
             EngineKind::Sequential,
-            EngineKind::Sharded { shards: 2 },
-            EngineKind::Sharded { shards: 4 },
+            EngineKind::sharded(2),
+            EngineKind::sharded(4),
+            EngineKind::sharded_topo(4),
         ]
     }
 
@@ -862,8 +896,7 @@ mod tests {
             }
         }
         let g = generators::path(4);
-        let mut sim =
-            Simulator::new(&g, Model::VCongest).with_engine(EngineKind::Sharded { shards: 2 });
+        let mut sim = Simulator::new(&g, Model::VCongest).with_engine(EngineKind::sharded(2));
         let _ = sim.run(vec![Bad, Bad, Bad, Bad], 3);
     }
 
@@ -1102,17 +1135,57 @@ mod tests {
                 })
                 .collect();
             let (ps, stats) = sim.run(programs, 100).unwrap();
+            // Invariant first: the locality split always partitions the
+            // delivered words, whatever the engine.
+            assert_eq!(stats.local_words + stats.cross_shard_words, stats.words);
             (
                 ps.into_iter()
                     .map(|p| (p.heard, p.chatty))
                     .collect::<Vec<_>>(),
-                stats,
+                stats.locality_blind(),
             )
         };
         let baseline = run(EngineKind::Sequential);
         for engine in engines() {
             assert_eq!(run(engine), baseline, "{engine}");
         }
+    }
+
+    #[test]
+    fn locality_split_partitions_words_and_sequential_is_all_local() {
+        let g = generators::harary(4, 20);
+        let run = |engine| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, 9).with_engine(engine);
+            let programs = (0..g.n())
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 4,
+                })
+                .collect();
+            sim.run(programs, 100).unwrap().1
+        };
+        let seq = run(EngineKind::Sequential);
+        assert_eq!(seq.local_words, seq.words, "one thread owns every node");
+        assert_eq!(seq.cross_shard_words, 0);
+        for engine in [EngineKind::sharded(4), EngineKind::sharded_topo(4)] {
+            let stats = run(engine);
+            assert_eq!(
+                stats.local_words + stats.cross_shard_words,
+                stats.words,
+                "{engine}"
+            );
+            assert!(
+                stats.cross_shard_words > 0,
+                "{engine}: 4 shards on harary(4,20) must cut something"
+            );
+            assert_eq!(stats.locality_blind(), seq.locality_blind(), "{engine}");
+        }
+        // Topo shards on a circulant follow the ring, contiguous shards
+        // are already arcs: both cut, topo never cuts more than the
+        // random-looking assignment a mismatched id order would give.
+        let contig = run(EngineKind::sharded(4));
+        let topo = run(EngineKind::sharded_topo(4));
+        assert_eq!(contig.words, topo.words);
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! layers, so a layer costs `O(m t)` array work with no hashing and no
 //! per-layer allocation. Per-layer instrumentation (`M_ℓ`, matches,
 //! deactivations) feeds the Fast-Merger experiment (Lemma 4.4 / E11).
+//!
+//! The per-class half of each layer body (steps 2a–2b) is independent
+//! across classes: the component forest is frozen until the layer
+//! finalizes, and with class-major scratch tables each class's working
+//! set is one contiguous stride. [`CdsPackingConfig::workers`] farms
+//! those strides onto scoped worker threads; the RNG-consuming steps
+//! (random class picks, the shuffled matching scan) stay sequential, so
+//! the packing is bit-identical for every worker count.
 
 use crate::cds::class_state::{ClassState, CompId};
 use crate::virtual_graph::{default_layers, VType, VirtualLayout};
@@ -43,6 +51,15 @@ pub struct CdsPackingConfig {
     pub layers_factor: f64,
     /// RNG seed (experiments are reproducible per seed).
     pub seed: u64,
+    /// Worker threads for the per-class half of the layer loop (steps
+    /// 2a–2b: deactivation and the potential-matches tables, farmed one
+    /// non-inert class per task). `1` (the default) runs inline with no
+    /// thread spawns. Outputs are **bit-identical for every worker
+    /// count** — the parallel steps read a frozen component forest and
+    /// write class-disjoint scratch strides, and the RNG-consuming steps
+    /// (1 and 3) stay sequential — so this is a pure wall-clock knob;
+    /// `examples/cds_digest.rs` is the oracle.
+    pub workers: usize,
 }
 
 /// Default ratio `t / k`. The Fast-Merger analysis (Lemma 4.5) needs
@@ -63,6 +80,7 @@ impl CdsPackingConfig {
             num_classes: t,
             layers_factor: DEFAULT_LAYERS_FACTOR,
             seed,
+            workers: 1,
         }
     }
 
@@ -73,7 +91,16 @@ impl CdsPackingConfig {
             num_classes: t,
             layers_factor: DEFAULT_LAYERS_FACTOR,
             seed,
+            workers: 1,
         }
+    }
+
+    /// Returns the configuration with `workers` threads for the
+    /// per-class layer-loop steps (clamped to at least one). A pure
+    /// wall-clock knob: the packing is bit-identical for every value.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 }
 
@@ -169,24 +196,31 @@ impl PotentialMatches {
 /// layer's epoch, so resetting between layers is a single counter bump
 /// instead of an `O(n t + 3Ln)` clear (and instead of the hash maps this
 /// loop used before the incremental rewrite).
+///
+/// Every table is **class-major** (`slot = class * n + real`, matching
+/// the [`ClassState`] forest layout), so one class's entries form one
+/// contiguous stride — [`class_tasks`](Self::class_tasks) hands each
+/// stride out as a disjoint `&mut` slice, which is what lets the layer
+/// loop farm per-class work onto worker threads with no locks and no
+/// cloning.
 struct LayerScratch {
     epoch: u32,
-    /// Potential-matches table, indexed `x * t + class`.
+    n: usize,
+    /// Potential-matches table, indexed `class * n + x`.
     pm_epoch: Vec<u32>,
     pm: Vec<PotentialMatches>,
     /// Component roots to skip in the matching scan (deactivated by a
     /// type-1 connector, or already matched), indexed by root id. A root
-    /// belongs to exactly one class, so the class key is implicit.
+    /// belongs to exactly one class, so the class key is implicit — and
+    /// with class-major slots a class-`i` root always lies in stride `i`.
     skip_epoch: Vec<u32>,
-    /// Per-layer memo of [`ClassState::comp_root`], indexed
-    /// `real * t + class`. Component roots are stable for a whole layer
+    /// Per-layer memo of the component root per bundle, indexed
+    /// `class * n + real`. Component roots are stable for a whole layer
     /// body (no unions happen until the layer finalizes), and every node
     /// queries the same bundles its neighbors do, so one find per bundle
     /// per layer serves the deactivation, bridging, and matching scans.
     root_epoch: Vec<u32>,
     root_memo: Vec<u32>,
-    /// Reusable buffer for adjacent-root queries.
-    roots: Vec<CompId>,
 }
 
 /// Memo encoding of "bundle unoccupied".
@@ -196,12 +230,12 @@ impl LayerScratch {
     fn new(n: usize, t: usize) -> Self {
         LayerScratch {
             epoch: 0,
+            n,
             pm_epoch: vec![0; n * t],
             pm: vec![PotentialMatches::Many; n * t],
             skip_epoch: vec![0; n * t],
             root_epoch: vec![0; n * t],
             root_memo: vec![NO_ROOT; n * t],
-            roots: Vec::new(),
         }
     }
 
@@ -210,12 +244,41 @@ impl LayerScratch {
         self.epoch += 1;
     }
 
-    /// [`ClassState::comp_root`] through the per-layer memo.
-    fn comp_root(&mut self, st: &mut ClassState, real: NodeId, class: usize) -> Option<CompId> {
-        let slot = real * st.num_classes() + class;
+    /// Splits every table into its per-class strides: one
+    /// [`ClassTask`] per class, all mutably borrowed at once and
+    /// mutually disjoint — safe to send to different worker threads.
+    fn class_tasks(&mut self) -> Vec<ClassTask<'_>> {
+        let n = self.n;
+        self.pm_epoch
+            .chunks_mut(n)
+            .zip(self.pm.chunks_mut(n))
+            .zip(self.skip_epoch.chunks_mut(n))
+            .zip(self.root_epoch.chunks_mut(n))
+            .zip(self.root_memo.chunks_mut(n))
+            .enumerate()
+            .map(
+                |(class, ((((pm_epoch, pm), skip_epoch), root_epoch), root_memo))| ClassTask {
+                    class,
+                    pm_epoch,
+                    pm,
+                    skip_epoch,
+                    root_epoch,
+                    root_memo,
+                },
+            )
+            .collect()
+    }
+
+    /// Component root of the `(real, class)` bundle through the
+    /// per-layer memo — the step-3 (matching scan) read path, which may
+    /// hit bundles no parallel task touched. Reads the *frozen* forest
+    /// ([`ClassState::comp_root_frozen`]), same roots as the mutable
+    /// find.
+    fn comp_root(&mut self, st: &ClassState, real: NodeId, class: usize) -> Option<CompId> {
+        let slot = class * self.n + real;
         if self.root_epoch[slot] != self.epoch {
             self.root_epoch[slot] = self.epoch;
-            self.root_memo[slot] = match st.comp_root(real, class) {
+            self.root_memo[slot] = match st.comp_root_frozen(real, class) {
                 Some(r) => r as u32,
                 None => NO_ROOT,
             };
@@ -225,26 +288,154 @@ impl LayerScratch {
             r => Some(r as usize),
         }
     }
+}
 
-    /// Distinct component roots of `class` adjacent (in the virtual
+/// One class's contiguous stride of every scratch table — the unit of
+/// work the layer loop farms onto a worker thread. Strides of distinct
+/// classes are disjoint, so workers share nothing mutable; the
+/// component forest is read concurrently through
+/// [`ClassState::comp_root_frozen`] (frozen for the whole layer body).
+struct ClassTask<'a> {
+    class: usize,
+    pm_epoch: &'a mut [u32],
+    pm: &'a mut [PotentialMatches],
+    skip_epoch: &'a mut [u32],
+    root_epoch: &'a mut [u32],
+    root_memo: &'a mut [u32],
+}
+
+impl ClassTask<'_> {
+    /// [`LayerScratch::comp_root`] restricted to this class's stride
+    /// (local index = real id).
+    fn comp_root(&mut self, st: &ClassState, real: NodeId, epoch: u32) -> Option<CompId> {
+        if self.root_epoch[real] != epoch {
+            self.root_epoch[real] = epoch;
+            self.root_memo[real] = match st.comp_root_frozen(real, self.class) {
+                Some(r) => r as u32,
+                None => NO_ROOT,
+            };
+        }
+        match self.root_memo[real] {
+            NO_ROOT => None,
+            r => Some(r as usize),
+        }
+    }
+
+    /// Distinct component roots of this class adjacent (in the virtual
     /// graph) to a new node on `real` — the bundles on `real` itself and
     /// on its real neighbors — read through the per-layer memo; fills
-    /// `self.roots` (reused across calls to keep the loop
-    /// allocation-free).
-    fn adjacent_roots(&mut self, st: &mut ClassState, g: &Graph, real: NodeId, class: usize) {
-        let mut roots = std::mem::take(&mut self.roots);
+    /// `roots` (caller-owned so each worker reuses one buffer).
+    fn adjacent_roots(
+        &mut self,
+        st: &ClassState,
+        g: &Graph,
+        real: NodeId,
+        epoch: u32,
+        roots: &mut Vec<CompId>,
+    ) {
         roots.clear();
-        if let Some(r) = self.comp_root(st, real, class) {
+        if let Some(r) = self.comp_root(st, real, epoch) {
             roots.push(r);
         }
         for &u in g.neighbors(real) {
-            if let Some(r) = self.comp_root(st, u, class) {
+            if let Some(r) = self.comp_root(st, u, epoch) {
                 if !roots.contains(&r) {
                     roots.push(r);
                 }
             }
         }
-        self.roots = roots;
+    }
+
+    /// Steps 2a–2b of the layer body for this class: (2a) stamp the
+    /// components deactivated by type-1 connectors, (2b) build the
+    /// potential-matches table from type-3 reporters. `c1s` / `c3s` are
+    /// the reals whose type-1 / type-3 pick landed on this class,
+    /// ascending — exactly the iterations the sequential `0..n` sweeps
+    /// would have spent on it, in the same relative order. Returns the
+    /// number of components deactivated.
+    ///
+    /// Order-independence across classes is structural (disjoint
+    /// strides); within a class the results are order-independent too —
+    /// a skip stamp is a set insert, and a `pm` entry folds to
+    /// [`PotentialMatches::One`] iff every reported root agrees,
+    /// whatever the report order — which is why any parallel schedule
+    /// yields bit-identical tables.
+    fn run_steps_2a_2b(
+        &mut self,
+        st: &ClassState,
+        g: &Graph,
+        epoch: u32,
+        c1s: &[NodeId],
+        c3s: &[NodeId],
+        roots: &mut Vec<CompId>,
+    ) -> usize {
+        let base = self.class * g.n();
+        let mut deactivated = 0usize;
+        for &real in c1s {
+            self.adjacent_roots(st, g, real, epoch, roots);
+            if roots.len() >= 2 {
+                for &root in roots.iter() {
+                    let local = root - base;
+                    if self.skip_epoch[local] != epoch {
+                        self.skip_epoch[local] = epoch;
+                        deactivated += 1;
+                    }
+                }
+            }
+        }
+        for &real in c3s {
+            self.adjacent_roots(st, g, real, epoch, roots);
+            if roots.is_empty() {
+                continue;
+            }
+            for target in 0..=g.degree(real) {
+                let x = if target == 0 {
+                    real
+                } else {
+                    g.neighbors(real)[target - 1]
+                };
+                for &root in roots.iter() {
+                    if self.pm_epoch[x] != epoch {
+                        self.pm_epoch[x] = epoch;
+                        self.pm[x] = PotentialMatches::One(root);
+                    } else {
+                        self.pm[x] = self.pm[x].merge_id(root);
+                    }
+                }
+            }
+        }
+        deactivated
+    }
+}
+
+/// Reals bucketed by their class pick (ascending real id within each
+/// class) — the per-class worklists steps 2a–2b are farmed out over.
+/// CSR layout: class `i`'s reals are `items[starts[i]..starts[i+1]]`.
+struct ClassBuckets {
+    starts: Vec<usize>,
+    items: Vec<NodeId>,
+}
+
+impl ClassBuckets {
+    fn build(picks: &[usize], t: usize) -> Self {
+        let mut starts = vec![0usize; t + 1];
+        for &c in picks {
+            starts[c + 1] += 1;
+        }
+        for i in 0..t {
+            starts[i + 1] += starts[i];
+        }
+        let mut cursor = starts.clone();
+        let mut items = vec![0usize; picks.len()];
+        for (real, &c) in picks.iter().enumerate() {
+            items[cursor[c]] = real;
+            cursor[c] += 1;
+        }
+        ClassBuckets { starts, items }
+    }
+
+    fn class(&self, i: usize) -> &[NodeId] {
+        &self.items[self.starts[i]..self.starts[i + 1]]
     }
 }
 
@@ -347,54 +538,60 @@ pub fn cds_packing_with_state(g: &Graph, config: &CdsPackingConfig) -> (CdsPacki
         // layer costs one linear pass of coin flips.
         let fragmented = |st: &ClassState, i: usize| st.component_count(i) >= 2;
 
-        // (2a) Deactivation: components already bridged by a type-1 node.
-        //      (No unions happen until step 4, so component roots are
-        //      stable for the whole layer body and safe to stamp by id.)
-        let mut deactivated = 0usize;
-        for real in 0..g.n() {
-            if !fragmented(&st, c1[real]) {
-                continue;
+        // (2a + 2b) Deactivation (components already bridged by a type-1
+        //      node) and the potential-matches tables (each type-3 new
+        //      node of class i reports its suitable components to every
+        //      type-2 virtual neighbor) — farmed one non-inert class per
+        //      task. No unions happen until step 4, so the component
+        //      forest is frozen for the whole layer body: tasks read it
+        //      concurrently through non-compressing finds and write only
+        //      their own class-major scratch stride, which makes any
+        //      schedule — inline or across `config.workers` scoped
+        //      threads — produce bit-identical tables and the same
+        //      deactivation count (summed over tasks in class order).
+        let by_c1 = ClassBuckets::build(&c1, t);
+        let by_c3 = ClassBuckets::build(&c3, t);
+        let deactivated: usize = {
+            let mut tasks: Vec<ClassTask<'_>> = scratch
+                .class_tasks()
+                .into_iter()
+                .filter(|task| fragmented(&st, task.class))
+                .collect();
+            let st = &st;
+            let run = |task: &mut ClassTask<'_>, roots: &mut Vec<CompId>| {
+                task.run_steps_2a_2b(
+                    st,
+                    g,
+                    epoch,
+                    by_c1.class(task.class),
+                    by_c3.class(task.class),
+                    roots,
+                )
+            };
+            let workers = config.workers.max(1).min(tasks.len().max(1));
+            if workers <= 1 {
+                let mut roots = Vec::new();
+                tasks.iter_mut().map(|task| run(task, &mut roots)).sum()
+            } else {
+                let per_worker = tasks.len().div_ceil(workers);
+                let run = &run;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = tasks
+                        .chunks_mut(per_worker)
+                        .map(|chunk| {
+                            s.spawn(move || {
+                                let mut roots = Vec::new();
+                                chunk
+                                    .iter_mut()
+                                    .map(|task| run(task, &mut roots))
+                                    .sum::<usize>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                })
             }
-            scratch.adjacent_roots(&mut st, g, real, c1[real]);
-            if scratch.roots.len() >= 2 {
-                for &root in &scratch.roots {
-                    if scratch.skip_epoch[root] != epoch {
-                        scratch.skip_epoch[root] = epoch;
-                        deactivated += 1;
-                    }
-                }
-            }
-        }
-
-        // (2b) Potential-matches arrays: each type-3 new node w of class i
-        //      reports its suitable components to every type-2 virtual
-        //      neighbor.
-        for real in 0..g.n() {
-            let i = c3[real];
-            if !fragmented(&st, i) {
-                continue;
-            }
-            scratch.adjacent_roots(&mut st, g, real, i);
-            if scratch.roots.is_empty() {
-                continue;
-            }
-            for target in 0..=g.degree(real) {
-                let x = if target == 0 {
-                    real
-                } else {
-                    g.neighbors(real)[target - 1]
-                };
-                let slot = x * t + i;
-                for &root in &scratch.roots {
-                    if scratch.pm_epoch[slot] != epoch {
-                        scratch.pm_epoch[slot] = epoch;
-                        scratch.pm[slot] = PotentialMatches::One(root);
-                    } else {
-                        scratch.pm[slot] = scratch.pm[slot].merge_id(root);
-                    }
-                }
-            }
-        }
+        };
 
         // (3) Maximal matching: scan type-2 new nodes in random order,
         //     greedily matching to the first eligible component. Matched
@@ -424,14 +621,14 @@ pub fn cds_packing_with_state(g: &Graph, config: &CdsPackingConfig) -> (CdsPacki
                     if !fragmented(&st, i) {
                         continue;
                     }
-                    let root = match scratch.comp_root(&mut st, y, i) {
+                    let root = match scratch.comp_root(&st, y, i) {
                         Some(r) => r,
                         None => continue,
                     };
                     if scratch.skip_epoch[root] == epoch {
                         continue;
                     }
-                    let slot = x * t + i;
+                    let slot = i * g.n() + x;
                     if scratch.pm_epoch[slot] == epoch && scratch.pm[slot].allows(root) {
                         assigned = Some((i, root));
                         break 'search;
@@ -547,6 +744,29 @@ mod tests {
         }
         let last = p.trace.last().unwrap();
         assert_eq!(last.excess_after, 0, "all classes connected at the end");
+    }
+
+    #[test]
+    fn workers_do_not_change_the_packing() {
+        // The parallel per-class steps must be a pure wall-clock knob:
+        // many classes relative to the connectivity keeps classes
+        // fragmented after the jump start, so the farmed deactivation /
+        // bridging / matching machinery genuinely runs here.
+        let g = generators::harary(6, 400);
+        for seed in [1u64, 9, 42] {
+            let base = CdsPackingConfig::with_classes(24, seed);
+            let one = cds_packing(&g, &base);
+            assert!(
+                one.trace.iter().any(|l| l.excess_before > 0),
+                "instance must exercise the fragmented regime"
+            );
+            for workers in [2usize, 3, 8, 64] {
+                let w = cds_packing(&g, &base.clone().with_workers(workers));
+                assert_eq!(one.class_of, w.class_of, "workers={workers} seed={seed}");
+                assert_eq!(one.classes, w.classes, "workers={workers} seed={seed}");
+                assert_eq!(one.trace, w.trace, "workers={workers} seed={seed}");
+            }
+        }
     }
 
     #[test]

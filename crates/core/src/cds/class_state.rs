@@ -83,11 +83,16 @@ pub struct ClassState {
     layout: VirtualLayout,
     t: usize,
     /// Disjoint-set forest over the `n · t` *bundle slots*
-    /// (`slot = real * t + class`), not over the `3Ln` virtual nodes: all
-    /// virtual nodes of one bundle are mutually adjacent and always
-    /// merged, so the slot partition carries exactly the same component
-    /// structure while the working set stays `Θ(log n)`× smaller (it is
-    /// what keeps the layer loop cache-resident at `n = 10⁵`).
+    /// (`slot = class * n + real`, **class-major**), not over the `3Ln`
+    /// virtual nodes: all virtual nodes of one bundle are mutually
+    /// adjacent and always merged, so the slot partition carries exactly
+    /// the same component structure while the working set stays
+    /// `Θ(log n)`× smaller (it is what keeps the layer loop
+    /// cache-resident at `n = 10⁵`). Class-major order makes every
+    /// class's stride one contiguous range — unions never leave it, so
+    /// the parallel layer loop can hand each worker a disjoint per-class
+    /// slice of its scratch tables, and `comp_of` / `rebuild_class`
+    /// become linear scans.
     uf: UnionFind,
     /// Whether the `(real, class)` bundle has any member yet.
     occupied: Vec<bool>,
@@ -127,6 +132,13 @@ impl ClassState {
         self.t
     }
 
+    /// Forest slot of the `(real, class)` bundle — class-major, so one
+    /// class's slots are the contiguous range `class·n .. (class+1)·n`.
+    #[inline]
+    fn slot(&self, real: NodeId, class: usize) -> usize {
+        class * self.layout.n() + real
+    }
+
     fn bump(&mut self, class: usize) {
         self.comp_count[class] += 1;
         if self.comp_count[class] >= 2 {
@@ -152,7 +164,7 @@ impl ClassState {
     /// every reachable neighbor.
     pub fn join(&mut self, g: &Graph, vid: VirtualId, class: usize) {
         let r = self.layout.real(vid);
-        let slot = r * self.t + class;
+        let slot = self.slot(r, class);
         if self.occupied[slot] {
             return;
         }
@@ -162,7 +174,7 @@ impl ClassState {
             self.classes_at[r].insert(pos, class as u32);
         }
         for &u in g.neighbors(r) {
-            let uslot = u * self.t + class;
+            let uslot = self.slot(u, class);
             if self.occupied[uslot] && self.uf.union(slot, uslot) {
                 self.drop_one(class);
             }
@@ -187,9 +199,25 @@ impl ClassState {
     /// Component of the `(real, class)` bundle, if the class has a member
     /// on `real`.
     pub fn comp_root(&mut self, real: NodeId, class: usize) -> Option<CompId> {
-        let slot = real * self.t + class;
+        let slot = self.slot(real, class);
         if self.occupied[slot] {
             Some(self.uf.find(slot))
+        } else {
+            None
+        }
+    }
+
+    /// [`comp_root`](Self::comp_root) through a shared reference: the
+    /// identical root, found without path compression
+    /// ([`UnionFind::find_root`]). This is what lets the parallel layer
+    /// loop's per-class workers query components of one shared frozen
+    /// state concurrently — between two [`join`](Self::join) calls the
+    /// forest is immutable and roots are stable, so readers need no
+    /// synchronization at all.
+    pub fn comp_root_frozen(&self, real: NodeId, class: usize) -> Option<CompId> {
+        let slot = self.slot(real, class);
+        if self.occupied[slot] {
+            Some(self.uf.find_root(slot))
         } else {
             None
         }
@@ -205,7 +233,7 @@ impl ClassState {
         let mut label_of: HashMap<CompId, usize> = HashMap::new();
         let mut out = vec![None; n];
         for v in 0..n {
-            let slot = v * self.t + class;
+            let slot = class * n + v;
             if !self.occupied[slot] {
                 continue;
             }
@@ -235,7 +263,8 @@ impl ClassState {
         let touched = std::mem::take(&mut self.classes_at[dead]);
         for &class in &touched {
             let class = class as usize;
-            self.occupied[dead * self.t + class] = false;
+            let slot = self.slot(dead, class);
+            self.occupied[slot] = false;
             self.rebuild_class(g, class);
         }
         touched
@@ -262,14 +291,12 @@ impl ClassState {
     /// `comp_count` and the running excess.
     fn rebuild_class(&mut self, g: &Graph, class: usize) {
         let n = self.layout.n();
-        let stride: Vec<usize> = (0..n).map(|v| v * self.t + class).collect();
+        let stride: Vec<usize> = (class * n..(class + 1) * n).collect();
         self.uf.reset_block(&stride);
         self.excess -= self.comp_count[class].saturating_sub(1);
 
         // Surviving members, densely renumbered for the certificate.
-        let members: Vec<NodeId> = (0..n)
-            .filter(|&v| self.occupied[v * self.t + class])
-            .collect();
+        let members: Vec<NodeId> = (0..n).filter(|&v| self.occupied[class * n + v]).collect();
         let index_of: HashMap<NodeId, usize> =
             members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut edges = Vec::new();
@@ -286,7 +313,7 @@ impl ClassState {
         if !members.is_empty() {
             let induced = Graph::from_edges(members.len(), edges);
             for &(a, b) in sparse_certificate(&induced, 1).edges() {
-                let (sa, sb) = (members[a] * self.t + class, members[b] * self.t + class);
+                let (sa, sb) = (class * n + members[a], class * n + members[b]);
                 if self.uf.union(sa, sb) {
                     count -= 1;
                 }
@@ -306,7 +333,7 @@ impl ClassState {
         for class in 0..self.t {
             let mut uf = UnionFind::new(n);
             let mut members = 0usize;
-            let member = |st: &ClassState, v: usize| st.occupied[v * st.t + class];
+            let member = |st: &ClassState, v: usize| st.occupied[st.slot(v, class)];
             for v in 0..n {
                 if !member(self, v) {
                     continue;
@@ -514,6 +541,25 @@ mod tests {
             }
             for v in 0..20 {
                 assert_eq!(st.classes_at(v), fresh.classes_at(v));
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_root_matches_mutable_root() {
+        // The non-compressing read path (what parallel layer-loop
+        // workers use) must report exactly the roots the mutable find
+        // does, for every bundle, at every point of a join sequence.
+        let g = generators::grid(4, 5);
+        let layout = VirtualLayout::new(20, 4);
+        let mut st = ClassState::new(layout, 3);
+        for (i, v) in [7usize, 0, 13, 19, 2, 11, 5, 16, 9, 4].iter().enumerate() {
+            st.join(&g, layout.vid(*v, 0, VType::ALL[i % 3]), i % 3);
+            for real in 0..20 {
+                for class in 0..3 {
+                    let frozen = st.comp_root_frozen(real, class);
+                    assert_eq!(frozen, st.comp_root(real, class), "({real}, {class})");
+                }
             }
         }
     }

@@ -360,12 +360,13 @@ mod tests {
                 r.guess,
                 r.attempts.clone(),
                 r.packing.classes.clone(),
-                sim.stats(),
+                sim.stats().locality_blind(),
             )
         };
         let seq = run(EngineKind::Sequential);
         assert_eq!(seq, run(EngineKind::Sequential));
-        assert_eq!(seq, run(EngineKind::Sharded { shards: 2 }));
-        assert_eq!(seq, run(EngineKind::Sharded { shards: 4 }));
+        assert_eq!(seq, run(EngineKind::sharded(2)));
+        assert_eq!(seq, run(EngineKind::sharded(4)));
+        assert_eq!(seq, run(EngineKind::sharded_topo(4)));
     }
 }

@@ -58,6 +58,22 @@ impl UnionFind {
         x
     }
 
+    /// Representative of `x`'s set **without** path compression — the
+    /// same root [`find`](Self::find) would return, reachable through a
+    /// shared reference. Lets concurrent readers (the parallel CDS layer
+    /// loop farms per-class component queries onto worker threads) share
+    /// one forest; compression only shortens paths, never changes roots,
+    /// so skipping it cannot change any answer.
+    ///
+    /// # Panics
+    /// Panics if `x` is out of range.
+    pub fn find_root(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
     /// Merges the sets of `x` and `y`; returns `true` if they were distinct.
     pub fn union(&mut self, x: usize, y: usize) -> bool {
         let (mut rx, mut ry) = (self.find(x), self.find(y));
@@ -216,6 +232,17 @@ mod tests {
         fresh.union(3, 4);
         assert_eq!(uf.num_sets(), fresh.num_sets());
         assert_eq!(uf.labels(), fresh.labels());
+    }
+
+    #[test]
+    fn find_root_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        for (a, b) in [(0, 1), (1, 2), (5, 6), (6, 7), (2, 7), (8, 9)] {
+            uf.union(a, b);
+            for x in 0..10 {
+                assert_eq!(uf.find_root(x), uf.find(x), "element {x}");
+            }
+        }
     }
 
     proptest! {

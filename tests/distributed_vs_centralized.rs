@@ -48,10 +48,12 @@ fn cds_agrees_on_every_fixture_family() {
                 f.name
             );
             match &baseline {
-                None => baseline = Some((distributed.classes.clone(), sim.stats())),
+                None => {
+                    baseline = Some((distributed.classes.clone(), sim.stats().locality_blind()))
+                }
                 Some((classes, stats)) => {
                     assert_eq!(
-                        (&distributed.classes, sim.stats()),
+                        (&distributed.classes, sim.stats().locality_blind()),
                         (classes, *stats),
                         "{}: {engine} diverged from sequential",
                         f.name

@@ -1,7 +1,9 @@
 //! Engine equivalence: the sequential and sharded backends must produce
 //! **bit-identical** results — program outputs, per-node RNG streams, and
 //! `RunStats` — on every testkit fixture family (the determinism contract
-//! of `decomp_congest::engine`).
+//! of `decomp_congest::engine`). The one normalization: the `RunStats`
+//! locality split describes the engine's partition, not the protocol, so
+//! comparisons go through `RunStats::locality_blind`.
 //!
 //! Coverage: raw primitives (BFS, leader election, multi-key flooding in
 //! both models), the full Appendix B distributed CDS pipeline, the
@@ -44,7 +46,7 @@ fn bfs_bit_identical_on_every_fixture() {
         assert_equivalent(&f.name, |engine| {
             let mut sim = Simulator::new(&f.graph, Model::VCongest).with_engine(engine);
             let tree = distributed_bfs(&mut sim, 0).unwrap();
-            (tree.dist, tree.parent, sim.stats())
+            (tree.dist, tree.parent, sim.stats().locality_blind())
         });
     }
 }
@@ -56,7 +58,7 @@ fn leader_election_bit_identical_on_every_fixture() {
         assert_equivalent(&f.name, |engine| {
             let mut sim = Simulator::new(&f.graph, Model::VCongest).with_engine(engine);
             let winner = flood_max(&mut sim, &values).unwrap();
-            (winner, sim.stats())
+            (winner, sim.stats().locality_blind())
         });
     }
 }
@@ -84,7 +86,7 @@ fn multiflood_bit_identical_in_both_models() {
                         kv
                     })
                     .collect();
-                (canon, sim.stats())
+                (canon, sim.stats().locality_blind())
             });
         }
     }
@@ -100,7 +102,7 @@ fn cds_pipeline_bit_identical_on_well_connected_fixtures() {
         assert_equivalent(&f.name, |engine| {
             let mut sim = Simulator::new(&f.graph, Model::VCongest).with_engine(engine);
             let p = cds_packing_distributed(&mut sim, &cfg).unwrap();
-            (p.classes, p.class_of, p.trace, sim.stats())
+            (p.classes, p.class_of, p.trace, sim.stats().locality_blind())
         });
     }
 }
@@ -116,7 +118,7 @@ fn verifier_bit_identical_on_every_fixture() {
         assert_equivalent(&f.name, |engine| {
             let mut sim = Simulator::new(&f.graph, Model::VCongest).with_engine(engine);
             let verdict = verify_distributed(&mut sim, &membership, classes.len(), 5).unwrap();
-            (verdict, sim.stats())
+            (verdict, sim.stats().locality_blind())
         });
     }
 }
@@ -148,7 +150,7 @@ fn round_limit_error_context_identical() {
                     assert_eq!(max_rounds, 7);
                     assert_eq!(undelivered, 2 * f.graph.m(), "all edges carry traffic");
                     assert_eq!(unfinished, f.graph.n());
-                    (undelivered, unfinished, sim.stats())
+                    (undelivered, unfinished, sim.stats().locality_blind())
                 }
             }
         });
@@ -194,7 +196,7 @@ fn round_limit_error_context_identical_under_faults() {
                     assert_eq!(unfinished, f.graph.n() - dead);
                     let surviving = plan.surviving_graph(&f.graph, 7);
                     assert_eq!(undelivered, 2 * surviving.m(), "dead lanes purged");
-                    (undelivered, unfinished, sim.stats())
+                    (undelivered, unfinished, sim.stats().locality_blind())
                 }
             }
         });
@@ -240,14 +242,23 @@ fn gossip_digest(g: &Graph, engine: EngineKind, seed: u64) -> (Vec<u64>, RunStat
         })
         .collect();
     let (programs, _) = sim.run_to_quiescence(programs).unwrap();
-    (programs.into_iter().map(|p| p.acc).collect(), sim.stats())
+    let stats = sim.stats();
+    assert_eq!(
+        stats.local_words + stats.cross_shard_words,
+        stats.words,
+        "locality split must partition the delivered words ({engine})"
+    );
+    (
+        programs.into_iter().map(|p| p.acc).collect(),
+        stats.locality_blind(),
+    )
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Random connected graphs, random seeds, random shard counts: the
-    /// sharded engine must match the sequential digest bit-for-bit.
+    /// Random connected graphs, random seeds, random shard counts: both
+    /// sharded partitions must match the sequential digest bit-for-bit.
     fn random_graphs_gossip_identical(
         n in 2usize..48,
         extra in 0usize..40,
@@ -256,7 +267,9 @@ proptest! {
     ) {
         let g = generators::random_connected(n, extra.min(n * (n - 1) / 2), seed);
         let baseline = gossip_digest(&g, EngineKind::Sequential, seed);
-        let sharded = gossip_digest(&g, EngineKind::Sharded { shards }, seed);
-        prop_assert_eq!(baseline, sharded, "n={} shards={} seed={}", n, shards, seed);
+        let contig = gossip_digest(&g, EngineKind::sharded(shards), seed);
+        prop_assert_eq!(&baseline, &contig, "n={} shards={} seed={}", n, shards, seed);
+        let topo = gossip_digest(&g, EngineKind::sharded_topo(shards), seed);
+        prop_assert_eq!(&baseline, &topo, "topo n={} shards={} seed={}", n, shards, seed);
     }
 }
