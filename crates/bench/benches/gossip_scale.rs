@@ -159,6 +159,22 @@ fn bench_gossip_scale(c: &mut Criterion) {
              (peak_state_words {} vs {})",
             uniform.rounds, weighted.rounds, uniform.peak_state_words, weighted.peak_state_words
         );
+        // The coded regime on the random-regular workload: no tree
+        // commitment at all — relays broadcast random GF(2⁸)
+        // combinations per generation. `wasted_bandwidth` counts
+        // non-innovative deliveries, the redundancy price coding pays
+        // for never convoying behind a committed tree. Skipped on the
+        // harary circulant: its poor expansion makes uniform-generation
+        // coded relaying mix far too slowly at this scale (each relay
+        // splits one broadcast across ~625 live generations, so per-
+        // generation frontiers crawl the ring) — see BENCH_SIM.md PR 8.
+        if label.starts_with("rr_") {
+            let rlnc = all_node_gossip_with(g, packing, 7, GossipConfig::rlnc(16, 7));
+            println!(
+                "{label}: rlnc(g=16) rounds={} wasted_bandwidth={} peak_state_words={}",
+                rlnc.rounds, rlnc.wasted_bandwidth, rlnc.peak_state_words
+            );
+        }
     }
 
     let mut group = c.benchmark_group("gossip_scale");
@@ -182,6 +198,12 @@ fn bench_gossip_scale(c: &mut Criterion) {
             &rr,
             &rr_cds,
             GossipConfig::weighted(),
+        ),
+        (
+            "rr_n10k_d16/cds/rlnc",
+            &rr,
+            &rr_cds,
+            GossipConfig::rlnc(16, 7),
         ),
         (
             "harary_k16_n10k/disjoint8",

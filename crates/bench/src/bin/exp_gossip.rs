@@ -1,8 +1,10 @@
 //! E9 — Corollary A.1: gossiping `N` messages (≤ η per node) completes in
 //! `O~(η + (N + n)/k)` rounds via the dominating-tree packing. Each
-//! workload runs under both schedules: the integral reading
-//! (uniform tree choice, greedy relaying) and the fractional regime
-//! (weight-proportional choice + weighted time-sharing, Theorem 1.1).
+//! workload runs under all three schedules: the integral reading
+//! (uniform tree choice, greedy relaying), the fractional regime
+//! (weight-proportional choice + weighted time-sharing, Theorem 1.1),
+//! and the network-coded regime (seeded-random GF(2⁸) combinations per
+//! generation — beyond the paper; see `broadcast::rlnc`).
 
 use decomp_bench::packings::disjoint_pair_packing;
 use decomp_bench::table::{d, f, Table};
@@ -15,6 +17,7 @@ fn main() {
     let configs = [
         ("uniform", GossipConfig::default()),
         ("weighted", GossipConfig::weighted()),
+        ("rlnc", GossipConfig::rlnc(8, 5)),
     ];
     let mut t = Table::new(
         "E9: gossiping (Cor A.1)",

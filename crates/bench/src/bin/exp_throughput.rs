@@ -16,6 +16,7 @@ fn main() {
     let configs = [
         ("uniform", GossipConfig::default()),
         ("weighted", GossipConfig::weighted()),
+        ("rlnc", GossipConfig::rlnc(8, 5)),
     ];
     // --- Corollary 1.4: V-CONGEST throughput. ---------------------------
     let mut t = Table::new(

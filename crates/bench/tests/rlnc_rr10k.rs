@@ -1,0 +1,50 @@
+//! Release-gated regression pin for the coded-gossip regime at scale.
+//!
+//! All-node gossip on the rr10k workload (`random_regular(10⁴, 16, 1)`
+//! with the CDS-derived packing) must finish **no later than the
+//! fractional tree schedule** — weighted time-sharing takes 9804 rounds
+//! here (see BENCH_SIM.md), and coded relaying exists precisely to beat
+//! tree convoying on member-dense packings. The run also prints the
+//! redundancy price (`wasted_bandwidth`, non-innovative deliveries) and
+//! the peak schedule footprint so BENCH_SIM.md rows can be refreshed
+//! from the test output verbatim.
+//!
+//! Debug builds skip this (the GF(2⁸) elimination over 10⁴ × 10⁴
+//! symbols is a release-scale workload); CI runs it in the release lane
+//! alongside the other scale checks.
+
+use decomp_broadcast::gossip::{gossip_via_trees_with, GossipConfig};
+use decomp_core::cds::centralized::{cds_packing, CdsPackingConfig};
+use decomp_core::cds::tree_extract::to_dom_tree_packing;
+use decomp_graph::generators;
+
+const N: usize = 10_000;
+const DEGREE: usize = 16;
+/// The fractional (weighted time-sharing) schedule's round count on this
+/// exact workload — the bound coded gossip must not exceed.
+const WEIGHTED_ROUNDS: usize = 9804;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-scale workload; run with --release (CI release lane)"
+)]
+fn rlnc_beats_weighted_trees_on_rr10k() {
+    let g = generators::random_regular(N, DEGREE, 1);
+    let p = cds_packing(&g, &CdsPackingConfig::with_known_k(DEGREE, 5));
+    let packing = to_dom_tree_packing(&g, &p).packing;
+    let origins: Vec<usize> = (0..N).collect();
+    let r = gossip_via_trees_with(&g, &packing, &origins, 7, GossipConfig::rlnc(16, 7));
+    println!(
+        "rr_n10k_d16/cds rlnc(g=16): rounds={} wasted_bandwidth={} peak_state_words={}",
+        r.rounds, r.wasted_bandwidth, r.peak_state_words
+    );
+    assert_eq!(r.num_messages, N);
+    assert_eq!(r.lost_messages, 0);
+    assert!(
+        r.rounds <= WEIGHTED_ROUNDS,
+        "coded gossip took {} rounds — slower than the {WEIGHTED_ROUNDS}-round \
+         weighted tree schedule it exists to beat",
+        r.rounds
+    );
+}

@@ -40,6 +40,19 @@
 //! the served tree is charged the round's total accrued credit. Both
 //! schedules are digest-pinned against verbatim reference scans.
 //!
+//! ## The network-coded regime (beyond the paper)
+//!
+//! [`Regime::Rlnc`] swaps tree forwarding out entirely: messages are
+//! grouped into GF(2⁸) generations and relays broadcast seeded-random
+//! linear combinations of their received rows ([`crate::rlnc`]). Any
+//! innovative packet helps every receiver, so the convoy effect of
+//! committed trees disappears; the price is per-packet coefficient
+//! bandwidth and decode CPU, plus the `wasted_bandwidth` of
+//! non-innovative receptions ([`GossipReport::wasted_bandwidth`]).
+//! Coefficient draws come from one stream seeded by the run seed and
+//! the regime's own seed, so the schedule digest pins RLNC runs
+//! bit-for-bit just like the tree schedules (docs/DETERMINISM.md).
+//!
 //! ## Faults
 //!
 //! [`gossip_via_trees_faulty`] runs either schedule under a seeded
@@ -63,7 +76,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A row-major packed bit matrix: `rows` rows of `n` bits each.
-struct BitRows {
+pub(crate) struct BitRows {
     words_per_row: usize,
     bits: Vec<u64>,
 }
@@ -78,7 +91,7 @@ impl BitRows {
     }
 
     #[inline]
-    fn get(&self, row: usize, col: usize) -> bool {
+    pub(crate) fn get(&self, row: usize, col: usize) -> bool {
         self.bits[row * self.words_per_row + col / 64] >> (col % 64) & 1 != 0
     }
 
@@ -92,7 +105,7 @@ impl BitRows {
         self.bits[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
     }
 
-    fn words(&self) -> usize {
+    pub(crate) fn words(&self) -> usize {
         self.bits.len()
     }
 }
@@ -127,6 +140,13 @@ pub struct GossipReport {
     /// (possible only when a message's origin dies before its first
     /// relay, or when faults exceed the packing's connectivity).
     pub lost_messages: usize,
+    /// Deliveries that taught the receiver nothing: under the tree
+    /// regimes, a relay reaching a vertex that already held the message;
+    /// under [`Regime::Rlnc`], a coded packet that was not innovative
+    /// (it reduced to zero against the receiver's echelon rows, or the
+    /// receiver had already reached full rank). The bandwidth half of
+    /// the rounds-vs-bandwidth trade the regimes are benchmarked on.
+    pub wasted_bandwidth: usize,
 }
 
 /// A snapshot of schedule health taken each time faults fire, recorded
@@ -179,9 +199,11 @@ impl std::fmt::Display for GossipError {
 impl std::error::Error for GossipError {}
 
 /// SplitMix-style hash of one relay event; summed per run (within-round
-/// relay order is unobservable, so the fold must be commutative).
+/// relay order is unobservable, so the fold must be commutative). The
+/// tree schedules hash `(round, vertex, message)`; the RLNC schedule
+/// reuses it as `(round, vertex, generation)`.
 #[inline]
-fn relay_hash(round: usize, v: usize, m: usize) -> u64 {
+pub(crate) fn relay_hash(round: usize, v: usize, m: usize) -> u64 {
     let mut z = (round as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (((v as u64) << 32) | m as u64);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -199,7 +221,7 @@ const FLOOD_LANE: u32 = u32::MAX;
 /// fired so far, mirroring `decomp_congest::fault::FaultState` for the
 /// gossip round counter (1-based; events at rounds 0 and 1 fire before
 /// the first relay choice).
-struct FaultTracker<'p> {
+pub(crate) struct FaultTracker<'p> {
     events: &'p [decomp_congest::fault::ScheduledFault],
     next: usize,
     dead: Vec<bool>,
@@ -209,7 +231,7 @@ struct FaultTracker<'p> {
 }
 
 impl<'p> FaultTracker<'p> {
-    fn new(plan: &'p FaultPlan, n: usize) -> Self {
+    pub(crate) fn new(plan: &'p FaultPlan, n: usize) -> Self {
         FaultTracker {
             events: plan.events(),
             next: 0,
@@ -222,7 +244,7 @@ impl<'p> FaultTracker<'p> {
     /// Fires every event scheduled at a round `≤ round`; vertices that
     /// died in this call are appended to `newly_dead`. Returns whether
     /// anything fired (the repair-pass trigger).
-    fn advance(&mut self, round: usize, newly_dead: &mut Vec<usize>) -> bool {
+    pub(crate) fn advance(&mut self, round: usize, newly_dead: &mut Vec<usize>) -> bool {
         let mut fired = false;
         while self.next < self.events.len() && self.events[self.next].round <= round {
             match self.events[self.next].fault {
@@ -247,14 +269,26 @@ impl<'p> FaultTracker<'p> {
     }
 
     #[inline]
-    fn is_dead(&self, v: usize) -> bool {
+    pub(crate) fn is_dead(&self, v: usize) -> bool {
         self.dead[v]
+    }
+
+    /// Vertices still alive.
+    #[inline]
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Cumulative fault events fired so far.
+    #[inline]
+    pub(crate) fn fired(&self) -> usize {
+        self.next
     }
 
     /// Whether a relay can cross `{u, v}`: both endpoints live, edge
     /// not cut.
     #[inline]
-    fn ok_edge(&self, u: usize, v: usize) -> bool {
+    pub(crate) fn ok_edge(&self, u: usize, v: usize) -> bool {
         !self.dead[u]
             && !self.dead[v]
             && self
@@ -266,7 +300,13 @@ impl<'p> FaultTracker<'p> {
     /// Whether tree `t` is still intact: every member alive, every tree
     /// edge uncut, and every live vertex still dominated (a member, or
     /// adjacent to one through a live edge).
-    fn tree_ok(&self, g: &Graph, t: usize, tree: &WeightedDomTree, member: &BitRows) -> bool {
+    pub(crate) fn tree_ok(
+        &self,
+        g: &Graph,
+        t: usize,
+        tree: &WeightedDomTree,
+        member: &BitRows,
+    ) -> bool {
         for &(u, v) in &tree.edges {
             if !self.ok_edge(u, v) {
                 return false;
@@ -322,14 +362,47 @@ pub enum Sharing {
     Weighted,
 }
 
-/// Schedule configuration for [`gossip_via_trees_with`]. The default
-/// (`Uniform` / `Greedy`) reproduces the historical schedule bit for bit.
+/// The transport a gossip run schedules over: the paper's committed
+/// trees, or random linear network coding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Regime {
+    /// Tree forwarding (the paper's Appendix-A schedules): each message
+    /// commits to one tree per [`TreeChoice`], and vertices split their
+    /// relay slot per [`Sharing`].
+    #[default]
+    Trees,
+    /// Random linear network coding over GF(2⁸) ([`crate::rlnc`],
+    /// beyond the paper): messages are grouped into generations of
+    /// `generation_size` symbols and relays broadcast seeded-random
+    /// combinations of their received rows — [`TreeChoice`] and
+    /// [`Sharing`] are ignored. `seed` keys the coefficient stream
+    /// (mixed with the run seed), so a `(run seed, regime)` pair pins
+    /// the schedule bit-for-bit.
+    Rlnc {
+        /// Symbols per generation, in `1..=`[`crate::rlnc::MAX_GENERATION`]
+        /// (the protocol layer further requires ≤ 48 so coefficients
+        /// fit the V-CONGEST word budget).
+        generation_size: usize,
+        /// Coefficient-stream seed, mixed with the run seed.
+        seed: u64,
+    },
+}
+
+/// Schedule configuration for [`gossip_via_trees_with`], selecting among
+/// the three regimes: the default (`Trees` with `Uniform` / `Greedy`)
+/// reproduces the historical schedule bit for bit, RNG stream included;
+/// [`GossipConfig::weighted`] is the fractional regime of Theorem 1.1;
+/// [`GossipConfig::rlnc`] is the network-coded regime (beyond the
+/// paper), where [`tree_choice`](Self::tree_choice) and
+/// [`sharing`](Self::sharing) are ignored.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GossipConfig {
-    /// Message-to-tree assignment policy.
+    /// Message-to-tree assignment policy ([`Regime::Trees`] only).
     pub tree_choice: TreeChoice,
-    /// Per-vertex relay-slot sharing policy.
+    /// Per-vertex relay-slot sharing policy ([`Regime::Trees`] only).
     pub sharing: Sharing,
+    /// Transport regime: committed trees or network coding.
+    pub regime: Regime,
 }
 
 impl GossipConfig {
@@ -339,6 +412,20 @@ impl GossipConfig {
         GossipConfig {
             tree_choice: TreeChoice::Weighted,
             sharing: Sharing::Weighted,
+            ..Default::default()
+        }
+    }
+
+    /// The network-coded regime: relays send seeded-random GF(2⁸)
+    /// combinations of their received generation instead of forwarding
+    /// along committed trees ([`crate::rlnc`]).
+    pub fn rlnc(generation_size: usize, seed: u64) -> Self {
+        GossipConfig {
+            regime: Regime::Rlnc {
+                generation_size,
+                seed,
+            },
+            ..Default::default()
         }
     }
 }
@@ -415,7 +502,10 @@ pub fn gossip_via_trees_faulty(
     if !decomp_graph::traversal::is_connected(g) {
         return Err(GossipError::Disconnected);
     }
-    if config.tree_choice == TreeChoice::Weighted && packing.try_sampler().is_none() {
+    if config.regime == Regime::Trees
+        && config.tree_choice == TreeChoice::Weighted
+        && packing.try_sampler().is_none()
+    {
         return Err(GossipError::ZeroWeightPacking);
     }
     Ok(run_gossip(g, packing, origins, seed, config, Some(plan)))
@@ -435,7 +525,6 @@ fn run_gossip(
     faults: Option<&FaultPlan>,
 ) -> GossipReport {
     let n = g.n();
-    let mut rng = StdRng::seed_from_u64(seed);
     let num_trees = packing.num_trees();
 
     // Per-tree membership, 1 bit per vertex.
@@ -452,22 +541,50 @@ fn run_gossip(
         max_diam = max_diam.max(tree.diameter(n));
     }
 
-    // Message state.
     let nmsg = origins.len();
-    let mut tree_of: Vec<usize> = match config.tree_choice {
-        TreeChoice::Uniform => (0..nmsg).map(|_| rng.gen_range(0..num_trees)).collect(),
-        TreeChoice::Weighted => {
-            let sampler = packing.try_sampler().expect("packing must carry weight");
-            (0..nmsg).map(|_| sampler.sample(&mut rng)).collect()
+    let (outcome, per_tree_load) = match config.regime {
+        Regime::Trees => {
+            // Message-to-tree assignment draws first, preserving the
+            // historical RNG stream bit for bit.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree_of: Vec<usize> = match config.tree_choice {
+                TreeChoice::Uniform => (0..nmsg).map(|_| rng.gen_range(0..num_trees)).collect(),
+                TreeChoice::Weighted => {
+                    let sampler = packing.try_sampler().expect("packing must carry weight");
+                    (0..nmsg).map(|_| sampler.sample(&mut rng)).collect()
+                }
+            };
+            let mut per_tree_load = vec![0usize; num_trees];
+            for &t in &tree_of {
+                per_tree_load[t] += 1;
+            }
+            let outcome = match config.sharing {
+                Sharing::Greedy => {
+                    greedy_schedule(g, packing, &member, &mut tree_of, origins, faults)
+                }
+                Sharing::Weighted => {
+                    weighted_schedule(g, packing, &member, &mut tree_of, origins, faults)
+                }
+            };
+            (outcome, per_tree_load)
         }
-    };
-    let mut per_tree_load = vec![0usize; num_trees];
-    for &t in &tree_of {
-        per_tree_load[t] += 1;
-    }
-    let outcome = match config.sharing {
-        Sharing::Greedy => greedy_schedule(g, packing, &member, &mut tree_of, origins, faults),
-        Sharing::Weighted => weighted_schedule(g, packing, &member, &mut tree_of, origins, faults),
+        Regime::Rlnc {
+            generation_size,
+            seed: coeff_seed,
+        } => (
+            crate::rlnc::rlnc_schedule(
+                g,
+                packing,
+                &member,
+                origins,
+                seed,
+                generation_size,
+                coeff_seed,
+                faults,
+            ),
+            // Coded packets ride no tree: the load column is all zeros.
+            vec![0usize; num_trees],
+        ),
     };
     GossipReport {
         rounds: outcome.rounds,
@@ -478,16 +595,18 @@ fn run_gossip(
         schedule_digest: outcome.schedule_digest,
         degradation: outcome.degradation,
         lost_messages: outcome.lost_messages,
+        wasted_bandwidth: outcome.wasted_bandwidth,
     }
 }
 
 /// What a schedule simulation hands back to [`run_gossip`].
-struct ScheduleOutcome {
-    rounds: usize,
-    schedule_digest: u64,
-    peak_state_words: usize,
-    degradation: Vec<DegradationSample>,
-    lost_messages: usize,
+pub(crate) struct ScheduleOutcome {
+    pub(crate) rounds: usize,
+    pub(crate) schedule_digest: u64,
+    pub(crate) peak_state_words: usize,
+    pub(crate) degradation: Vec<DegradationSample>,
+    pub(crate) lost_messages: usize,
+    pub(crate) wasted_bandwidth: usize,
 }
 
 /// The historical greedy schedule: each vertex relays its lowest-indexed
@@ -536,6 +655,7 @@ fn greedy_schedule(
     let mut relayed = faults.map(|_| BitRows::new(nmsg, n));
     let mut degradation: Vec<DegradationSample> = Vec::new();
     let mut lost_messages = 0usize;
+    let mut wasted_bandwidth = 0usize;
     let mut newly_dead: Vec<usize> = Vec::new();
 
     let mut rounds = 0usize;
@@ -694,6 +814,8 @@ fn greedy_schedule(
                             worklist.push(u as u32);
                         }
                     }
+                } else {
+                    wasted_bandwidth += 1;
                 }
             }
         }
@@ -720,6 +842,7 @@ fn greedy_schedule(
         peak_state_words,
         degradation,
         lost_messages,
+        wasted_bandwidth,
     }
 }
 
@@ -825,6 +948,7 @@ fn weighted_schedule(
     let mut relayed = faults.map(|_| BitRows::new(nmsg, n));
     let mut degradation: Vec<DegradationSample> = Vec::new();
     let mut lost_messages = 0usize;
+    let mut wasted_bandwidth = 0usize;
     let mut newly_dead: Vec<usize> = Vec::new();
 
     let mut rounds = 0usize;
@@ -1030,6 +1154,8 @@ fn weighted_schedule(
                             worklist.push(u as u32);
                         }
                     }
+                } else {
+                    wasted_bandwidth += 1;
                 }
             }
         }
@@ -1061,6 +1187,7 @@ fn weighted_schedule(
         peak_state_words,
         degradation,
         lost_messages,
+        wasted_bandwidth,
     }
 }
 
@@ -1442,6 +1569,7 @@ mod tests {
                     let config = GossipConfig {
                         tree_choice,
                         sharing: Sharing::Weighted,
+                        ..Default::default()
                     };
                     let r = gossip_via_trees_with(g, packing, &origins, seed, config);
                     let (ref_rounds, ref_digest, recv_round) =

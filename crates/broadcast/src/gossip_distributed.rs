@@ -14,8 +14,18 @@
 //! weight-proportional sampler ([`decomp_core::packing::TreeSampler`]),
 //! so the protocol follows the same fractional-regime assignment as the
 //! schedule-level simulation.
+//!
+//! Under [`Regime::Rlnc`] the protocol forwards no tree tokens at all:
+//! each node runs one [`RlncDecoder`] per generation and broadcasts
+//! seeded-random GF(2⁸) combinations of its received rows — coefficients
+//! packed into the V-CONGEST word budget, payloads the known
+//! [`symbol_word`] of each message so completion is checked by actually
+//! decoding. Coefficient draws come from the simulator's per-node RNG
+//! streams (the model's private coins), which is what makes the run
+//! bit-identical across engines.
 
-use crate::gossip::{GossipConfig, TreeChoice};
+use crate::gossip::{GossipConfig, Regime, TreeChoice};
+use crate::rlnc::{symbol_word, RlncDecoder};
 use decomp_congest::{
     EngineKind, Fault, FaultPlan, Inbox, Message, Model, NodeCtx, NodeProgram, RunStats,
     ScheduledFault, SimError, Simulator,
@@ -40,11 +50,16 @@ struct GossipProgram {
     received: std::collections::HashSet<u64>,
     /// Initial injections for messages originating here.
     inject: std::collections::VecDeque<(u64, u64)>,
+    /// Deliveries of messages this node already held
+    /// ([`RunStats::wasted_bandwidth`]).
+    wasted: usize,
 }
 
 impl GossipProgram {
     fn accept(&mut self, msg: u64, tree: u64) {
-        self.received.insert(msg);
+        if !self.received.insert(msg) {
+            self.wasted += 1;
+        }
         if self.trees.binary_search(&(tree as u32)).is_ok() && self.seen.insert(msg) {
             self.queue.push_back((msg, tree));
         }
@@ -68,6 +83,121 @@ impl NodeProgram for GossipProgram {
 
     fn is_done(&self) -> bool {
         self.queue.is_empty() && self.inject.is_empty()
+    }
+}
+
+/// Payload bytes each coded packet carries (one simulator word).
+const RLNC_PAYLOAD: usize = 8;
+
+/// Per-node program of the network-coded regime: one [`RlncDecoder`]
+/// per generation; every round the node broadcasts a random combination
+/// of one generation's received rows, drawn from the simulator's
+/// per-node RNG stream.
+///
+/// Quiescence: a node keeps relaying a generation until every neighbor
+/// has *announced* completion (broadcast it at full rank — any full-rank
+/// send doubles as the announcement, and a freshly complete node
+/// prioritizes announcing each generation once over random relaying).
+/// `is_done` holds when every generation is complete, announced, and
+/// announced-by-every-neighbor, so the run quiesces exactly when no
+/// packet could still teach anyone anything.
+struct RlncGossipProgram {
+    /// Per-generation sizes (the last generation may be short).
+    sizes: Vec<usize>,
+    degree: usize,
+    decoders: Vec<RlncDecoder>,
+    /// Per generation: neighbors that have broadcast it at full rank.
+    nbr_complete: Vec<std::collections::HashSet<NodeId>>,
+    /// Per generation: whether this node has broadcast it at full rank.
+    announced: Vec<bool>,
+    /// Non-innovative receptions ([`RunStats::wasted_bandwidth`]).
+    wasted: usize,
+}
+
+impl RlncGossipProgram {
+    fn new(sizes: &[usize], degree: usize) -> Self {
+        RlncGossipProgram {
+            sizes: sizes.to_vec(),
+            degree,
+            decoders: sizes
+                .iter()
+                .map(|&s| RlncDecoder::new(s, RLNC_PAYLOAD))
+                .collect(),
+            nbr_complete: vec![Default::default(); sizes.len()],
+            announced: vec![false; sizes.len()],
+            wasted: 0,
+        }
+    }
+}
+
+impl NodeProgram for RlncGossipProgram {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &Inbox<'_>) {
+        let mut pkt = Vec::new();
+        for (from, m) in inbox {
+            // Wire format: word 0 = generation | sender rank << 32, then
+            // ⌈size/8⌉ words of LE-packed coefficient bytes, then the
+            // payload word.
+            let w0 = m.word(0);
+            let gen = (w0 & 0xffff_ffff) as usize;
+            let sender_rank = (w0 >> 32) as usize;
+            let size = self.sizes[gen];
+            if sender_rank == size {
+                self.nbr_complete[gen].insert(from);
+            }
+            pkt.clear();
+            pkt.resize(size + RLNC_PAYLOAD, 0);
+            for (i, b) in pkt[..size].iter_mut().enumerate() {
+                *b = (m.word(1 + i / 8) >> (8 * (i % 8))) as u8;
+            }
+            pkt[size..].copy_from_slice(&m.word(1 + size.div_ceil(8)).to_le_bytes());
+            if !self.decoders[gen].receive(&pkt) {
+                self.wasted += 1;
+            }
+        }
+        // Send: first announce any freshly completed generation (lowest
+        // index first), else relay a random generation some neighbor
+        // still needs.
+        let gen = (0..self.sizes.len())
+            .find(|&g| self.decoders[g].is_complete() && !self.announced[g])
+            .or_else(|| {
+                let sendable: Vec<usize> = (0..self.sizes.len())
+                    .filter(|&g| {
+                        self.decoders[g].rank() > 0 && self.nbr_complete[g].len() < self.degree
+                    })
+                    .collect();
+                if sendable.is_empty() {
+                    None
+                } else {
+                    Some(sendable[ctx.rng().gen_range(0..sendable.len())])
+                }
+            });
+        let Some(gen) = gen else { return };
+        let size = self.sizes[gen];
+        let mut out = vec![0u8; size + RLNC_PAYLOAD];
+        self.decoders[gen].combine(ctx.rng(), &mut out);
+        let rank = self.decoders[gen].rank();
+        if rank == size {
+            self.announced[gen] = true;
+        }
+        let mut words = Vec::with_capacity(2 + size.div_ceil(8));
+        words.push(gen as u64 | ((rank as u64) << 32));
+        for chunk in out[..size].chunks(8) {
+            let mut w = 0u64;
+            for (j, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << (8 * j);
+            }
+            words.push(w);
+        }
+        words.push(u64::from_le_bytes(out[size..].try_into().expect("8 bytes")));
+        ctx.broadcast(Message::from_words(words));
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.sizes.len()).all(|g| {
+            self.decoders[g].is_complete()
+                && self.announced[g]
+                && self.nbr_complete[g].len() == self.degree
+        })
     }
 }
 
@@ -156,6 +286,12 @@ pub fn gossip_protocol_on(
         decomp_graph::traversal::is_connected(g),
         "gossip requires a connected graph"
     );
+    if let Regime::Rlnc {
+        generation_size, ..
+    } = config.regime
+    {
+        return rlnc_protocol_on(sim, packing, origins, generation_size);
+    }
     let n = g.n();
     let mut rng = StdRng::seed_from_u64(seed);
     // membership[v] = sorted tree ids containing v
@@ -192,14 +328,76 @@ pub fn gossip_protocol_on(
                 seen: inject.iter().map(|&(m, _)| m).collect(),
                 received: Default::default(),
                 inject,
+                wasted: 0,
             }
         })
         .collect();
-    let (programs, stats) = sim.run(programs, 64 * (n + origins.len()) + 4096)?;
+    let (programs, mut stats) = sim.run(programs, 64 * (n + origins.len()) + 4096)?;
+    stats.wasted_bandwidth = programs.iter().map(|p| p.wasted).sum();
     let complete = programs.iter().all(|p| p.received.len() == origins.len());
     Ok(DistGossipReport {
         complete,
         per_tree_load,
+        stats,
+    })
+}
+
+/// The [`Regime::Rlnc`] body of [`gossip_protocol_on`]: one
+/// [`RlncGossipProgram`] per node over generations of `gsize` messages.
+/// Tree assignment is skipped entirely (coded packets ride no tree, so
+/// `per_tree_load` is all zeros) and the regime's coefficient seed is
+/// unused here — at the protocol layer the coefficient draws are the
+/// nodes' private coins, i.e. the simulator's per-node RNG streams,
+/// which is what keeps the run bit-identical across engines. Completion
+/// is verified by *decoding*: every generation at every node must
+/// reconstruct the known [`symbol_word`] payloads, not merely reach
+/// full rank.
+fn rlnc_protocol_on(
+    sim: &mut Simulator<'_>,
+    packing: &DomTreePacking,
+    origins: &[NodeId],
+    gsize: usize,
+) -> Result<DistGossipReport, SimError> {
+    let g = sim.graph();
+    let n = g.n();
+    let nmsg = origins.len();
+    assert!(
+        (1..=crate::rlnc::MAX_GENERATION).contains(&gsize),
+        "generation_size must be in 1..={}",
+        crate::rlnc::MAX_GENERATION
+    );
+    // Header word + packed coefficient bytes + payload word must fit
+    // one V-CONGEST message.
+    assert!(
+        2 + gsize.div_ceil(8) <= decomp_congest::sim::DEFAULT_WORD_BUDGET,
+        "generation_size {gsize} overflows the V-CONGEST word budget (max {})",
+        8 * (decomp_congest::sim::DEFAULT_WORD_BUDGET - 2)
+    );
+    let gens = nmsg.div_ceil(gsize);
+    let sizes: Vec<usize> = (0..gens).map(|gen| gsize.min(nmsg - gen * gsize)).collect();
+    let mut programs: Vec<RlncGossipProgram> = (0..n)
+        .map(|v| RlncGossipProgram::new(&sizes, g.neighbors(v).len()))
+        .collect();
+    // Origins hold their symbols as unit coefficient vectors.
+    for (m, &origin) in origins.iter().enumerate() {
+        let seeded = programs[origin].decoders[m / gsize]
+            .receive_symbol(m % gsize, &symbol_word(m).to_le_bytes());
+        debug_assert!(seeded, "distinct unit seeds are always innovative");
+    }
+    let (programs, mut stats) = sim.run(programs, 64 * (n + nmsg) + 4096)?;
+    stats.wasted_bandwidth = programs.iter().map(|p| p.wasted).sum();
+    let complete = programs.iter().all(|p| {
+        (0..gens).all(|gen| match p.decoders[gen].decode() {
+            None => false,
+            Some(payloads) => payloads
+                .iter()
+                .enumerate()
+                .all(|(i, payload)| payload[..] == symbol_word(gen * gsize + i).to_le_bytes()),
+        })
+    });
+    Ok(DistGossipReport {
+        complete,
+        per_tree_load: vec![0; packing.num_trees()],
         stats,
     })
 }
@@ -263,6 +461,14 @@ pub fn gossip_protocol_faulty(
         decomp_graph::traversal::is_connected(g),
         "gossip requires a connected graph"
     );
+    // The repair phase reasons about surviving *trees*; coded gossip has
+    // no tree-bound repair story at the protocol layer — the
+    // schedule-level `gossip_via_trees_faulty` covers RLNC under faults.
+    assert_eq!(
+        config.regime,
+        Regime::Trees,
+        "gossip_protocol_faulty supports the tree regimes only"
+    );
     let n = g.n();
     let nmsg = origins.len();
     let num_trees = packing.num_trees();
@@ -301,6 +507,7 @@ pub fn gossip_protocol_faulty(
                     seen: inject.iter().map(|&(m, _)| m).collect(),
                     received: Default::default(),
                     inject,
+                    wasted: 0,
                 }
             })
             .collect()
@@ -312,6 +519,7 @@ pub fn gossip_protocol_faulty(
         .with_engine(engine)
         .with_faults(plan.clone());
     let (phase1, mut stats) = sim.run(make_programs(&membership, injections), cap)?;
+    stats.wasted_bandwidth = phase1.iter().map(|p| p.wasted).sum();
 
     // The survivors' view once every fault has fired.
     let dead_list = plan.dead_vertices_after(usize::MAX);
@@ -400,6 +608,7 @@ pub fn gossip_protocol_faulty(
             .with_faults(plan0);
         let (phase2, stats2) = sim2.run(make_programs(&membership2, reinjections), cap)?;
         stats.absorb(stats2);
+        stats.wasted_bandwidth += phase2.iter().map(|p| p.wasted).sum::<usize>();
         complete = (0..n).filter(|&v| !dead[v]).all(|v| {
             (0..nmsg).all(|m| {
                 lost[m]
@@ -609,6 +818,65 @@ mod tests {
     }
 
     #[test]
+    fn rlnc_protocol_delivers_and_decodes() {
+        let g = generators::harary(8, 40);
+        let packing = packing_for(&g, 8, 1);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let r = gossip_protocol_with(&g, &packing, &origins, 5, GossipConfig::rlnc(8, 3)).unwrap();
+        assert!(r.complete, "every node must decode every generation");
+        assert!(r.stats.rounds > 0);
+        assert!(r.stats.messages > 0);
+        // Coded gossip commits to no trees: the per-tree ledger stays empty.
+        assert!(r.per_tree_load.iter().all(|&l| l == 0));
+        // All-to-all coded gossip on a dense graph inevitably delivers
+        // some non-innovative packets — the waste ledger must see them.
+        assert!(r.stats.wasted_bandwidth > 0);
+    }
+
+    #[test]
+    fn rlnc_protocol_is_engine_equivalent_and_deterministic() {
+        let g = generators::harary(6, 30);
+        let packing = packing_for(&g, 6, 4);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let run = |engine| {
+            let mut sim =
+                decomp_congest::Simulator::with_seed(&g, Model::VCongest, 11).with_engine(engine);
+            let r = gossip_protocol_on(&mut sim, &packing, &origins, 11, GossipConfig::rlnc(6, 17))
+                .unwrap();
+            (
+                r.complete,
+                r.per_tree_load.clone(),
+                r.stats.locality_blind(),
+            )
+        };
+        let engines = decomp_testkit::engines();
+        let baseline = run(engines[0]);
+        assert!(baseline.0);
+        for &engine in &engines[1..] {
+            assert_eq!(run(engine), baseline, "{engine} diverged");
+        }
+        // Double-run under the same engine: bit-identical, not just close.
+        assert_eq!(run(engines[0]), baseline, "re-run diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "tree regimes only")]
+    fn faulty_protocol_rejects_the_rlnc_regime() {
+        let g = generators::harary(4, 16);
+        let packing = packing_for(&g, 4, 2);
+        let plan = FaultPlan::new([]);
+        let _ = gossip_protocol_faulty(
+            &g,
+            &packing,
+            &[0],
+            7,
+            GossipConfig::rlnc(4, 1),
+            &plan,
+            decomp_testkit::engine_from_env(),
+        );
+    }
+
+    #[test]
     fn weighted_tokens_follow_the_shared_sampler() {
         // Weighted tree choice must route every token off a zero-weight
         // tree; uniform choice keeps using it. Both must still complete.
@@ -634,6 +902,7 @@ mod tests {
             GossipConfig {
                 tree_choice: crate::gossip::TreeChoice::Weighted,
                 sharing: crate::gossip::Sharing::Greedy,
+                ..Default::default()
             },
         )
         .unwrap();

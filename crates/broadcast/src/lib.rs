@@ -14,7 +14,13 @@
 //!   (Corollaries 1.4 / 1.5);
 //! * [`oblivious`] — oblivious-routing broadcast congestion: the expected
 //!   maximum vertex / edge congestion against the offline optimum
-//!   (Corollary 1.6).
+//!   (Corollary 1.6);
+//! * [`rlnc`] — random linear network coding over GF(2⁸) (beyond the
+//!   paper): the field algebra, the incremental-Gaussian-elimination
+//!   decoder, and the coded gossip regime
+//!   [`gossip::Regime::Rlnc`] selects, where relays broadcast
+//!   seeded-random combinations instead of forwarding along committed
+//!   trees.
 //!
 //! All simulations here are *schedule-level*: trees and message
 //! assignments come from `decomp-core` packings, and rounds are counted by
@@ -25,4 +31,5 @@
 pub mod gossip;
 pub mod gossip_distributed;
 pub mod oblivious;
+pub mod rlnc;
 pub mod throughput;

@@ -78,6 +78,12 @@ pub struct RunStats {
     /// sharded engine's mailbox plane) — the partition's realized cut
     /// traffic. Zero under the sequential engine.
     pub cross_shard_words: usize,
+    /// Deliveries the receiving *protocol* judged redundant — e.g. a
+    /// non-innovative coded packet under the RLNC gossip regime. The
+    /// engines never touch this field: protocols set it after a run
+    /// from their own program state, so it is engine-independent by
+    /// construction (and zero for protocols that don't track it).
+    pub wasted_bandwidth: usize,
 }
 
 impl RunStats {
@@ -91,6 +97,7 @@ impl RunStats {
         self.words += other.words;
         self.local_words += other.local_words;
         self.cross_shard_words += other.cross_shard_words;
+        self.wasted_bandwidth += other.wasted_bandwidth;
         self.peak_queued_messages = self.peak_queued_messages.max(other.peak_queued_messages);
         self.peak_arena_words = self.peak_arena_words.max(other.peak_arena_words);
     }

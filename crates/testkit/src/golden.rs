@@ -27,21 +27,29 @@ const GOLDEN: &[(&str, &str)] = &[
     ("harary_k4_n24/cds_s1/invalid", "0"),
     ("harary_k4_n24/cds_s1/num_trees", "1"),
     ("harary_k4_n24/cds_s1/size", "1.0000"),
+    ("harary_k4_n24/rlnc/digest", "9091721286111269509"),
+    ("harary_k4_n24/rlnc/rounds", "14"),
     ("harary_k4_n24/stp_mwu/size", "2.0259"),
     ("harary_k8_n40/bfs0/rounds", "7"),
     ("harary_k8_n40/cds_s1/invalid", "0"),
     ("harary_k8_n40/cds_s1/num_trees", "2"),
     ("harary_k8_n40/cds_s1/size", "1.0000"),
+    ("harary_k8_n40/rlnc/digest", "4710250910717473556"),
+    ("harary_k8_n40/rlnc/rounds", "13"),
     ("harary_k8_n40/stp_mwu/size", "4.0607"),
     ("hypercube_d4/bfs0/rounds", "6"),
     ("hypercube_d4/cds_s1/invalid", "0"),
     ("hypercube_d4/cds_s1/num_trees", "1"),
     ("hypercube_d4/cds_s1/size", "1.0000"),
+    ("hypercube_d4/rlnc/digest", "6121290089643668354"),
+    ("hypercube_d4/rlnc/rounds", "6"),
     ("hypercube_d4/stp_mwu/size", "2.1232"),
     ("hypercube_d5/bfs0/rounds", "7"),
     ("hypercube_d5/cds_s1/invalid", "0"),
     ("hypercube_d5/cds_s1/num_trees", "1"),
     ("hypercube_d5/cds_s1/size", "1.0000"),
+    ("hypercube_d5/rlnc/digest", "11865363333373612559"),
+    ("hypercube_d5/rlnc/rounds", "10"),
     ("hypercube_d5/stp_mwu/size", "2.5609"),
     ("lowerbound/g2_n32000_alpha4/cost", "5"),
     ("lowerbound/g2_n4000_alpha4/cost", "3"),
@@ -50,11 +58,15 @@ const GOLDEN: &[(&str, &str)] = &[
     ("random_regular_n24_d4/cds_s1/invalid", "0"),
     ("random_regular_n24_d4/cds_s1/num_trees", "1"),
     ("random_regular_n24_d4/cds_s1/size", "1.0000"),
+    ("random_regular_n24_d4/rlnc/digest", "10129589551469018331"),
+    ("random_regular_n24_d4/rlnc/rounds", "9"),
     ("random_regular_n24_d4/stp_mwu/size", "2.0684"),
     ("random_regular_n36_d6/bfs0/rounds", "5"),
     ("random_regular_n36_d6/cds_s1/invalid", "0"),
     ("random_regular_n36_d6/cds_s1/num_trees", "1"),
     ("random_regular_n36_d6/cds_s1/size", "1.0000"),
+    ("random_regular_n36_d6/rlnc/digest", "14363031946562860219"),
+    ("random_regular_n36_d6/rlnc/rounds", "11"),
     ("random_regular_n36_d6/stp_mwu/size", "3.0264"),
 ];
 

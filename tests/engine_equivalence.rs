@@ -20,7 +20,7 @@ use connectivity_decomposition::core::cds::centralized::CdsPackingConfig;
 use connectivity_decomposition::core::cds::distributed::cds_packing_distributed;
 use connectivity_decomposition::core::cds::verify::{membership_of, verify_distributed};
 use connectivity_decomposition::graph::{generators, Graph};
-use decomp_testkit::fixtures;
+use decomp_testkit::{fixtures, golden};
 use proptest::prelude::*;
 use rand::Rng;
 use std::collections::HashMap;
@@ -199,6 +199,44 @@ fn round_limit_error_context_identical_under_faults() {
                     (undelivered, unfinished, sim.stats().locality_blind())
                 }
             }
+        });
+    }
+}
+
+#[test]
+fn rlnc_schedule_is_seed_deterministic() {
+    use connectivity_decomposition::broadcast::gossip::{gossip_via_trees_with, GossipConfig};
+    use connectivity_decomposition::broadcast::gossip_distributed::gossip_protocol_on;
+    use connectivity_decomposition::core::cds::centralized::cds_packing;
+    use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
+
+    for f in fixtures::small() {
+        if f.kappa < 2 {
+            continue;
+        }
+        let p = cds_packing(&f.graph, &CdsPackingConfig::with_known_k(f.kappa, 6));
+        let packing = to_dom_tree_packing(&f.graph, &p).packing;
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+
+        // Schedule level: the coded round loop is a pure function of
+        // (graph, packing, origins, seed, generation size, coeff seed) —
+        // a double run must reproduce the whole report bit-for-bit, and
+        // the registry pins rounds + relay digest against silent drift
+        // in the coefficient stream.
+        let config = GossipConfig::rlnc(8, 5);
+        let a = gossip_via_trees_with(&f.graph, &packing, &origins, 9, config);
+        let b = gossip_via_trees_with(&f.graph, &packing, &origins, 9, config);
+        assert_eq!(a, b, "{}: coded schedule not reproducible", f.name);
+        golden::check(&format!("{}/rlnc/rounds", f.name), a.rounds);
+        golden::check(&format!("{}/rlnc/digest", f.name), a.schedule_digest);
+
+        // Protocol level: coefficient draws come from the simulator's
+        // per-node RNG streams, so the engine-determinism contract makes
+        // sequential and every sharded partition bit-identical.
+        assert_equivalent(&format!("{} rlnc", f.name), |engine| {
+            let mut sim = Simulator::with_seed(&f.graph, Model::VCongest, 9).with_engine(engine);
+            let r = gossip_protocol_on(&mut sim, &packing, &origins, 9, config).unwrap();
+            (r.complete, r.per_tree_load, r.stats.locality_blind())
         });
     }
 }
