@@ -40,6 +40,8 @@ fn main() {
             "f",
             "rounds",
             "reassigned",
+            "repair ev",
+            "flood rds",
             "lost",
             "trees left",
         ],
@@ -68,6 +70,8 @@ fn main() {
                     d(f),
                     d(r.rounds),
                     d(reassigned),
+                    d(r.repair_events),
+                    d(r.flood_rounds),
                     d(r.lost_messages),
                     d(trees_left),
                 ]);
@@ -87,6 +91,8 @@ fn main() {
             "rounds",
             "messages",
             "reinjected",
+            "repair ev",
+            "flood rds",
             "lost",
             "complete",
         ],
@@ -113,6 +119,8 @@ fn main() {
                 d(r.stats.rounds),
                 d(r.stats.messages),
                 d(r.reinjected),
+                d(r.stats.repair_events),
+                d(r.stats.flood_rounds),
                 d(r.lost_messages),
                 d(r.complete),
             ]);

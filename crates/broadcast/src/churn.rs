@@ -1,0 +1,680 @@
+//! Gossip under live churn: mid-run departures *and* arrivals, with
+//! tree re-extraction between fault waves.
+//!
+//! [`crate::gossip`]'s faulty schedules treat the dominating-tree
+//! packing as frozen: a tree broken by a death stays broken, and its
+//! messages fall back to flooding for the rest of the run. This module
+//! closes the loop with the incremental CDS machinery
+//! ([`ClassState`]): each time a fault wave fires, the wave's events
+//! are applied to the class state (`delete_vertex` / `delete_edge` /
+//! [`ClassState::insert_vertex`] / [`ClassState::insert_edge`] — only
+//! the touched classes are repacked), and a fresh dominating tree is
+//! re-extracted for every touched class that re-certifies
+//! (`component_count == 1` over the survivors plus domination through
+//! live edges — the same certificate
+//! [`to_dom_tree_packing_with_state`](decomp_core::cds::tree_extract::to_dom_tree_packing_with_state)
+//! uses). In-flight messages are then *re-admitted*: a message riding
+//! the flood fallback moves back onto the lowest-id certified tree
+//! holding a copy, so flood rounds stay bounded per wave instead of
+//! accumulating for the rest of the run.
+//!
+//! The round loop is the greedy scheduler's (faults fire first,
+//! choices from round-start state, deliveries in ascending sender
+//! order, one relay per vertex per round), so digests are comparable
+//! run to run: same graph, plan, seed, and origins → same
+//! [`ChurnGossipReport::schedule_digest`].
+
+use crate::gossip::{relay_hash, BitRows, FaultTracker, MessageOrigin};
+use decomp_congest::{Fault, FaultPlan, FaultPlanError};
+use decomp_core::cds::centralized::CdsPacking;
+use decomp_core::cds::class_state::ClassState;
+use decomp_core::cds::tree_extract::reextract_class_tree;
+use decomp_core::packing::WeightedDomTree;
+use decomp_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Sentinel class id for the flood fallback (mirrors the private
+/// sentinel of [`crate::gossip`]).
+const FLOOD: usize = usize::MAX;
+
+/// Why a churn run refused to start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnError {
+    /// The fault plan failed [`FaultPlan::validate`].
+    Plan(FaultPlanError),
+    /// The final topology is disconnected; no schedule can complete.
+    Disconnected,
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::Plan(e) => write!(f, "invalid churn plan: {e}"),
+            ChurnError::Disconnected => write!(f, "churn gossip requires a connected final graph"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChurnError::Plan(e) => Some(e),
+            ChurnError::Disconnected => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for ChurnError {
+    fn from(e: FaultPlanError) -> Self {
+        ChurnError::Plan(e)
+    }
+}
+
+/// One fault wave's snapshot, recorded in order in
+/// [`ChurnGossipReport::waves`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnWaveSample {
+    /// Schedule round (1-based) at whose start the wave fired.
+    pub round: usize,
+    /// Vertices alive and present after the wave.
+    pub live_vertices: usize,
+    /// Classes holding a certified dominating tree after re-extraction.
+    pub certified_trees: usize,
+    /// Touched classes whose tree was successfully re-extracted this
+    /// wave (a broken class that re-certified, or a certified class
+    /// whose tree was rebuilt over the new survivor set).
+    pub reextracted_classes: usize,
+    /// Messages moved, re-admitted, or reseeded by this wave's repair.
+    pub reassigned_messages: usize,
+    /// Messages declared lost by this wave (every copy dead).
+    pub lost_messages: usize,
+    /// Messages not yet delivered everywhere after the wave.
+    pub incomplete_messages: usize,
+    /// Cumulative flood rounds when the wave fired — consecutive
+    /// samples difference to the per-wave flood cost, which stays
+    /// bounded when re-extraction keeps restoring tree schedules.
+    pub flood_rounds_before: usize,
+}
+
+/// Result of [`gossip_under_churn`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnGossipReport {
+    /// Rounds until every present vertex held every surviving message.
+    pub rounds: usize,
+    /// Messages disseminated.
+    pub num_messages: usize,
+    /// Whether no message was lost outright.
+    pub complete: bool,
+    /// Messages whose every copy sat on a dead vertex.
+    pub lost_messages: usize,
+    /// Deliveries that taught the receiver nothing.
+    pub wasted_bandwidth: usize,
+    /// Messages moved/re-admitted/reseeded across all repair passes.
+    pub repair_events: usize,
+    /// Rounds in which at least one relay served a flooding message.
+    pub flood_rounds: usize,
+    /// Successful per-class tree re-extractions across all waves.
+    pub reextractions: usize,
+    /// Order-independent fingerprint of the relay schedule (same fold
+    /// as [`crate::gossip::GossipReport::schedule_digest`]).
+    pub schedule_digest: u64,
+    /// One snapshot per fault wave, in firing order.
+    pub waves: Vec<ChurnWaveSample>,
+}
+
+/// Certifies class `c` over the current survivors and re-extracts its
+/// dominating tree: non-empty, one component
+/// ([`ClassState::component_count`]), every live present vertex
+/// dominated through a usable edge, and the members spanning under the
+/// tracker's edge filter.
+fn certify_class(
+    g: &Graph,
+    ft: &FaultTracker<'_>,
+    state: &ClassState,
+    member: &BitRows,
+    members_c: &[NodeId],
+    c: usize,
+) -> Option<WeightedDomTree> {
+    if members_c.is_empty() || state.component_count(c) != 1 {
+        return None;
+    }
+    'outer: for v in 0..g.n() {
+        if ft.is_dead(v) || ft.is_dormant(v) || member.get(c, v) {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if member.get(c, u) && ft.ok_edge(v, u) {
+                continue 'outer;
+            }
+        }
+        return None;
+    }
+    reextract_class_tree(g, c, members_c, |u, v| ft.ok_edge(u, v))
+}
+
+/// Runs seeded greedy gossip over the CDS packing's classes while the
+/// fault plan churns the graph underneath it, re-extracting dominating
+/// trees for the repaired classes between waves (see the module docs).
+///
+/// `state` is the [`ClassState`] the packing was built with
+/// ([`cds_packing_with_state`](decomp_core::cds::centralized::cds_packing_with_state)
+/// over the **final** topology); on return it reflects the post-churn
+/// membership. The plan is [validated](FaultPlan::validate) first —
+/// the typed-error path for churn scenarios.
+///
+/// Determinism: tree assignment draws from `StdRng::seed_from_u64(seed)`,
+/// re-extraction is BFS over fixed adjacency, and idle waits
+/// fast-forward without touching any stream — one digest per
+/// `(graph, packing, origins, seed, plan)`.
+pub fn gossip_under_churn(
+    g: &Graph,
+    cds: &CdsPacking,
+    state: &mut ClassState,
+    origins: &[MessageOrigin],
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<ChurnGossipReport, ChurnError> {
+    plan.validate(g)?;
+    let n = g.n();
+    if n == 0 || !decomp_graph::traversal::is_connected(g) {
+        return Err(ChurnError::Disconnected);
+    }
+    let nmsg = origins.len();
+    let t = cds.num_classes();
+    let events = plan.events();
+
+    // Final-topology class memberships, captured before churn mutates
+    // the state (arrivals re-enter exactly their original classes).
+    let original: Vec<Vec<u32>> = (0..n).map(|v| state.classes_at(v).to_vec()).collect();
+    let mut members: Vec<Vec<NodeId>> = cds.classes.clone();
+    let mut member = BitRows::new(t.max(1), n);
+    for (c, ms) in members.iter().enumerate() {
+        for &v in ms {
+            member.set(c, v);
+        }
+    }
+
+    let mut ft = FaultTracker::new(plan, n);
+
+    // Round-0 view: not-yet-arrived vertices and edges leave the class
+    // state (they re-enter through the wave loop's `insert_*` calls).
+    let g0 = plan.surviving_graph(g, 0);
+    for v in plan.dormant_vertices_after(0) {
+        for c in state.delete_vertex(&g0, v) {
+            let c = c as usize;
+            member.clear(c, v);
+            if let Ok(i) = members[c].binary_search(&v) {
+                members[c].remove(i);
+            }
+        }
+    }
+    for e in events {
+        if let Fault::AddEdge(u, v) = e.fault {
+            if e.round > 0 {
+                state.delete_edge(&g0, u, v);
+            }
+        }
+    }
+
+    // Initial certification: one dominating tree per class that holds
+    // together over the round-0 population.
+    let mut trees: Vec<Option<WeightedDomTree>> = (0..t)
+        .map(|c| certify_class(g, &ft, state, &member, &members[c], c))
+        .collect();
+
+    // Seeded tree assignment over the initially certified classes.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let certified: Vec<usize> = (0..t).filter(|&c| trees[c].is_some()).collect();
+    let mut tree_of: Vec<usize> = (0..nmsg)
+        .map(|_| {
+            if certified.is_empty() {
+                FLOOD
+            } else {
+                certified[rng.gen_range(0..certified.len())]
+            }
+        })
+        .collect();
+
+    // Greedy-scheduler state (mirrors `crate::gossip::greedy_schedule`,
+    // fault path always on).
+    let mut received = BitRows::new(nmsg.max(1), n);
+    let mut remaining: Vec<usize> = vec![n - 1; nmsg];
+    let mut pending: Vec<BinaryHeap<Reverse<u32>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut relayed = BitRows::new(nmsg.max(1), n);
+    let mut worklist: Vec<u32> = Vec::new();
+    let mut queued: Vec<bool> = vec![false; n];
+    let mut incomplete = 0usize;
+    for (m, &origin) in origins.iter().enumerate() {
+        received.set(m, origin);
+        if remaining[m] > 0 {
+            incomplete += 1;
+        }
+        pending[origin].push(Reverse(m as u32));
+        if !queued[origin] {
+            queued[origin] = true;
+            worklist.push(origin as u32);
+        }
+    }
+
+    let mut waves: Vec<ChurnWaveSample> = Vec::new();
+    let mut lost_messages = 0usize;
+    let mut wasted_bandwidth = 0usize;
+    let mut repair_events = 0usize;
+    let mut flood_rounds = 0usize;
+    let mut reextractions = 0usize;
+    let mut newly_dead: Vec<usize> = Vec::new();
+    let mut applied = 0usize;
+    // Kills already applied to the class state — "death wins" is
+    // replayed in event order, exactly as the tracker sees it.
+    let mut dead_applied = vec![false; n];
+
+    let mut rounds = 0usize;
+    let mut schedule_digest = 0u64;
+    let round_limit = 64 * (n + nmsg) + 1024;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut relays: Vec<(u32, u32)> = Vec::new();
+    while incomplete > 0 {
+        rounds += 1;
+        assert!(
+            rounds <= round_limit,
+            "churn gossip failed to complete within {round_limit} rounds"
+        );
+        // Phase 0 — the wave fires: events hit the class state, dead
+        // vertices drop their queues, touched classes re-extract, and
+        // the repair pass reassigns/re-admits in-flight messages.
+        newly_dead.clear();
+        if ft.advance(rounds, &mut newly_dead) {
+            let g_live = plan.surviving_graph(g, rounds);
+            let mut touched: BTreeSet<usize> = BTreeSet::new();
+            for e in &events[applied..ft.fired()] {
+                match e.fault {
+                    Fault::Vertex(v) => {
+                        dead_applied[v] = true;
+                        for c in state.delete_vertex(&g_live, v) {
+                            let c = c as usize;
+                            member.clear(c, v);
+                            if let Ok(i) = members[c].binary_search(&v) {
+                                members[c].remove(i);
+                            }
+                            touched.insert(c);
+                        }
+                    }
+                    Fault::Edge(u, v) => {
+                        for c in state.delete_edge(&g_live, u, v) {
+                            touched.insert(c as usize);
+                        }
+                    }
+                    Fault::AddVertex(v) => {
+                        if !dead_applied[v] {
+                            for c in state.insert_vertex(&g_live, v, &original[v]) {
+                                let c = c as usize;
+                                member.set(c, v);
+                                if let Err(i) = members[c].binary_search(&v) {
+                                    members[c].insert(i, v);
+                                }
+                                touched.insert(c);
+                            }
+                        }
+                    }
+                    Fault::AddEdge(u, v) => {
+                        for c in state.insert_edge(u, v) {
+                            touched.insert(c as usize);
+                        }
+                    }
+                }
+            }
+            applied = ft.fired();
+            // Dead vertices drop their relay queues and no longer
+            // count toward delivery.
+            for &v in &newly_dead {
+                pending[v].clear();
+            }
+            for (m, rem) in remaining.iter_mut().enumerate() {
+                if *rem == 0 {
+                    continue;
+                }
+                for &v in &newly_dead {
+                    if !received.get(m, v) {
+                        *rem -= 1;
+                        if *rem == 0 {
+                            incomplete -= 1;
+                        }
+                    }
+                }
+            }
+            // Re-extraction: only the touched classes are re-certified;
+            // everything else keeps its tree untouched. An arrival can
+            // also break certification (the newcomer may be
+            // undominated), in which case the class floods until a
+            // later wave heals it.
+            let mut reextracted = 0usize;
+            for &c in &touched {
+                trees[c] = certify_class(g, &ft, state, &member, &members[c], c);
+                if trees[c].is_some() {
+                    reextracted += 1;
+                }
+            }
+            reextractions += reextracted;
+            // Repair + re-admission pass.
+            let mut reassigned = 0usize;
+            let mut lost = 0usize;
+            for m in 0..nmsg {
+                if remaining[m] == 0 {
+                    continue;
+                }
+                // Dormant holders count: a dormant origin's message is
+                // not lost — it arrives with the vertex.
+                let holders: Vec<usize> = (0..n)
+                    .filter(|&v| !ft.is_dead(v) && received.get(m, v))
+                    .collect();
+                if holders.is_empty() {
+                    remaining[m] = 0;
+                    incomplete -= 1;
+                    lost += 1;
+                    continue;
+                }
+                let eligible =
+                    |c: usize, v: usize| c == FLOOD || member.get(c, v) || v == origins[m];
+                let cur = tree_of[m];
+                // Lowest-id certified class that can pick the message
+                // up from a holder — the re-admission target.
+                let target =
+                    (0..t).find(|&c| trees[c].is_some() && holders.iter().any(|&v| eligible(c, v)));
+                let covers = |c: usize| {
+                    crate::gossip::assignment_still_covers(
+                        g,
+                        &ft,
+                        origins[m],
+                        c == FLOOD,
+                        |v| c != FLOOD && member.get(c, v),
+                        |v| received.get(m, v),
+                        |v| relayed.get(m, v),
+                    )
+                };
+                let next = if cur == FLOOD {
+                    match target {
+                        // Flood → tree re-admission, even mid-flood.
+                        Some(c) => c,
+                        None if covers(FLOOD) => continue,
+                        None => FLOOD, // re-flood (e.g. an arrival needs redelivery)
+                    }
+                } else if cur < t && trees[cur].is_some() && covers(cur) {
+                    continue; // current tree still reaches every needy vertex
+                } else {
+                    target.unwrap_or(FLOOD)
+                };
+                tree_of[m] = next;
+                reassigned += 1;
+                for &v in &holders {
+                    if eligible(next, v) {
+                        relayed.clear(m, v);
+                        pending[v].push(Reverse(m as u32));
+                        if !queued[v] {
+                            queued[v] = true;
+                            worklist.push(v as u32);
+                        }
+                    }
+                }
+            }
+            lost_messages += lost;
+            repair_events += reassigned;
+            // Arrivals whose pending relays were seeded while they
+            // slept (a dormant origin, or a reseed above) rejoin the
+            // worklist now.
+            for &v in ft.woke() {
+                if !pending[v].is_empty() && !queued[v] {
+                    queued[v] = true;
+                    worklist.push(v as u32);
+                }
+            }
+            waves.push(ChurnWaveSample {
+                round: rounds,
+                live_vertices: ft.live(),
+                certified_trees: trees.iter().filter(|t| t.is_some()).count(),
+                reextracted_classes: reextracted,
+                reassigned_messages: reassigned,
+                lost_messages: lost,
+                incomplete_messages: incomplete,
+                flood_rounds_before: flood_rounds,
+            });
+            if incomplete == 0 {
+                rounds -= 1;
+                break;
+            }
+        }
+        // Phase 1 — each present vertex pops its lowest-indexed pending
+        // message (dormant vertices sit out; their heaps keep the
+        // entries until arrival).
+        std::mem::swap(&mut frontier, &mut worklist);
+        relays.clear();
+        for &v in &frontier {
+            let v = v as usize;
+            queued[v] = false;
+            if ft.is_dead(v) || ft.is_dormant(v) {
+                continue;
+            }
+            while let Some(&Reverse(m)) = pending[v].peek() {
+                pending[v].pop();
+                if remaining[m as usize] > 0 && !relayed.get(m as usize, v) {
+                    relays.push((v as u32, m));
+                    break;
+                }
+            }
+        }
+        // Phase 2 — apply all relays; receptions push next-round work.
+        let mut flooded = false;
+        for &(v, m) in &relays {
+            schedule_digest =
+                schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
+            relayed.set(m as usize, v as usize);
+            let tree = tree_of[m as usize];
+            flooded |= tree == FLOOD;
+            for &u in g.neighbors(v as usize) {
+                if !ft.ok_edge(v as usize, u) {
+                    continue;
+                }
+                if !received.get(m as usize, u) {
+                    received.set(m as usize, u);
+                    remaining[m as usize] -= 1;
+                    if remaining[m as usize] == 0 {
+                        incomplete -= 1;
+                    }
+                    if tree == FLOOD || member.get(tree, u) {
+                        pending[u].push(Reverse(m));
+                        if !queued[u] {
+                            queued[u] = true;
+                            worklist.push(u as u32);
+                        }
+                    }
+                } else {
+                    wasted_bandwidth += 1;
+                }
+            }
+        }
+        flood_rounds += flooded as usize;
+        // Vertices that still hold pending relays stay on the frontier.
+        for &v in &frontier {
+            if !pending[v as usize].is_empty() && !queued[v as usize] {
+                queued[v as usize] = true;
+                worklist.push(v);
+            }
+        }
+        frontier.clear();
+        if relays.is_empty() && incomplete > 0 {
+            // Idle only while a scheduled arrival is still due; jump to
+            // its eve (digest-neutral — idle rounds carry no relays).
+            let Some(r) = ft.next_event_round() else {
+                panic!(
+                    "churn gossip stalled: a message can no longer make progress \
+                     (did churn disconnect the survivors?)"
+                );
+            };
+            rounds = rounds.max(r.saturating_sub(1));
+        }
+    }
+
+    Ok(ChurnGossipReport {
+        rounds,
+        num_messages: nmsg,
+        complete: lost_messages == 0,
+        lost_messages,
+        wasted_bandwidth,
+        repair_events,
+        flood_rounds,
+        reextractions,
+        schedule_digest,
+        waves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp_congest::ScheduledFault;
+    use decomp_core::cds::centralized::{cds_packing_with_state, CdsPackingConfig};
+    use decomp_graph::generators;
+
+    fn setup(g: &Graph, t: usize, seed: u64) -> (CdsPacking, ClassState) {
+        cds_packing_with_state(g, &CdsPackingConfig::with_classes(t, seed))
+    }
+
+    #[test]
+    fn fault_free_churn_run_completes_on_trees() {
+        let g = generators::harary(8, 40);
+        let (cds, mut st) = setup(&g, 4, 1);
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([]);
+        let r = gossip_under_churn(&g, &cds, &mut st, &origins, 7, &plan).unwrap();
+        assert!(r.complete);
+        assert_eq!(r.lost_messages, 0);
+        assert_eq!(r.repair_events, 0);
+        assert_eq!(r.flood_rounds, 0, "no churn, no flooding");
+        assert_eq!(r.reextractions, 0);
+        assert!(r.waves.is_empty());
+        assert!(r.rounds > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_plans_with_typed_errors() {
+        let g = generators::cycle(6);
+        let (cds, mut st) = setup(&g, 2, 0);
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 1,
+            fault: Fault::Vertex(99),
+        }]);
+        let err = gossip_under_churn(&g, &cds, &mut st, &[0], 1, &plan).unwrap_err();
+        assert!(matches!(
+            err,
+            ChurnError::Plan(FaultPlanError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn kill_wave_reextracts_and_readmits_from_flood() {
+        // Harary graph, enough connectivity that one death leaves every
+        // class repairable.
+        let g = generators::harary(8, 48);
+        let (cds, mut st) = setup(&g, 4, 3);
+        // One message per origin: each origin's first (only) broadcast
+        // lands before the wave, so nothing can be lost outright.
+        let origins: Vec<usize> = (0..g.n()).collect();
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 4,
+            fault: Fault::Vertex(5),
+        }]);
+        let r = gossip_under_churn(&g, &cds, &mut st, &origins, 9, &plan).unwrap();
+        assert!(r.complete);
+        assert_eq!(r.waves.len(), 1);
+        let w = &r.waves[0];
+        assert_eq!(w.round, 4);
+        assert_eq!(w.live_vertices, g.n() - 1);
+        // Every touched class re-certified: the survivors keep full
+        // tree schedules, so any flooding is confined to the wave.
+        if w.certified_trees == cds.num_classes() {
+            assert!(
+                r.flood_rounds <= 2,
+                "re-extraction should cap flooding, saw {}",
+                r.flood_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_wave_delivers_to_the_newcomer() {
+        let g = generators::harary(6, 24);
+        let (cds, mut st) = setup(&g, 3, 2);
+        let origins: Vec<usize> = (0..g.n()).filter(|&v| v != 7).collect();
+        // Vertex 7 arrives long after the old population is fully
+        // served (the run fast-forwards through the idle wait): the
+        // wave must reseed relayed holders to deliver to the newcomer.
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 200,
+            fault: Fault::AddVertex(7),
+        }]);
+        let r = gossip_under_churn(&g, &cds, &mut st, &origins, 11, &plan).unwrap();
+        assert!(r.complete, "latecomer must be served after arrival");
+        assert_eq!(r.lost_messages, 0);
+        assert_eq!(r.waves.len(), 1);
+        assert!(
+            r.rounds >= 200,
+            "idle wait fast-forwards to the arrival, rounds = {}",
+            r.rounds
+        );
+        assert!(
+            r.waves[0].reassigned_messages > 0,
+            "arrival redelivery reseeds holders"
+        );
+    }
+
+    #[test]
+    fn dormant_origin_message_waits_for_its_arrival() {
+        let g = generators::harary(6, 24);
+        let (cds, mut st) = setup(&g, 3, 4);
+        // Message 0 originates at vertex 3, which has not arrived yet:
+        // the run must idle (fast-forward) to round 6 and still finish.
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 6,
+            fault: Fault::AddVertex(3),
+        }]);
+        let r = gossip_under_churn(&g, &cds, &mut st, &[3], 13, &plan).unwrap();
+        assert!(r.complete);
+        assert!(
+            r.rounds >= 6,
+            "cannot finish before the origin arrives, rounds = {}",
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn churn_digest_is_reproducible() {
+        let g = generators::harary(8, 40);
+        let origins: Vec<usize> = (0..3 * g.n()).map(|i| i % g.n()).collect();
+        let mk_plan = || {
+            FaultPlan::new([
+                ScheduledFault {
+                    round: 3,
+                    fault: Fault::Vertex(2),
+                },
+                ScheduledFault {
+                    round: 6,
+                    fault: Fault::AddVertex(9),
+                },
+                ScheduledFault {
+                    round: 9,
+                    fault: Fault::Vertex(17),
+                },
+            ])
+        };
+        let run = || {
+            let (cds, mut st) = setup(&generators::harary(8, 40), 4, 5);
+            let plan = mk_plan();
+            gossip_under_churn(&g, &cds, &mut st, &origins, 21, &plan).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same inputs must give the same churn report");
+        assert!(a.waves.len() >= 2);
+    }
+}

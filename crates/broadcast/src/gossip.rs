@@ -82,7 +82,7 @@ pub(crate) struct BitRows {
 }
 
 impl BitRows {
-    fn new(rows: usize, n: usize) -> Self {
+    pub(crate) fn new(rows: usize, n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
         BitRows {
             words_per_row,
@@ -96,12 +96,12 @@ impl BitRows {
     }
 
     #[inline]
-    fn set(&mut self, row: usize, col: usize) {
+    pub(crate) fn set(&mut self, row: usize, col: usize) {
         self.bits[row * self.words_per_row + col / 64] |= 1 << (col % 64);
     }
 
     #[inline]
-    fn clear(&mut self, row: usize, col: usize) {
+    pub(crate) fn clear(&mut self, row: usize, col: usize) {
         self.bits[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
     }
 
@@ -147,6 +147,16 @@ pub struct GossipReport {
     /// receiver had already reached full rank). The bandwidth half of
     /// the rounds-vs-bandwidth trade the regimes are benchmarked on.
     pub wasted_bandwidth: usize,
+    /// Messages moved to another tree (or reseeded in place) by the
+    /// fault repair passes — the cumulative `reassigned_messages` column
+    /// of [`GossipReport::degradation`]. Zero on fault-free runs and
+    /// under [`Regime::Rlnc`] (coding needs no repair).
+    pub repair_events: usize,
+    /// Rounds in which at least one relay served a message on the flood
+    /// fallback. Stays zero while every message rides a real tree; under
+    /// churn with re-extraction it is bounded per fault wave rather than
+    /// growing with the run.
+    pub flood_rounds: usize,
 }
 
 /// A snapshot of schedule health taken each time faults fire, recorded
@@ -225,33 +235,70 @@ pub(crate) struct FaultTracker<'p> {
     events: &'p [decomp_congest::fault::ScheduledFault],
     next: usize,
     dead: Vec<bool>,
+    /// Not-yet-arrived vertices (pre-scanned from the plan's
+    /// `AddVertex` events): in the final topology but unable to relay,
+    /// receive, or be dominated until their arrival round fires.
+    dormant: Vec<bool>,
     /// Fired edge cuts, normalized and sorted for binary search.
     cut: Vec<(u32, u32)>,
+    /// Not-yet-arrived edges (pre-scanned `AddEdge` events), normalized
+    /// and sorted; activation removes the entry.
+    inactive: Vec<(u32, u32)>,
     live: usize,
+    /// Vertices whose arrival fired in the latest `advance` call.
+    woke: Vec<usize>,
 }
 
 impl<'p> FaultTracker<'p> {
     pub(crate) fn new(plan: &'p FaultPlan, n: usize) -> Self {
+        let mut dormant = vec![false; n];
+        let mut inactive: Vec<(u32, u32)> = Vec::new();
+        let mut live = n;
+        for e in plan.events() {
+            match e.fault {
+                Fault::AddVertex(v) => {
+                    if v < n && !dormant[v] {
+                        dormant[v] = true;
+                        live -= 1;
+                    }
+                }
+                Fault::AddEdge(u, v) => {
+                    let key = (u.min(v) as u32, u.max(v) as u32);
+                    if let Err(pos) = inactive.binary_search(&key) {
+                        inactive.insert(pos, key);
+                    }
+                }
+                Fault::Vertex(_) | Fault::Edge(_, _) => {}
+            }
+        }
         FaultTracker {
             events: plan.events(),
             next: 0,
             dead: vec![false; n],
+            dormant,
             cut: Vec::new(),
-            live: n,
+            inactive,
+            live,
+            woke: Vec::new(),
         }
     }
 
     /// Fires every event scheduled at a round `≤ round`; vertices that
-    /// died in this call are appended to `newly_dead`. Returns whether
-    /// anything fired (the repair-pass trigger).
+    /// died in this call are appended to `newly_dead` (a vertex killed
+    /// while still dormant is included — it will never receive), and
+    /// vertices whose arrival fired land in [`Self::woke`]. Returns
+    /// whether anything fired (the repair-pass trigger).
     pub(crate) fn advance(&mut self, round: usize, newly_dead: &mut Vec<usize>) -> bool {
         let mut fired = false;
+        self.woke.clear();
         while self.next < self.events.len() && self.events[self.next].round <= round {
             match self.events[self.next].fault {
                 Fault::Vertex(v) => {
                     if v < self.dead.len() && !self.dead[v] {
                         self.dead[v] = true;
-                        self.live -= 1;
+                        if !self.dormant[v] {
+                            self.live -= 1;
+                        }
                         newly_dead.push(v);
                     }
                 }
@@ -259,6 +306,23 @@ impl<'p> FaultTracker<'p> {
                     let key = (u as u32, v as u32);
                     if let Err(pos) = self.cut.binary_search(&key) {
                         self.cut.insert(pos, key);
+                    }
+                }
+                Fault::AddVertex(v) => {
+                    // Death wins over arrival: a vertex killed while
+                    // dormant stays dead.
+                    if v < self.dead.len() && self.dormant[v] {
+                        self.dormant[v] = false;
+                        if !self.dead[v] {
+                            self.live += 1;
+                            self.woke.push(v);
+                        }
+                    }
+                }
+                Fault::AddEdge(u, v) => {
+                    let key = (u.min(v) as u32, u.max(v) as u32);
+                    if let Ok(pos) = self.inactive.binary_search(&key) {
+                        self.inactive.remove(pos);
                     }
                 }
             }
@@ -273,7 +337,26 @@ impl<'p> FaultTracker<'p> {
         self.dead[v]
     }
 
-    /// Vertices still alive.
+    #[inline]
+    pub(crate) fn is_dormant(&self, v: usize) -> bool {
+        self.dormant[v]
+    }
+
+    /// Vertices that arrived in the latest `advance` call (alive ones
+    /// only) — the schedulers re-queue their orphaned pending relays.
+    #[inline]
+    pub(crate) fn woke(&self) -> &[usize] {
+        &self.woke
+    }
+
+    /// Round of the next unfired event, if any — the fast-forward
+    /// target when the schedule idles awaiting an arrival.
+    #[inline]
+    pub(crate) fn next_event_round(&self) -> Option<usize> {
+        self.events.get(self.next).map(|e| e.round)
+    }
+
+    /// Vertices currently alive (dormant ones excluded until arrival).
     #[inline]
     pub(crate) fn live(&self) -> usize {
         self.live
@@ -285,21 +368,25 @@ impl<'p> FaultTracker<'p> {
         self.next
     }
 
-    /// Whether a relay can cross `{u, v}`: both endpoints live, edge
-    /// not cut.
+    /// Whether a relay can cross `{u, v}`: both endpoints live and
+    /// present, edge neither cut nor awaiting arrival.
     #[inline]
     pub(crate) fn ok_edge(&self, u: usize, v: usize) -> bool {
+        let key = (u.min(v) as u32, u.max(v) as u32);
         !self.dead[u]
             && !self.dead[v]
-            && self
-                .cut
-                .binary_search(&(u.min(v) as u32, u.max(v) as u32))
-                .is_err()
+            && !self.dormant[u]
+            && !self.dormant[v]
+            && self.cut.binary_search(&key).is_err()
+            && (self.inactive.is_empty() || self.inactive.binary_search(&key).is_err())
     }
 
-    /// Whether tree `t` is still intact: every member alive, every tree
-    /// edge uncut, and every live vertex still dominated (a member, or
-    /// adjacent to one through a live edge).
+    /// Whether tree `t` is still intact: every member alive and present
+    /// (a dormant member cannot relay, so the tree heals only when it
+    /// arrives), every tree edge usable, and every live present vertex
+    /// still dominated (a member, or adjacent to one through a usable
+    /// edge). Dormant vertices are exempt from domination until they
+    /// arrive — at which point the repair pass re-checks and reassigns.
     pub(crate) fn tree_ok(
         &self,
         g: &Graph,
@@ -313,12 +400,12 @@ impl<'p> FaultTracker<'p> {
             }
         }
         if let Some(s) = tree.singleton {
-            if self.dead[s] {
+            if self.dead[s] || self.dormant[s] {
                 return false;
             }
         }
         'outer: for v in 0..g.n() {
-            if self.dead[v] || member.get(t, v) {
+            if self.dead[v] || self.dormant[v] || member.get(t, v) {
                 continue;
             }
             for &u in g.neighbors(v) {
@@ -330,6 +417,62 @@ impl<'p> FaultTracker<'p> {
         }
         true
     }
+}
+
+/// Whether a message's in-flight assignment can still reach every
+/// present vertex that lacks it — the repair passes' skip test.
+///
+/// "Some eligible holder has not relayed yet" is NOT enough: after an
+/// arrival (or a cut behind an already-fired relay), the only members
+/// adjacent to a needy vertex may all have relayed, while the unrelayed
+/// ones sit elsewhere on the tree. So take the closure instead:
+/// unrelayed eligible holders relay, and recipients that would requeue —
+/// tree members, or everyone under a flood — relay in turn; every
+/// missing present vertex must be reached.
+///
+/// A *dormant* unrelayed eligible holder (a sleeping origin) makes this
+/// return `true` outright: its relay fires on arrival, and every arrival
+/// fires a wave whose repair pass re-evaluates this exact question — so
+/// waiting is safe and avoids reseed churn. Conversely dormant vertices
+/// need no coverage yet, for the same reason.
+pub(crate) fn assignment_still_covers(
+    g: &Graph,
+    ft: &FaultTracker,
+    origin: usize,
+    is_flood: bool,
+    is_member: impl Fn(usize) -> bool,
+    received: impl Fn(usize) -> bool,
+    relayed: impl Fn(usize) -> bool,
+) -> bool {
+    let n = g.n();
+    let mut relayer = vec![false; n];
+    let mut queue: Vec<usize> = Vec::new();
+    for (v, slot) in relayer.iter_mut().enumerate() {
+        if ft.is_dead(v) || !received(v) || relayed(v) {
+            continue;
+        }
+        if is_flood || is_member(v) || v == origin {
+            if ft.is_dormant(v) {
+                return true;
+            }
+            *slot = true;
+            queue.push(v);
+        }
+    }
+    let mut covered = vec![false; n];
+    while let Some(v) = queue.pop() {
+        for &u in g.neighbors(v) {
+            if covered[u] || received(u) || !ft.ok_edge(v, u) {
+                continue;
+            }
+            covered[u] = true;
+            if (is_flood || is_member(u)) && !relayer[u] {
+                relayer[u] = true;
+                queue.push(u);
+            }
+        }
+    }
+    (0..n).all(|v| ft.is_dead(v) || ft.is_dormant(v) || received(v) || covered[v])
 }
 
 /// A message to gossip: its origin vertex.
@@ -596,6 +739,8 @@ fn run_gossip(
         degradation: outcome.degradation,
         lost_messages: outcome.lost_messages,
         wasted_bandwidth: outcome.wasted_bandwidth,
+        repair_events: outcome.repair_events,
+        flood_rounds: outcome.flood_rounds,
     }
 }
 
@@ -607,6 +752,8 @@ pub(crate) struct ScheduleOutcome {
     pub(crate) degradation: Vec<DegradationSample>,
     pub(crate) lost_messages: usize,
     pub(crate) wasted_bandwidth: usize,
+    pub(crate) repair_events: usize,
+    pub(crate) flood_rounds: usize,
 }
 
 /// The historical greedy schedule: each vertex relays its lowest-indexed
@@ -656,6 +803,8 @@ fn greedy_schedule(
     let mut degradation: Vec<DegradationSample> = Vec::new();
     let mut lost_messages = 0usize;
     let mut wasted_bandwidth = 0usize;
+    let mut repair_events = 0usize;
+    let mut flood_rounds = 0usize;
     let mut newly_dead: Vec<usize> = Vec::new();
 
     let mut rounds = 0usize;
@@ -698,7 +847,11 @@ fn greedy_schedule(
                 // unrelayed, relay-eligible holder on an intact tree is
                 // moved to the lowest-id surviving tree holding it —
                 // or floods if no tree can carry it — and its eligible
-                // holders are reseeded (allowed to relay again).
+                // holders are reseeded (allowed to relay again). The
+                // same pass serves arrivals: a message complete among
+                // the old population has every holder relayed, so the
+                // arrival of a still-needy vertex reseeds it onto a
+                // tree that dominates the newcomer.
                 let alive: Vec<bool> = packing
                     .trees
                     .iter()
@@ -711,6 +864,9 @@ fn greedy_schedule(
                     if remaining[m] == 0 {
                         continue;
                     }
+                    // Dormant holders count (a dormant origin's message
+                    // is not lost — it arrives with the vertex); their
+                    // reseeded entries wait in the heap until arrival.
                     let holders: Vec<usize> = (0..n)
                         .filter(|&v| !ft.is_dead(v) && received.get(m, v))
                         .collect();
@@ -724,9 +880,15 @@ fn greedy_schedule(
                         |t: usize, v: usize| t == FLOOD || member.get(t, v) || v == origins[m];
                     let cur = tree_of[m];
                     if (cur == FLOOD || alive[cur])
-                        && holders
-                            .iter()
-                            .any(|&v| eligible(cur, v) && !relayed.get(m, v))
+                        && assignment_still_covers(
+                            g,
+                            ft,
+                            origins[m],
+                            cur == FLOOD,
+                            |v| cur != FLOOD && member.get(cur, v),
+                            |v| received.get(m, v),
+                            |v| relayed.get(m, v),
+                        )
                     {
                         continue;
                     }
@@ -748,6 +910,16 @@ fn greedy_schedule(
                     }
                 }
                 lost_messages += lost;
+                repair_events += reassigned;
+                // Arrivals whose pending relays were seeded while they
+                // slept (a dormant origin, or a reseed above) rejoin
+                // the worklist now.
+                for &v in ft.woke() {
+                    if !pending[v].is_empty() && !queued[v] {
+                        queued[v] = true;
+                        worklist.push(v as u32);
+                    }
+                }
                 degradation.push(DegradationSample {
                     round: rounds,
                     faults_fired: ft.next,
@@ -768,11 +940,15 @@ fn greedy_schedule(
         // discarding messages that completed in earlier rounds (the old
         // scan skipped them the same way) and, on the fault path,
         // entries this vertex already relayed (reseed duplicates).
+        // Dormant vertices sit out (their heaps keep the entries).
         std::mem::swap(&mut frontier, &mut worklist);
         relays.clear();
         for &v in &frontier {
             queued[v as usize] = false;
-            if tracker.as_ref().is_some_and(|t| t.is_dead(v as usize)) {
+            if tracker
+                .as_ref()
+                .is_some_and(|t| t.is_dead(v as usize) || t.is_dormant(v as usize))
+            {
                 continue;
             }
             while let Some(&Reverse(m)) = pending[v as usize].peek() {
@@ -789,6 +965,7 @@ fn greedy_schedule(
             }
         }
         // Phase 2 — apply all relays; receptions push next-round work.
+        let mut flooded = false;
         for &(v, m) in &relays {
             schedule_digest =
                 schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
@@ -796,6 +973,7 @@ fn greedy_schedule(
                 r.set(m as usize, v as usize);
             }
             let tree = tree_of[m as usize];
+            flooded |= tree == FLOOD;
             for &u in g.neighbors(v as usize) {
                 if tracker.as_ref().is_some_and(|t| !t.ok_edge(v as usize, u)) {
                     continue;
@@ -819,6 +997,7 @@ fn greedy_schedule(
                 }
             }
         }
+        flood_rounds += flooded as usize;
         peak_pending = peak_pending.max(pending_entries);
         // Vertices that still hold pending relays stay on the frontier.
         for &v in &frontier {
@@ -828,11 +1007,20 @@ fn greedy_schedule(
             }
         }
         frontier.clear();
-        assert!(
-            !relays.is_empty() || incomplete == 0,
-            "gossip schedule stalled: a message can no longer make progress \
-             (is some tree not dominating, or did faults disconnect the survivors?)"
-        );
+        if relays.is_empty() && incomplete > 0 {
+            // The only legitimate idle state is awaiting a scheduled
+            // arrival (e.g. every present vertex is served and the
+            // stragglers have not arrived yet). Idle rounds carry no
+            // relays, so jumping to the eve of the next event leaves
+            // the digest and round count exactly as if we had spun.
+            let Some(r) = tracker.as_ref().and_then(|t| t.next_event_round()) else {
+                panic!(
+                    "gossip schedule stalled: a message can no longer make progress \
+                     (is some tree not dominating, or did faults disconnect the survivors?)"
+                );
+            };
+            rounds = rounds.max(r.saturating_sub(1));
+        }
     }
     // Heap entries are u32s: count them in 64-bit words (2 per word).
     let peak_state_words = received.words() + member.words() + peak_pending.div_ceil(2);
@@ -843,6 +1031,8 @@ fn greedy_schedule(
         degradation,
         lost_messages,
         wasted_bandwidth,
+        repair_events,
+        flood_rounds,
     }
 }
 
@@ -949,6 +1139,8 @@ fn weighted_schedule(
     let mut degradation: Vec<DegradationSample> = Vec::new();
     let mut lost_messages = 0usize;
     let mut wasted_bandwidth = 0usize;
+    let mut repair_events = 0usize;
+    let mut flood_rounds = 0usize;
     let mut newly_dead: Vec<usize> = Vec::new();
 
     let mut rounds = 0usize;
@@ -1015,9 +1207,15 @@ fn weighted_schedule(
                         |t: usize, v: usize| t == FLOOD || member.get(t, v) || v == origins[m];
                     let cur = tree_of[m];
                     if (cur == FLOOD || alive[cur])
-                        && holders
-                            .iter()
-                            .any(|&v| eligible(cur, v) && !relayed.get(m, v))
+                        && assignment_still_covers(
+                            g,
+                            ft,
+                            origins[m],
+                            cur == FLOOD,
+                            |v| cur != FLOOD && member.get(cur, v),
+                            |v| received.get(m, v),
+                            |v| relayed.get(m, v),
+                        )
                     {
                         continue;
                     }
@@ -1047,6 +1245,15 @@ fn weighted_schedule(
                     }
                 }
                 lost_messages += lost;
+                repair_events += reassigned;
+                // Arrivals with lane entries seeded while they slept
+                // rejoin the worklist now (mirrors `greedy_schedule`).
+                for &v in ft.woke() {
+                    if !queued[v] && lanes[v].iter().any(|l| !l.heap.is_empty()) {
+                        queued[v] = true;
+                        worklist.push(v as u32);
+                    }
+                }
                 degradation.push(DegradationSample {
                     round: rounds,
                     faults_fired: ft.next,
@@ -1069,12 +1276,15 @@ fn weighted_schedule(
         // earns its weight in credit, in ascending tree-id order; the
         // highest-credit active tree wins the relay slot and is charged
         // the round's total accrual. Drained lanes of finished trees
-        // retire here.
+        // retire here. Dormant vertices sit out until their arrival.
         std::mem::swap(&mut frontier, &mut worklist);
         relays.clear();
         for &v in &frontier {
             queued[v as usize] = false;
-            if tracker.as_ref().is_some_and(|t| t.is_dead(v as usize)) {
+            if tracker
+                .as_ref()
+                .is_some_and(|t| t.is_dead(v as usize) || t.is_dormant(v as usize))
+            {
                 continue;
             }
             let vl = &mut lanes[v as usize];
@@ -1128,6 +1338,7 @@ fn weighted_schedule(
             }
         }
         // Phase 2 — apply all relays; receptions push next-round work.
+        let mut flooded = false;
         for &(v, m) in &relays {
             schedule_digest =
                 schedule_digest.wrapping_add(relay_hash(rounds, v as usize, m as usize));
@@ -1135,6 +1346,7 @@ fn weighted_schedule(
                 r.set(m as usize, v as usize);
             }
             let tree = tree_of[m as usize];
+            flooded |= tree == FLOOD;
             for &u in g.neighbors(v as usize) {
                 if tracker.as_ref().is_some_and(|t| !t.ok_edge(v as usize, u)) {
                     continue;
@@ -1159,6 +1371,7 @@ fn weighted_schedule(
                 }
             }
         }
+        flood_rounds += flooded as usize;
         peak_pending = peak_pending.max(pending_entries);
         peak_lanes = peak_lanes.max(live_lanes);
         // Vertices that still hold pending relays stay on the frontier.
@@ -1169,11 +1382,17 @@ fn weighted_schedule(
             }
         }
         frontier.clear();
-        assert!(
-            !relays.is_empty() || incomplete == 0,
-            "gossip schedule stalled: a message can no longer make progress \
-             (is some tree not dominating, or did faults disconnect the survivors?)"
-        );
+        if relays.is_empty() && incomplete > 0 {
+            // Idle only while a scheduled arrival is still due; jump to
+            // its eve (digest-neutral, mirrors `greedy_schedule`).
+            let Some(r) = tracker.as_ref().and_then(|t| t.next_event_round()) else {
+                panic!(
+                    "gossip schedule stalled: a message can no longer make progress \
+                     (is some tree not dominating, or did faults disconnect the survivors?)"
+                );
+            };
+            rounds = rounds.max(r.saturating_sub(1));
+        }
     }
     // Heap entries are u32s (2 per word); a lane adds a tree id, a
     // credit, and a heap header (~5 words). Lanes retire as their trees
@@ -1188,6 +1407,8 @@ fn weighted_schedule(
         degradation,
         lost_messages,
         wasted_bandwidth,
+        repair_events,
+        flood_rounds,
     }
 }
 

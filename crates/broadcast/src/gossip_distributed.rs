@@ -527,12 +527,14 @@ pub fn gossip_protocol_faulty(
     for &v in &dead_list {
         dead[v] = true;
     }
+    // Arrivals have all fired by `usize::MAX`, so the survivors' view
+    // only needs the cuts (an activated edge is just a live edge).
     let mut cut: Vec<(usize, usize)> = plan
         .events()
         .iter()
         .filter_map(|e| match e.fault {
             Fault::Edge(u, v) => Some((u, v)),
-            Fault::Vertex(_) => None,
+            _ => None,
         })
         .collect();
     cut.sort_unstable();
@@ -587,6 +589,11 @@ pub fn gossip_protocol_faulty(
     // Messages neither delivered everywhere nor re-injected are lost —
     // with no survivor holding a copy, the repair phase has nothing to
     // work with, so completeness is judged over the rest.
+    stats.repair_events += reinjected;
+    let any_flood = reinjections
+        .iter()
+        .flatten()
+        .any(|&(_, c)| c == FLOOD_TOKEN as u64);
     let mut complete = true;
     if reinjected > 0 {
         // Every survivor relays flood tokens; tree tokens keep their
@@ -607,6 +614,12 @@ pub fn gossip_protocol_faulty(
             .with_engine(engine)
             .with_faults(plan0);
         let (phase2, stats2) = sim2.run(make_programs(&membership2, reinjections), cap)?;
+        // Every phase-2 round may carry flood tokens, so the flood
+        // column charges the whole repair run when any message fell
+        // back to flooding (no surviving tree could carry it).
+        if any_flood {
+            stats.flood_rounds += stats2.rounds;
+        }
         stats.absorb(stats2);
         stats.wasted_bandwidth += phase2.iter().map(|p| p.wasted).sum::<usize>();
         complete = (0..n).filter(|&v| !dead[v]).all(|v| {
@@ -623,6 +636,308 @@ pub fn gossip_protocol_faulty(
         lost_messages: lost.iter().filter(|&&l| l).count(),
         reinjected,
         per_tree_load,
+        stats,
+    })
+}
+
+/// Why [`gossip_protocol_churn`] refused to run or failed.
+#[derive(Debug)]
+pub enum ChurnProtocolError {
+    /// The fault plan failed [`FaultPlan::validate`].
+    Plan(decomp_congest::FaultPlanError),
+    /// The final topology is disconnected.
+    Disconnected,
+    /// A simulator phase exceeded its round cap.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ChurnProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnProtocolError::Plan(e) => write!(f, "invalid churn plan: {e}"),
+            ChurnProtocolError::Disconnected => {
+                write!(f, "churn gossip requires a connected final graph")
+            }
+            ChurnProtocolError::Sim(e) => write!(f, "simulator phase failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnProtocolError {}
+
+/// Result of a churn-injected protocol run ([`gossip_protocol_churn`]).
+#[derive(Clone, Debug)]
+pub struct ChurnDistGossipReport {
+    /// Whether every surviving node received every non-lost message.
+    pub complete: bool,
+    /// Messages whose every copy sat on a dead node after phase 1.
+    pub lost_messages: usize,
+    /// Messages the repair phase re-injected.
+    pub reinjected: usize,
+    /// Touched classes whose dominating tree was re-extracted from the
+    /// incrementally repacked [`ClassState`](decomp_core::cds::class_state::ClassState) for the repair phase.
+    pub reextractions: usize,
+    /// Classes certified over the survivors (tree available to repair).
+    pub certified_classes: usize,
+    /// Cumulative statistics across both phases, with
+    /// [`RunStats::repair_events`] / [`RunStats::flood_rounds`] set.
+    pub stats: RunStats,
+}
+
+/// [`gossip_protocol_faulty`] for live churn: the plan may also carry
+/// [`Fault::AddVertex`] / [`Fault::AddEdge`] events (the engines handle
+/// dormancy natively), and the repair phase re-injects on trees
+/// **re-extracted between the phases** from the incrementally
+/// repacked [`ClassState`](decomp_core::cds::class_state::ClassState) — flood fallback only when a message's
+/// holders sit outside every certified class.
+///
+/// `state` must be the [`ClassState`](decomp_core::cds::class_state::ClassState) the `cds` packing was built with
+/// over the **final** topology
+/// ([`cds_packing_with_state`](decomp_core::cds::centralized::cds_packing_with_state));
+/// on return it reflects the post-churn membership. Arrivals are
+/// membership no-ops here (the state already holds the final
+/// population), so only deaths and cuts repack — each touching only
+/// its own classes.
+#[allow(clippy::too_many_arguments)] // churn protocol plumbing
+pub fn gossip_protocol_churn(
+    g: &Graph,
+    cds: &decomp_core::cds::centralized::CdsPacking,
+    state: &mut decomp_core::cds::class_state::ClassState,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+    plan: &FaultPlan,
+    engine: EngineKind,
+) -> Result<ChurnDistGossipReport, ChurnProtocolError> {
+    use decomp_core::cds::tree_extract::{reextract_class_tree, to_dom_tree_packing_with_state};
+
+    plan.validate(g).map_err(ChurnProtocolError::Plan)?;
+    if !decomp_graph::traversal::is_connected(g) {
+        return Err(ChurnProtocolError::Disconnected);
+    }
+    assert_eq!(
+        config.regime,
+        Regime::Trees,
+        "gossip_protocol_churn supports the tree regimes only"
+    );
+    let n = g.n();
+    let nmsg = origins.len();
+    let num_classes = cds.num_classes();
+
+    // Phase-1 routing: trees certified over the final topology (dormant
+    // members simply stay silent until they arrive).
+    let packing = to_dom_tree_packing_with_state(g, cds, state).packing;
+    assert!(packing.num_trees() > 0, "need at least one certified class");
+    let num_trees = packing.num_trees();
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (t, tree) in packing.trees.iter().enumerate() {
+        for v in tree.vertices(n) {
+            membership[v].push(t as u32);
+        }
+    }
+    let sampler = match config.tree_choice {
+        TreeChoice::Uniform => None,
+        TreeChoice::Weighted => Some(packing.sampler()),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut injections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+    for (i, &origin) in origins.iter().enumerate() {
+        let tree = match &sampler {
+            None => rng.gen_range(0..num_trees) as u64,
+            Some(s) => s.sample(&mut rng) as u64,
+        };
+        injections[origin].push_back((i as u64, tree));
+    }
+    let make_programs = |membership: &[Vec<u32>],
+                         mut injections: Vec<std::collections::VecDeque<(u64, u64)>>|
+     -> Vec<GossipProgram> {
+        (0..n)
+            .map(|v| {
+                let inject = std::mem::take(&mut injections[v]);
+                GossipProgram {
+                    trees: membership[v].clone(),
+                    queue: Default::default(),
+                    seen: inject.iter().map(|&(m, _)| m).collect(),
+                    received: Default::default(),
+                    inject,
+                    wasted: 0,
+                }
+            })
+            .collect()
+    };
+    // The run idles until the last arrival if it must.
+    let last_event = plan.events().last().map_or(0, |e| e.round);
+    let cap = 64 * (n + nmsg) + 4096 + last_event;
+
+    // Phase 1: the protocol under churn.
+    let mut sim = Simulator::with_seed(g, Model::VCongest, seed)
+        .with_engine(engine)
+        .with_faults(plan.clone());
+    let (phase1, mut stats) = sim
+        .run(make_programs(&membership, injections), cap)
+        .map_err(ChurnProtocolError::Sim)?;
+    stats.wasted_bandwidth = phase1.iter().map(|p| p.wasted).sum();
+
+    // The survivors' final view; arrivals have all fired.
+    let dead_list = plan.dead_vertices_after(usize::MAX);
+    let mut dead = vec![false; n];
+    for &v in &dead_list {
+        dead[v] = true;
+    }
+    let mut cut: Vec<(usize, usize)> = plan
+        .events()
+        .iter()
+        .filter_map(|e| match e.fault {
+            Fault::Edge(u, v) => Some((u, v)),
+            _ => None,
+        })
+        .collect();
+    cut.sort_unstable();
+    let edge_ok = |u: usize, v: usize| {
+        !dead[u] && !dead[v] && cut.binary_search(&(u.min(v), u.max(v))).is_err()
+    };
+
+    // Apply the churn to the class state. The state already holds the
+    // final membership, so arrivals repack nothing; deaths and cuts
+    // each repair exactly their touched classes.
+    let g_surv = plan.surviving_graph(g, usize::MAX);
+    let mut touched: std::collections::BTreeSet<usize> = Default::default();
+    for e in plan.events() {
+        match e.fault {
+            Fault::Vertex(v) => {
+                for c in state.delete_vertex(&g_surv, v) {
+                    touched.insert(c as usize);
+                }
+            }
+            Fault::Edge(u, v) => {
+                for c in state.delete_edge(&g_surv, u, v) {
+                    touched.insert(c as usize);
+                }
+            }
+            Fault::AddVertex(_) | Fault::AddEdge(_, _) => {}
+        }
+    }
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
+    for v in 0..n {
+        for &c in state.classes_at(v) {
+            members[c as usize].push(v);
+        }
+    }
+    let dominates = |ms: &[NodeId]| {
+        let mut is_m = vec![false; n];
+        for &v in ms {
+            is_m[v] = true;
+        }
+        (0..n)
+            .filter(|&v| !dead[v] && !is_m[v])
+            .all(|v| g.neighbors(v).iter().any(|&u| is_m[u] && edge_ok(v, u)))
+    };
+
+    // Tree re-extraction between the phases: untouched certified
+    // classes keep their tree (members and tree edges intact — only
+    // domination can break, through a cut to a non-member); touched
+    // ones re-extract from the repaired state, which can also revive
+    // classes that were invalid over the full topology.
+    let mut repaired: Vec<Option<decomp_core::packing::WeightedDomTree>> = vec![None; num_classes];
+    for tree in &packing.trees {
+        if !touched.contains(&tree.id) && dominates(&members[tree.id]) {
+            repaired[tree.id] = Some(tree.clone());
+        }
+    }
+    let mut reextractions = 0usize;
+    for &c in &touched {
+        if state.component_count(c) == 1 && dominates(&members[c]) {
+            repaired[c] = reextract_class_tree(g, c, &members[c], edge_ok);
+            if repaired[c].is_some() {
+                reextractions += 1;
+            }
+        }
+    }
+    let certified_classes = repaired.iter().filter(|t| t.is_some()).count();
+    let class_member = |c: usize, v: usize| members[c].binary_search(&v).is_ok();
+
+    // Repair: re-inject every message some survivor is still missing,
+    // from a live holder, on a re-extracted certified class (or as a
+    // flood when no class can carry it).
+    let mut reinjections: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+    let mut lost = vec![false; nmsg];
+    let mut reinjected = 0usize;
+    for m in 0..nmsg {
+        let missing = (0..n).any(|v| !dead[v] && !phase1[v].received.contains(&(m as u64)));
+        if !missing {
+            continue;
+        }
+        let holders: Vec<usize> = (0..n)
+            .filter(|&v| !dead[v] && phase1[v].received.contains(&(m as u64)))
+            .collect();
+        if holders.is_empty() {
+            lost[m] = true;
+            continue;
+        }
+        let eligible = |c: usize, v: usize| class_member(c, v) || v == origins[m];
+        let carrier = (0..num_classes)
+            .find(|&c| repaired[c].is_some() && holders.iter().any(|&v| eligible(c, v)))
+            .map(|c| c as u32)
+            .unwrap_or(FLOOD_TOKEN);
+        let injector = *holders
+            .iter()
+            .find(|&&v| carrier == FLOOD_TOKEN || eligible(carrier as usize, v))
+            .expect("carrier choice guarantees an eligible holder");
+        reinjections[injector].push_back((m as u64, carrier as u64));
+        reinjected += 1;
+    }
+    stats.repair_events += reinjected;
+    let any_flood = reinjections
+        .iter()
+        .flatten()
+        .any(|&(_, c)| c == FLOOD_TOKEN as u64);
+
+    let mut complete = true;
+    if reinjected > 0 {
+        // Phase-2 tokens are keyed by *class id*; members of certified
+        // classes relay their class, every survivor relays floods.
+        let membership2: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                let mut t: Vec<u32> = (0..num_classes)
+                    .filter(|&c| repaired[c].is_some() && class_member(c, v))
+                    .map(|c| c as u32)
+                    .collect();
+                t.push(FLOOD_TOKEN);
+                t
+            })
+            .collect();
+        // Same final topology, quiesced: every fault fires at round 0
+        // (arrivals at round 0 are simply present from the start).
+        let plan0 = FaultPlan::new(plan.events().iter().map(|e| ScheduledFault {
+            round: 0,
+            fault: e.fault,
+        }));
+        let mut sim2 = Simulator::with_seed(g, Model::VCongest, seed ^ 0xf1f0_0d17)
+            .with_engine(engine)
+            .with_faults(plan0);
+        let (phase2, stats2) = sim2
+            .run(make_programs(&membership2, reinjections), cap)
+            .map_err(ChurnProtocolError::Sim)?;
+        if any_flood {
+            stats.flood_rounds += stats2.rounds;
+        }
+        stats.absorb(stats2);
+        stats.wasted_bandwidth += phase2.iter().map(|p| p.wasted).sum::<usize>();
+        complete = (0..n).filter(|&v| !dead[v]).all(|v| {
+            (0..nmsg).all(|m| {
+                lost[m]
+                    || phase1[v].received.contains(&(m as u64))
+                    || phase2[v].received.contains(&(m as u64))
+            })
+        });
+    }
+
+    Ok(ChurnDistGossipReport {
+        complete,
+        lost_messages: lost.iter().filter(|&&l| l).count(),
+        reinjected,
+        reextractions,
+        certified_classes,
         stats,
     })
 }
@@ -857,6 +1172,124 @@ mod tests {
         }
         // Double-run under the same engine: bit-identical, not just close.
         assert_eq!(run(engines[0]), baseline, "re-run diverged");
+    }
+
+    #[test]
+    fn churn_protocol_reextracts_and_serves_survivors() {
+        use decomp_core::cds::centralized::cds_packing_with_state;
+        // One mid-run kill and one arrival: the kill touches its
+        // classes (incremental repack + tree re-extraction), the
+        // arrival is a membership no-op, and every survivor —
+        // including the newcomer — must end complete.
+        let g = generators::harary(8, 40);
+        let (cds, mut state) = cds_packing_with_state(&g, &CdsPackingConfig::with_known_k(8, 1));
+        let newcomer = 17;
+        let origins: Vec<usize> = (0..g.n()).filter(|&v| v != newcomer).collect();
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(newcomer),
+            },
+            ScheduledFault {
+                round: 3,
+                fault: Fault::Vertex(5),
+            },
+        ]);
+        let r = gossip_protocol_churn(
+            &g,
+            &cds,
+            &mut state,
+            &origins,
+            13,
+            GossipConfig::default(),
+            &plan,
+            decomp_testkit::engine_from_env(),
+        )
+        .unwrap();
+        assert!(r.complete, "survivors (incl. the newcomer) must be served");
+        assert_eq!(r.lost_messages, 0, "one death below κ loses nothing");
+        assert!(r.certified_classes > 0, "repair must have trees to use");
+        assert_eq!(r.stats.repair_events, r.reinjected);
+        // The killed vertex belonged to some class, so its classes were
+        // repacked; over this κ=8 graph they stay connected and
+        // dominating, so re-extraction succeeds.
+        assert!(r.reextractions > 0, "the kill must re-extract its classes");
+        // The state now reflects the post-churn membership.
+        assert!(state.classes_at(5).is_empty());
+    }
+
+    #[test]
+    fn churn_protocol_is_engine_equivalent_and_deterministic() {
+        use decomp_core::cds::centralized::cds_packing_with_state;
+        let g = generators::harary(6, 30);
+        let origins: Vec<usize> = (0..g.n()).filter(|&v| v != 11).collect();
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(11),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::Edge(0, 1),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::Vertex(3),
+            },
+        ]);
+        let run = |engine| {
+            let (cds, mut state) =
+                cds_packing_with_state(&g, &CdsPackingConfig::with_known_k(6, 4));
+            let r = gossip_protocol_churn(
+                &g,
+                &cds,
+                &mut state,
+                &origins,
+                3,
+                GossipConfig::weighted(),
+                &plan,
+                engine,
+            )
+            .unwrap();
+            (
+                r.complete,
+                r.lost_messages,
+                r.reinjected,
+                r.reextractions,
+                r.certified_classes,
+                r.stats.locality_blind(),
+            )
+        };
+        let engines = decomp_testkit::engines();
+        let baseline = run(engines[0]);
+        assert!(baseline.0);
+        for &engine in &engines[1..] {
+            assert_eq!(run(engine), baseline, "{engine} diverged");
+        }
+        assert_eq!(run(engines[0]), baseline, "re-run diverged");
+    }
+
+    #[test]
+    fn churn_protocol_rejects_invalid_plans() {
+        use decomp_core::cds::centralized::cds_packing_with_state;
+        let g = generators::cycle(6);
+        let (cds, mut state) = cds_packing_with_state(&g, &CdsPackingConfig::with_classes(1, 0));
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 1,
+            fault: Fault::AddVertex(99),
+        }]);
+        let err = gossip_protocol_churn(
+            &g,
+            &cds,
+            &mut state,
+            &[0],
+            1,
+            GossipConfig::default(),
+            &plan,
+            EngineKind::Sequential,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChurnProtocolError::Plan(_)), "{err}");
     }
 
     #[test]

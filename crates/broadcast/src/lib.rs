@@ -28,6 +28,7 @@
 //! analysis the paper invokes), not by re-running the CONGEST simulator —
 //! the packing construction already paid its rounds there.
 
+pub mod churn;
 pub mod gossip;
 pub mod gossip_distributed;
 pub mod oblivious;

@@ -614,6 +614,15 @@ impl<'g> RlncState<'g> {
                     continue;
                 }
                 let i = v * self.gens + gen;
+                if self.slabs[i].is_none() && self.rank[i] as usize >= cap && cap > 0 {
+                    // A completed vertex whose slab was freed: it
+                    // witnesses that the entire cap survives. (With
+                    // dormant vertices inflating `incomplete_at`, the
+                    // live > incomplete early-out above cannot promise
+                    // no such vertex reaches this fold.)
+                    srank = cap;
+                    break 'fold;
+                }
                 for row in 0..self.rank[i] as usize {
                     let slab = self.slabs[i].as_ref().expect("rank > 0 implies rows");
                     pkt.copy_from_slice(&slab[row * self.gsize..(row + 1) * self.gsize]);
@@ -678,6 +687,8 @@ pub(crate) fn rlnc_schedule(
             degradation,
             lost_messages: 0,
             wasted_bandwidth: 0,
+            repair_events: 0,
+            flood_rounds: 0,
         };
     }
     let gens = nmsg.div_ceil(gsize);
@@ -754,7 +765,10 @@ pub(crate) fn rlnc_schedule(
         relays.clear();
         arena.clear();
         for v in 0..n {
-            if tracker.as_ref().is_some_and(|t| t.is_dead(v)) {
+            if tracker
+                .as_ref()
+                .is_some_and(|t| t.is_dead(v) || t.is_dormant(v))
+            {
                 continue;
             }
             let gen = loop {
@@ -803,11 +817,19 @@ pub(crate) fn rlnc_schedule(
                 st.receive(u, gen as usize, &mut pkt);
             }
         }
-        assert!(
-            !relays.is_empty() || st.total_incomplete == 0,
-            "gossip schedule stalled: a message can no longer make progress \
-             (is some tree not dominating, or did faults disconnect the survivors?)"
-        );
+        if relays.is_empty() && st.total_incomplete > 0 {
+            // Idle only while a scheduled arrival is still due (e.g. a
+            // dormant origin holds the sole copy of its generation);
+            // jump to its eve — idle rounds draw no coefficients, so
+            // the RNG stream and digest match a spun-out wait.
+            let Some(r) = tracker.as_ref().and_then(|t| t.next_event_round()) else {
+                panic!(
+                    "gossip schedule stalled: a message can no longer make progress \
+                     (is some tree not dominating, or did faults disconnect the survivors?)"
+                );
+            };
+            rounds = rounds.max(r.saturating_sub(1));
+        }
     }
     let peak_state_words =
         member.words() + st.fixed_words() + st.peak_slab.div_ceil(8) + st.peak_cand.div_ceil(2);
@@ -818,6 +840,10 @@ pub(crate) fn rlnc_schedule(
         degradation,
         lost_messages,
         wasted_bandwidth: st.wasted,
+        // The coded regime repairs nothing and floods nothing: loss
+        // tolerance comes from the code, not from tree reassignment.
+        repair_events: 0,
+        flood_rounds: 0,
     }
 }
 

@@ -348,6 +348,11 @@ impl InboxArena {
 pub(crate) struct ActivitySlab {
     done: Vec<u64>,
     dead: Vec<u64>,
+    /// Dormant (not-yet-arrived) nodes: masked out of the pending scan
+    /// like the dead, but they *block* quiescence (`done` stays 0), so a
+    /// run idles until every arrival has fired rather than finishing
+    /// without them.
+    asleep: Vec<u64>,
     n: usize,
 }
 
@@ -356,6 +361,7 @@ impl ActivitySlab {
         ActivitySlab {
             done: vec![0; n.div_ceil(64)],
             dead: vec![0; n.div_ceil(64)],
+            asleep: vec![0; n.div_ceil(64)],
             n,
         }
     }
@@ -387,6 +393,21 @@ impl ActivitySlab {
         self.dead[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// Marks local node `i` dormant at init (arrival pending): skipped by
+    /// the pending scan but counted against quiescence until it wakes.
+    #[inline]
+    pub(crate) fn mark_asleep(&mut self, i: usize) {
+        self.asleep[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Wakes local node `i` (its arrival fired). Idempotent; a freshly
+    /// woken node has `done = 0`, so it is stepped like its own round 0
+    /// on the next pending scan.
+    #[inline]
+    pub(crate) fn wake(&mut self, i: usize) {
+        self.asleep[i / 64] &= !(1 << (i % 64));
+    }
+
     /// The 64-node pending mask for block `w`: nodes to step this round
     /// (`mail | !done`, round 0 steps everyone), gated on being alive
     /// and in range. `mail_word` is the arena's [`InboxArena::mail_bits`]
@@ -405,7 +426,7 @@ impl ActivitySlab {
         } else {
             mail_word | !self.done[w]
         };
-        want & !self.dead[w] & tail
+        want & !self.dead[w] & !self.asleep[w] & tail
     }
 
     /// Whether every live node is done — the shard-local half of the
@@ -576,5 +597,16 @@ mod tests {
         // Dead nodes are excluded from the quiescence test.
         slab.set_done(5, false);
         assert!(slab.all_done(), "dead nodes never block quiescence");
+        // Dormant nodes: masked out of the pending scan (even at round
+        // 0), but they block quiescence until woken.
+        slab.set_done(7, false);
+        slab.mark_asleep(7);
+        assert_eq!(slab.pending_word(0, 0, 0) & (1 << 7), 0);
+        assert_eq!(slab.pending_word(0, 1 << 7, 9) & (1 << 7), 0);
+        assert!(!slab.all_done(), "pending arrivals keep the run alive");
+        slab.wake(7);
+        assert_eq!(slab.pending_word(0, 0, 9) & (1 << 7), 1 << 7);
+        slab.set_done(7, true);
+        assert!(slab.all_done());
     }
 }

@@ -41,17 +41,31 @@ impl RoundEngine for SequentialEngine {
         let mut slab = ActivitySlab::new(n);
         let mut outbox = Outbox::new(net.model);
         let mut faults = net.faults.map(|plan| FaultState::new(plan, n));
+        // Not-yet-arrived vertices start dormant: skipped by the pending
+        // scan (their RNG streams untouched) but blocking quiescence, so
+        // the run idles to the last arrival round if it must.
+        if let Some(fs) = faults.as_ref() {
+            for v in 0..n {
+                if fs.is_dormant(v) {
+                    slab.mark_asleep(v);
+                }
+            }
+        }
         let mut round = 0usize;
         loop {
             // Faults scheduled for this round fire first: the victims'
             // in-flight deliveries are purged before the cutoff check
-            // and before any inbox is consumed.
+            // and before any inbox is consumed, and arrivals wake (a
+            // fresh arrival has `done = 0`, so it is stepped this round
+            // like its own round 0).
             if let Some(fs) = faults.as_mut() {
                 if fs.advance_to(round) {
                     cur.purge(|local, from| !fs.deliverable(from, local));
                     for v in 0..n {
                         if fs.is_dead(v) {
                             slab.mark_dead(v);
+                        } else if !fs.is_dormant(v) {
+                            slab.wake(v);
                         }
                     }
                 }

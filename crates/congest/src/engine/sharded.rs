@@ -318,17 +318,31 @@ fn shard_worker<P: NodeProgram + Send>(
     // advances it in lockstep — a pure function of (plan, round), so all
     // shards agree on the global dead set without communication.
     let mut faults = net.faults.map(|plan| FaultState::new(plan, net.graph.n()));
+    // Dormant (not-yet-arrived) vertices start asleep in this shard's
+    // slab. The partition was built over the final topology, so an
+    // arriving vertex's shard (and local index) is deterministic.
+    if let Some(fs) = faults.as_ref() {
+        for (i, &v) in nodes.iter().enumerate() {
+            if fs.is_dormant(v) {
+                slab.mark_asleep(i);
+            }
+        }
+    }
     let mut round = 0usize;
     loop {
         // Faults fire at round start, before the cutoff check and before
         // inbox consumption: purge in-flight deliveries the failures
-        // invalidated (global sender id, shard-local receiver).
+        // invalidated (global sender id, shard-local receiver), and wake
+        // arrivals (a fresh arrival has `done = 0`, so it is stepped
+        // this round like its own round 0).
         if let Some(fs) = faults.as_mut() {
             if fs.advance_to(round) {
                 cur.purge(|local, from| !fs.deliverable(from, nodes[local]));
                 for (i, &v) in nodes.iter().enumerate() {
                     if fs.is_dead(v) {
                         slab.mark_dead(i);
+                    } else if !fs.is_dormant(v) {
+                        slab.wake(i);
                     }
                 }
             }

@@ -18,6 +18,17 @@
 //! robustness claim (Theorem 1.1: a `k`-connected packing survives up to
 //! `k − 1` failures) is exercised by choosing `f < k` faults and
 //! checking delivery still completes over the surviving trees.
+//!
+//! **Arrivals** run the same machinery in reverse: the plan's graph is
+//! the *final* topology, and [`Fault::AddVertex`] / [`Fault::AddEdge`]
+//! events name vertices (edges) that are *dormant* (inactive) from round
+//! 0 and activate at their scheduled round. A dormant vertex is never
+//! stepped, sends nothing, and receives nothing — every incident edge is
+//! implicitly inactive — until its arrival round, at which point it runs
+//! its round-0 logic over the final topology (the KT1 assumption is over
+//! the final graph; see `docs/DETERMINISM.md` "Churn contract"). Because
+//! the final topology is fixed up front, sharded runs partition it once
+//! and arriving vertices land in a deterministic shard.
 
 use decomp_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -32,13 +43,23 @@ pub enum Fault {
     /// Edge `{u, v}` is cut in both directions; endpoints keep running.
     /// Stored normalized (`u < v`).
     Edge(NodeId, NodeId),
+    /// Vertex `v` *arrives*: dormant from round 0, it joins the live
+    /// topology at the start of its scheduled round. Its incident edges
+    /// are implicitly inactive while it is dormant, so a plain
+    /// `AddVertex` is all a joining vertex needs.
+    AddVertex(NodeId),
+    /// Edge `{u, v}` of the final topology *activates* at its round —
+    /// a new link between two already-present vertices. Stored
+    /// normalized (`u < v`).
+    AddEdge(NodeId, NodeId),
 }
 
 impl Fault {
-    /// Normalizes an edge fault so `u < v`; vertex faults pass through.
+    /// Normalizes an edge event so `u < v`; vertex events pass through.
     fn normalized(self) -> Fault {
         match self {
             Fault::Edge(u, v) if u > v => Fault::Edge(v, u),
+            Fault::AddEdge(u, v) if u > v => Fault::AddEdge(v, u),
             other => other,
         }
     }
@@ -139,6 +160,48 @@ impl FaultPlan {
         }))
     }
 
+    /// `a` distinct vertices of the final topology `g` chosen uniformly
+    /// at random (seeded) to be dormant from round 0, each arriving at a
+    /// round drawn uniformly from `rounds` (inclusive bounds). `a` is
+    /// clamped to `g.n()`.
+    pub fn random_arrivals(g: &Graph, a: usize, rounds: (usize, usize), seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_0003);
+        let mut ids: Vec<NodeId> = (0..g.n()).collect();
+        let a = a.min(ids.len());
+        for i in 0..a {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        Self::new(ids[..a].iter().map(|&v| ScheduledFault {
+            round: draw_round(&mut rng, rounds),
+            fault: Fault::AddVertex(v),
+        }))
+    }
+
+    /// `a` distinct edges of the final topology `g` chosen uniformly at
+    /// random (seeded) to be inactive from round 0, each activating at a
+    /// round drawn uniformly from `rounds`. `a` is clamped to `g.m()`.
+    pub fn random_edge_arrivals(g: &Graph, a: usize, rounds: (usize, usize), seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_0004);
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+        let a = a.min(edges.len());
+        for i in 0..a {
+            let j = rng.gen_range(i..edges.len());
+            edges.swap(i, j);
+        }
+        Self::new(edges[..a].iter().map(|&(u, v)| ScheduledFault {
+            round: draw_round(&mut rng, rounds),
+            fault: Fault::AddEdge(u, v),
+        }))
+    }
+
+    /// Merges two plans into one schedule (events re-sorted by round) —
+    /// the way kill waves and arrival waves are combined into a single
+    /// churn scenario.
+    pub fn merged(&self, other: &FaultPlan) -> Self {
+        Self::new(self.events.iter().chain(other.events.iter()).copied())
+    }
+
     /// The schedule, sorted by round.
     pub fn events(&self) -> &[ScheduledFault] {
         &self.events
@@ -161,8 +224,17 @@ impl FaultPlan {
         out
     }
 
+    /// Whether the plan contains any arrival events
+    /// ([`Fault::AddVertex`] / [`Fault::AddEdge`]).
+    pub fn has_arrivals(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.fault, Fault::AddVertex(_) | Fault::AddEdge(..)))
+    }
+
     /// Vertices dead once every fault scheduled at a round `≤ round` has
-    /// fired, ascending.
+    /// fired, ascending. Kills only — dormancy is reported by
+    /// [`FaultPlan::dormant_vertices_after`].
     pub fn dead_vertices_after(&self, round: usize) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
             .events
@@ -170,7 +242,7 @@ impl FaultPlan {
             .take_while(|e| e.round <= round)
             .filter_map(|e| match e.fault {
                 Fault::Vertex(v) => Some(v),
-                Fault::Edge(..) => None,
+                _ => None,
             })
             .collect();
         out.sort_unstable();
@@ -178,27 +250,207 @@ impl FaultPlan {
         out
     }
 
-    /// The surviving topology after every fault scheduled at a round
-    /// `≤ round`: same vertex set (dead vertices become isolated), minus
-    /// cut edges and every edge incident to a dead vertex.
+    /// Vertices still dormant once every event scheduled at a round
+    /// `≤ round` has fired, ascending: [`Fault::AddVertex`] targets whose
+    /// (earliest) arrival round is `> round`.
+    pub fn dormant_vertices_after(&self, round: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.fault {
+                Fault::AddVertex(v) if e.round > round => Some(v),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        // A duplicate arrival (flagged by `validate`) wakes at its
+        // earliest round: drop targets with any event already fired.
+        let awake = self.arrived_vertices_after(round);
+        out.retain(|v| awake.binary_search(v).is_err());
+        out
+    }
+
+    fn arrived_vertices_after(&self, round: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .take_while(|e| e.round <= round)
+            .filter_map(|e| match e.fault {
+                Fault::AddVertex(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The live topology after every event scheduled at a round
+    /// `≤ round`: same vertex set (dead and still-dormant vertices become
+    /// isolated), minus cut edges, still-inactive edges, and every edge
+    /// incident to a dead or dormant vertex.
     pub fn surviving_graph(&self, g: &Graph, round: usize) -> Graph {
-        let dead = self.dead_vertices_after(round);
+        let mut gone = self.dead_vertices_after(round);
+        gone.extend(self.dormant_vertices_after(round));
+        gone.sort_unstable();
+        gone.dedup();
         let cut: Vec<(NodeId, NodeId)> = self
             .events
             .iter()
             .take_while(|e| e.round <= round)
             .filter_map(|e| match e.fault {
                 Fault::Edge(u, v) => Some((u, v)),
-                Fault::Vertex(_) => None,
+                _ => None,
+            })
+            .collect();
+        let inactive: Vec<(NodeId, NodeId)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.fault {
+                Fault::AddEdge(u, v) if e.round > round => Some((u, v)),
+                _ => None,
             })
             .collect();
         g.edge_subgraph(|u, v| {
-            dead.binary_search(&u).is_err()
-                && dead.binary_search(&v).is_err()
-                && !cut.contains(&(u.min(v), u.max(v)))
+            let key = (u.min(v), u.max(v));
+            gone.binary_search(&u).is_err()
+                && gone.binary_search(&v).is_err()
+                && !cut.contains(&key)
+                && !inactive.contains(&key)
         })
     }
+
+    /// Checks the plan against the (final) topology `g` and returns the
+    /// first authoring error found, in schedule order. Opt-in: the
+    /// engines deliberately tolerate sloppy plans (out-of-range ids are
+    /// ignored, redundant events are no-ops) so that adversarial
+    /// schedules never panic mid-run — call this at the front door when
+    /// a plan is meant to be well-formed (the churn entry points do).
+    pub fn validate(&self, g: &Graph) -> Result<(), FaultPlanError> {
+        let n = g.n();
+        let mut killed_at: Vec<Option<usize>> = vec![None; n];
+        let mut arrived = vec![false; n];
+        for e in &self.events {
+            let named: [Option<NodeId>; 2] = match e.fault {
+                Fault::Vertex(v) | Fault::AddVertex(v) => [Some(v), None],
+                Fault::Edge(u, v) | Fault::AddEdge(u, v) => [Some(u), Some(v)],
+            };
+            for v in named.into_iter().flatten() {
+                if v >= n {
+                    return Err(FaultPlanError::NodeOutOfRange {
+                        node: v,
+                        n,
+                        round: e.round,
+                    });
+                }
+            }
+            match e.fault {
+                Fault::Vertex(v) => {
+                    if killed_at[v].is_some() {
+                        return Err(FaultPlanError::DoubleKill {
+                            node: v,
+                            round: e.round,
+                        });
+                    }
+                    killed_at[v] = Some(e.round);
+                }
+                Fault::AddVertex(v) => {
+                    if arrived[v] {
+                        return Err(FaultPlanError::DoubleArrival {
+                            node: v,
+                            round: e.round,
+                        });
+                    }
+                    arrived[v] = true;
+                }
+                Fault::Edge(u, v) | Fault::AddEdge(u, v) => {
+                    for end in [u, v] {
+                        if killed_at[end].is_some_and(|r| r < e.round) {
+                            return Err(FaultPlanError::EdgeFaultOnDeadEndpoint {
+                                u,
+                                v,
+                                endpoint: end,
+                                round: e.round,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// An authoring error in a [`FaultPlan`], reported by
+/// [`FaultPlan::validate`] as a typed result instead of a panic (or a
+/// silent no-op) deep inside an engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// An event names a vertex id `≥ n`.
+    NodeOutOfRange {
+        /// The offending id.
+        node: NodeId,
+        /// The topology's vertex count.
+        n: usize,
+        /// The event's scheduled round.
+        round: usize,
+    },
+    /// The same vertex is killed twice.
+    DoubleKill {
+        /// The vertex killed twice.
+        node: NodeId,
+        /// The round of the *second* kill.
+        round: usize,
+    },
+    /// An edge event (cut or activation) names an endpoint killed at a
+    /// strictly earlier round — the edge is already gone.
+    EdgeFaultOnDeadEndpoint {
+        /// Edge endpoint `u` (normalized, `u < v`).
+        u: NodeId,
+        /// Edge endpoint `v`.
+        v: NodeId,
+        /// The endpoint that is already dead.
+        endpoint: NodeId,
+        /// The edge event's scheduled round.
+        round: usize,
+    },
+    /// The same vertex arrives twice.
+    DoubleArrival {
+        /// The vertex with a second [`Fault::AddVertex`] event.
+        node: NodeId,
+        /// The round of the second arrival.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::NodeOutOfRange { node, n, round } => {
+                write!(f, "fault at round {round} names vertex {node}, but n = {n}")
+            }
+            FaultPlanError::DoubleKill { node, round } => {
+                write!(f, "vertex {node} killed a second time at round {round}")
+            }
+            FaultPlanError::EdgeFaultOnDeadEndpoint {
+                u,
+                v,
+                endpoint,
+                round,
+            } => write!(
+                f,
+                "edge event {{{u}, {v}}} at round {round} names endpoint {endpoint}, \
+                 which is already dead"
+            ),
+            FaultPlanError::DoubleArrival { node, round } => {
+                write!(f, "vertex {node} arrives a second time at round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 fn draw_round(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
     assert!(lo <= hi, "empty fault round range {lo}..={hi}");
@@ -214,24 +466,51 @@ pub(crate) struct FaultState<'p> {
     /// Index of the first unfired event.
     next: usize,
     dead: Vec<bool>,
+    /// Not-yet-arrived vertices (pre-scanned from the plan's `AddVertex`
+    /// events; cleared as arrivals fire).
+    dormant: Vec<bool>,
     /// Fired edge cuts, normalized and sorted for binary search.
     cut_edges: Vec<(u32, u32)>,
+    /// Not-yet-activated edges (pre-scanned `AddEdge` events), normalized
+    /// and sorted; entries are removed as activations fire.
+    inactive_edges: Vec<(u32, u32)>,
     any: bool,
 }
 
 impl<'p> FaultState<'p> {
     pub(crate) fn new(plan: &'p FaultPlan, n: usize) -> Self {
+        let mut dormant = vec![false; n];
+        let mut inactive_edges: Vec<(u32, u32)> = Vec::new();
+        for e in plan.events() {
+            match e.fault {
+                Fault::AddVertex(v) => {
+                    if v < n {
+                        dormant[v] = true;
+                    }
+                }
+                Fault::AddEdge(u, v) => inactive_edges.push((u as u32, v as u32)),
+                Fault::Vertex(_) | Fault::Edge(..) => {}
+            }
+        }
+        inactive_edges.sort_unstable();
+        inactive_edges.dedup();
+        // Arrivals restrict delivery from round 0 (dormant endpoints and
+        // inactive edges), so the filtering fast path must be on before
+        // any event fires.
+        let any = dormant.iter().any(|&d| d) || !inactive_edges.is_empty();
         FaultState {
             plan,
             next: 0,
             dead: vec![false; n],
+            dormant,
             cut_edges: Vec::new(),
-            any: false,
+            inactive_edges,
+            any,
         }
     }
 
     /// Fires every event scheduled at a round `≤ round`; returns whether
-    /// any event fired in this call (the purge trigger).
+    /// any event fired in this call (the purge + wake trigger).
     pub(crate) fn advance_to(&mut self, round: usize) -> bool {
         let events = self.plan.events();
         let mut fired = false;
@@ -248,6 +527,17 @@ impl<'p> FaultState<'p> {
                         self.cut_edges.insert(pos, key);
                     }
                 }
+                Fault::AddVertex(v) => {
+                    if v < self.dormant.len() {
+                        self.dormant[v] = false;
+                    }
+                }
+                Fault::AddEdge(u, v) => {
+                    let key = (u as u32, v as u32);
+                    if let Ok(pos) = self.inactive_edges.binary_search(&key) {
+                        self.inactive_edges.remove(pos);
+                    }
+                }
             }
             self.next += 1;
             fired = true;
@@ -256,8 +546,9 @@ impl<'p> FaultState<'p> {
         fired
     }
 
-    /// Whether any fault has fired so far (fast path: `false` means
-    /// delivery filtering can be skipped wholesale).
+    /// Whether any fault has fired so far — or, with arrivals in the
+    /// plan, from round 0 (fast path: `false` means delivery filtering
+    /// can be skipped wholesale).
     pub(crate) fn any_fired(&self) -> bool {
         self.any
     }
@@ -266,15 +557,22 @@ impl<'p> FaultState<'p> {
         self.dead[v]
     }
 
+    /// Whether `v` has not yet arrived.
+    pub(crate) fn is_dormant(&self, v: NodeId) -> bool {
+        self.dormant[v]
+    }
+
     /// Whether a message from `from` to `to` survives: both endpoints
-    /// live and the edge between them not cut.
+    /// live (not dead, not dormant) and the edge between them neither
+    /// cut nor still inactive.
     pub(crate) fn deliverable(&self, from: NodeId, to: NodeId) -> bool {
+        let key = (from.min(to) as u32, from.max(to) as u32);
         !self.dead[from]
             && !self.dead[to]
-            && self
-                .cut_edges
-                .binary_search(&(from.min(to) as u32, from.max(to) as u32))
-                .is_err()
+            && !self.dormant[from]
+            && !self.dormant[to]
+            && self.cut_edges.binary_search(&key).is_err()
+            && self.inactive_edges.binary_search(&key).is_err()
     }
 }
 
@@ -358,6 +656,195 @@ mod tests {
         let after3 = plan.surviving_graph(&g, 3);
         assert_eq!(after3.m(), g.m() - 3);
         assert_eq!(plan.dead_vertices_after(3), vec![0]);
+    }
+
+    #[test]
+    fn validate_accepts_a_sane_churn_plan() {
+        let g = generators::cycle(6);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(5),
+            },
+            ScheduledFault {
+                round: 3,
+                fault: Fault::Vertex(0),
+            },
+            // Same-round edge cut on the dying vertex is allowed (the
+            // ordering inside a round is immaterial; both drop traffic).
+            ScheduledFault {
+                round: 3,
+                fault: Fault::Edge(0, 1),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::AddEdge(2, 4),
+            },
+        ]);
+        assert_eq!(plan.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_out_of_range_nodes() {
+        let g = generators::cycle(4);
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 1,
+            fault: Fault::Vertex(4),
+        }]);
+        assert_eq!(
+            plan.validate(&g),
+            Err(FaultPlanError::NodeOutOfRange {
+                node: 4,
+                n: 4,
+                round: 1
+            })
+        );
+        let plan = FaultPlan::new([ScheduledFault {
+            round: 2,
+            fault: Fault::AddEdge(1, 9),
+        }]);
+        assert!(matches!(
+            plan.validate(&g),
+            Err(FaultPlanError::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_flags_double_kill() {
+        let g = generators::cycle(4);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 1,
+                fault: Fault::Vertex(2),
+            },
+            ScheduledFault {
+                round: 5,
+                fault: Fault::Vertex(2),
+            },
+        ]);
+        assert_eq!(
+            plan.validate(&g),
+            Err(FaultPlanError::DoubleKill { node: 2, round: 5 })
+        );
+    }
+
+    #[test]
+    fn validate_flags_edge_fault_on_dead_endpoint() {
+        let g = generators::cycle(4);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 1,
+                fault: Fault::Vertex(3),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::Edge(2, 3),
+            },
+        ]);
+        assert_eq!(
+            plan.validate(&g),
+            Err(FaultPlanError::EdgeFaultOnDeadEndpoint {
+                u: 2,
+                v: 3,
+                endpoint: 3,
+                round: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_flags_double_arrival() {
+        let g = generators::cycle(4);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 1,
+                fault: Fault::AddVertex(1),
+            },
+            ScheduledFault {
+                round: 3,
+                fault: Fault::AddVertex(1),
+            },
+        ]);
+        assert_eq!(
+            plan.validate(&g),
+            Err(FaultPlanError::DoubleArrival { node: 1, round: 3 })
+        );
+    }
+
+    #[test]
+    fn arrival_plans_are_seed_deterministic() {
+        let g = generators::harary(4, 24);
+        let a = FaultPlan::random_arrivals(&g, 5, (1, 9), 7);
+        assert_eq!(a, FaultPlan::random_arrivals(&g, 5, (1, 9), 7));
+        assert_ne!(a, FaultPlan::random_arrivals(&g, 5, (1, 9), 8));
+        assert!(a.has_arrivals());
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.validate(&g), Ok(()));
+        let e = FaultPlan::random_edge_arrivals(&g, 3, (0, 4), 11);
+        assert_eq!(e, FaultPlan::random_edge_arrivals(&g, 3, (0, 4), 11));
+        assert_eq!(e.len(), 3);
+        // Kill + arrival plans merge into one sorted schedule.
+        let merged = a.merged(&FaultPlan::random_vertices(&g, 2, (2, 6), 3));
+        assert_eq!(merged.len(), 7);
+        assert!(merged.events().windows(2).all(|w| w[0].round <= w[1].round));
+    }
+
+    #[test]
+    fn dormant_vertices_and_surviving_graph_track_arrivals() {
+        let g = generators::cycle(5);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 3,
+                fault: Fault::AddVertex(2),
+            },
+            ScheduledFault {
+                round: 5,
+                fault: Fault::AddEdge(0, 1),
+            },
+        ]);
+        assert_eq!(plan.dormant_vertices_after(0), vec![2]);
+        assert_eq!(plan.dormant_vertices_after(2), vec![2]);
+        assert!(plan.dormant_vertices_after(3).is_empty());
+        let before = plan.surviving_graph(&g, 0);
+        // Vertex 2 isolated (drops edges {1,2}, {2,3}) and edge {0,1}
+        // inactive.
+        assert_eq!(before.degree(2), 0);
+        assert_eq!(before.m(), g.m() - 3);
+        let mid = plan.surviving_graph(&g, 3);
+        assert_eq!(mid.m(), g.m() - 1, "vertex 2 arrived, {{0,1}} still off");
+        let after = plan.surviving_graph(&g, 5);
+        assert_eq!(after.m(), g.m());
+    }
+
+    #[test]
+    fn fault_state_wakes_dormant_vertices_and_activates_edges() {
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(1),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::AddEdge(0, 3),
+            },
+        ]);
+        let mut fs = FaultState::new(&plan, 5);
+        // Arrivals restrict delivery from round 0: fast path is on even
+        // before any event fires.
+        assert!(fs.any_fired());
+        assert!(fs.is_dormant(1));
+        assert!(!fs.deliverable(0, 1));
+        assert!(!fs.deliverable(1, 2));
+        assert!(!fs.deliverable(0, 3), "inactive edge drops traffic");
+        assert!(fs.deliverable(3, 4));
+        assert!(!fs.advance_to(1));
+        assert!(fs.advance_to(2));
+        assert!(!fs.is_dormant(1));
+        assert!(fs.deliverable(0, 1));
+        assert!(!fs.deliverable(0, 3));
+        assert!(fs.advance_to(4));
+        assert!(fs.deliverable(0, 3));
+        assert!(fs.deliverable(3, 0));
     }
 
     #[test]

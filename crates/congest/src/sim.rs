@@ -84,6 +84,15 @@ pub struct RunStats {
     /// from their own program state, so it is engine-independent by
     /// construction (and zero for protocols that don't track it).
     pub wasted_bandwidth: usize,
+    /// Repair actions a *protocol* performed to route around churn —
+    /// e.g. messages re-injected onto fresh trees after a fault wave.
+    /// Engine-independent, protocol-set, like `wasted_bandwidth`.
+    pub repair_events: usize,
+    /// Rounds a *protocol* spent in flood fallback (no tree carried the
+    /// traffic). Engine-independent, protocol-set; zero on fault-free
+    /// runs, and bounded per fault wave when re-extraction restores real
+    /// tree schedules between waves.
+    pub flood_rounds: usize,
 }
 
 impl RunStats {
@@ -98,6 +107,8 @@ impl RunStats {
         self.local_words += other.local_words;
         self.cross_shard_words += other.cross_shard_words;
         self.wasted_bandwidth += other.wasted_bandwidth;
+        self.repair_events += other.repair_events;
+        self.flood_rounds += other.flood_rounds;
         self.peak_queued_messages = self.peak_queued_messages.max(other.peak_queued_messages);
         self.peak_arena_words = self.peak_arena_words.max(other.peak_arena_words);
     }
@@ -1144,6 +1155,131 @@ mod tests {
             let (ps, stats) = sim.run(programs, 100).unwrap();
             // Invariant first: the locality split always partitions the
             // delivered words, whatever the engine.
+            assert_eq!(stats.local_words + stats.cross_shard_words, stats.words);
+            (
+                ps.into_iter()
+                    .map(|p| (p.heard, p.chatty))
+                    .collect::<Vec<_>>(),
+                stats.locality_blind(),
+            )
+        };
+        let baseline = run(EngineKind::Sequential);
+        for engine in engines() {
+            assert_eq!(run(engine), baseline, "{engine}");
+        }
+    }
+
+    #[test]
+    fn arriving_vertex_is_dormant_then_joins_mid_run() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Triangle; node 2 arrives at round 2. While dormant it is never
+        // stepped and no traffic crosses its edges; after arrival it
+        // chats like everyone else.
+        for engine in engines() {
+            let g = generators::cycle(3);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(2),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = (0..3)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 3,
+                })
+                .collect();
+            let (ps, _) = sim.run(programs, 20).unwrap();
+            // 0 and 1 hear each other's 3 broadcasts, plus node 2's 3
+            // post-arrival broadcasts.
+            assert_eq!(ps[0].heard, 6, "{engine}");
+            assert_eq!(ps[1].heard, 6, "{engine}");
+            // Node 2 was first stepped at round 2, so it hears only the
+            // round-2+ broadcasts of 0 and 1 — one each (their chatty
+            // budget ran out at rounds 0..=2).
+            assert_eq!(ps[2].chatty, 0, "{engine}");
+            assert_eq!(ps[2].heard, 2, "{engine}");
+        }
+    }
+
+    #[test]
+    fn run_idles_until_the_last_arrival_fires() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Everyone else is done by round 1, but node 3's arrival at
+        // round 6 must hold the run open (quiescence waits for it).
+        for engine in engines() {
+            let g = generators::cycle(4);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 6,
+                fault: Fault::AddVertex(3),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = (0..4)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 1,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 50).unwrap();
+            assert!(stats.rounds >= 7, "{engine}: {}", stats.rounds);
+            assert_eq!(ps[3].chatty, 0, "{engine}");
+            // Its single broadcast lands on live neighbors 0 and 2.
+            assert_eq!(ps[0].heard, 2, "{engine}");
+            assert_eq!(ps[2].heard, 2, "{engine}");
+        }
+    }
+
+    #[test]
+    fn edge_arrival_activates_link_mid_run() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Cycle of 3 with edge {0, 1} inactive until round 1: the
+        // round-0 broadcasts crossing it are dropped, later ones pass.
+        for engine in engines() {
+            let g = generators::cycle(3);
+            let plan = FaultPlan::new([ScheduledFault {
+                round: 1,
+                fault: Fault::AddEdge(0, 1),
+            }]);
+            let mut sim = Simulator::new(&g, Model::VCongest)
+                .with_engine(engine)
+                .with_faults(plan);
+            let programs = (0..3)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 2,
+                })
+                .collect();
+            let (ps, _) = sim.run(programs, 20).unwrap();
+            // Round-0 sends over {0,1} (in flight into round 1, when the
+            // edge activates) are filtered at send time in round 0; the
+            // round-1 sends cross. So 0 and 1 miss one message each.
+            assert_eq!(ps[0].heard, 3, "{engine}");
+            assert_eq!(ps[1].heard, 3, "{engine}");
+            assert_eq!(ps[2].heard, 4, "{engine}");
+        }
+    }
+
+    #[test]
+    fn churn_runs_bit_identical_across_engines() {
+        use crate::fault::FaultPlan;
+        let g = generators::harary(4, 20);
+        let plan = FaultPlan::random_vertices(&g, 3, (2, 6), 42)
+            .merged(&FaultPlan::random_arrivals(&g, 4, (1, 7), 42));
+        assert_eq!(plan.validate(&g), Ok(()));
+        let run = |engine| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, 9)
+                .with_engine(engine)
+                .with_faults(plan.clone());
+            let programs = (0..g.n())
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 8,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 200).unwrap();
             assert_eq!(stats.local_words + stats.cross_shard_words, stats.words);
             (
                 ps.into_iter()

@@ -164,9 +164,16 @@ impl ClassState {
     /// every reachable neighbor.
     pub fn join(&mut self, g: &Graph, vid: VirtualId, class: usize) {
         let r = self.layout.real(vid);
+        self.join_real(g, r, class);
+    }
+
+    /// [`join`](Self::join) addressed by real node id — the arrival path
+    /// ([`insert_vertex`](Self::insert_vertex)) re-admits a vertex's
+    /// bundles without synthesizing virtual ids.
+    fn join_real(&mut self, g: &Graph, r: NodeId, class: usize) -> bool {
         let slot = self.slot(r, class);
         if self.occupied[slot] {
-            return;
+            return false;
         }
         self.occupied[slot] = true;
         self.bump(class);
@@ -174,11 +181,18 @@ impl ClassState {
             self.classes_at[r].insert(pos, class as u32);
         }
         for &u in g.neighbors(r) {
+            // `g` may be a *final* topology larger than the current
+            // layout (mid-growth arrivals); neighbors beyond it have no
+            // bundles yet and merge when they are inserted themselves.
+            if u >= self.layout.n() {
+                continue;
+            }
             let uslot = self.slot(u, class);
             if self.occupied[uslot] && self.uf.union(slot, uslot) {
                 self.drop_one(class);
             }
         }
+        true
     }
 
     /// The running total excess `M = Σ_i max(0, N_i − 1)` — O(1).
@@ -286,6 +300,97 @@ impl ClassState {
         touched
     }
 
+    /// Arrival-aware repacking — the inverse of
+    /// [`delete_vertex`](Self::delete_vertex): admits real node `v` into
+    /// `classes`, merging each of its bundles with the already-present
+    /// members on adjacent nodes. Insertion only ever *merges*
+    /// components, so no stride is dissolved and no certificate is
+    /// recomputed — each class is O(deg(v) · α). If `v` lies beyond the
+    /// current layout, the state [`grow`](Self::grow)s first. `g` is the
+    /// live graph *with* `v`'s edges active. Returns the sorted classes
+    /// actually entered (already-occupied bundles are skipped), and is
+    /// bit-identical to a from-scratch repack over the same final
+    /// membership (the property suite cross-checks `comp_of` labels).
+    pub fn insert_vertex(&mut self, g: &Graph, v: NodeId, classes: &[u32]) -> Vec<u32> {
+        if v >= self.layout.n() {
+            self.grow(v + 1);
+        }
+        let mut touched: Vec<u32> = classes
+            .iter()
+            .copied()
+            .filter(|&c| self.join_real(g, v, c as usize))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Edge-arrival counterpart of [`delete_edge`](Self::delete_edge):
+    /// a new live edge `{u, v}` can only merge components, so every
+    /// class with a member bundle on *both* endpoints unions the two —
+    /// O(1) per shared class, no rebuild. Returns the sorted touched
+    /// classes (those present on both endpoints).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Vec<u32> {
+        let touched: Vec<u32> = self.classes_at[u]
+            .iter()
+            .copied()
+            .filter(|c| self.classes_at[v].binary_search(c).is_ok())
+            .collect();
+        for &class in &touched {
+            let class = class as usize;
+            let (su, sv) = (self.slot(u, class), self.slot(v, class));
+            if self.uf.union(su, sv) {
+                self.drop_one(class);
+            }
+        }
+        touched
+    }
+
+    /// Grows the layout to `new_n` real nodes (same layer count),
+    /// carrying every class's component structure over to the re-strided
+    /// forest. Slots are class-major (`class · n + real`), so a larger
+    /// `n` re-addresses *every* bundle: a fresh forest is built and each
+    /// class's partition is re-unioned from the old one (member →
+    /// first member of its old component, ascending real id). Component
+    /// counts, excess, per-node class lists, and the densified
+    /// [`comp_of`](Self::comp_of) labels are all preserved exactly;
+    /// raw [`CompId`]s are not (a grow is a mutation, and roots are only
+    /// stable between mutations).
+    pub fn grow(&mut self, new_n: usize) {
+        let old_n = self.layout.n();
+        assert!(new_n >= old_n, "grow cannot shrink the layout");
+        if new_n == old_n {
+            return;
+        }
+        let new_layout = VirtualLayout::new(new_n, self.layout.layers());
+        let mut uf = UnionFind::new(new_n * self.t);
+        let mut occupied = vec![false; new_n * self.t];
+        for class in 0..self.t {
+            // Old root → representative (first member seen, ascending v).
+            let mut rep_of: HashMap<usize, NodeId> = HashMap::new();
+            for v in 0..old_n {
+                if !self.occupied[class * old_n + v] {
+                    continue;
+                }
+                occupied[class * new_n + v] = true;
+                let root = self.uf.find(class * old_n + v);
+                match rep_of.entry(root) {
+                    std::collections::hash_map::Entry::Occupied(rep) => {
+                        uf.union(class * new_n + rep.get(), class * new_n + v);
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(v);
+                    }
+                }
+            }
+        }
+        self.layout = new_layout;
+        self.uf = uf;
+        self.occupied = occupied;
+        self.classes_at.resize(new_n, Vec::new());
+        // comp_count / excess are partition properties — unchanged.
+    }
+
     /// Dissolves one class's union-find stride and re-unions its surviving
     /// members over a spanning forest of their induced subgraph, fixing
     /// `comp_count` and the running excess.
@@ -333,7 +438,7 @@ impl ClassState {
         for class in 0..self.t {
             let mut uf = UnionFind::new(n);
             let mut members = 0usize;
-            let member = |st: &ClassState, v: usize| st.occupied[st.slot(v, class)];
+            let member = |st: &ClassState, v: usize| v < n && st.occupied[st.slot(v, class)];
             for v in 0..n {
                 if !member(self, v) {
                     continue;
@@ -541,6 +646,162 @@ mod tests {
             }
             for v in 0..20 {
                 assert_eq!(st.classes_at(v), fresh.classes_at(v));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_vertex_is_the_inverse_of_delete_vertex() {
+        let g = generators::path(3); // 0 - 1 - 2, all in class 0
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 1);
+        for v in 0..3 {
+            st.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        st.delete_vertex(&g, 1);
+        assert_eq!(st.component_count(0), 2);
+        // Re-admitting the bridge merges the halves back — and the
+        // result is label-identical to a never-deleted fresh state.
+        let touched = st.insert_vertex(&g, 1, &[0]);
+        assert_eq!(touched, vec![0]);
+        assert_eq!(st.component_count(0), 1);
+        assert_eq!(st.excess(), 0);
+        assert_eq!(st.classes_at(1), &[0]);
+        let mut fresh = ClassState::new(layout, 1);
+        for v in 0..3 {
+            fresh.join(&g, layout.vid(v, 0, VType::T1), 0);
+        }
+        assert_eq!(st.comp_of(0), fresh.comp_of(0));
+    }
+
+    #[test]
+    fn insert_vertex_skips_already_occupied_bundles() {
+        let g = generators::complete(3);
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 2);
+        st.join(&g, layout.vid(0, 0, VType::T1), 0);
+        let touched = st.insert_vertex(&g, 0, &[0, 1]);
+        assert_eq!(touched, vec![1], "class 0 was already occupied");
+        assert_eq!(st.classes_at(0), &[0, 1]);
+    }
+
+    #[test]
+    fn insert_edge_merges_shared_classes_only() {
+        // Two components of class 0 on a path with the middle edge
+        // initially absent from the *projection* logic: just union.
+        let g = generators::path(4);
+        let layout = VirtualLayout::new(4, 4);
+        let mut st = ClassState::new(layout, 2);
+        // Class 0 on 0 and 3 (far apart: two components); class 1 on 0.
+        st.join(&g, layout.vid(0, 0, VType::T1), 0);
+        st.join(&g, layout.vid(3, 0, VType::T1), 0);
+        st.join(&g, layout.vid(0, 0, VType::T2), 1);
+        assert_eq!(st.component_count(0), 2);
+        // A new link {0, 3} merges class 0; class 1 (absent on 3)
+        // is untouched.
+        assert_eq!(st.insert_edge(0, 3), vec![0]);
+        assert_eq!(st.component_count(0), 1);
+        assert_eq!(st.excess(), 0);
+        assert_eq!(st.component_count(1), 1);
+        // Re-inserting the same edge is a no-op (already merged).
+        assert_eq!(st.insert_edge(0, 3), vec![0]);
+        assert_eq!(st.component_count(0), 1);
+    }
+
+    #[test]
+    fn grow_preserves_labels_and_supports_new_ids() {
+        let g5 = generators::path(5);
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 2);
+        // Members 0, 2 in class 0 (two components), 1 in class 1.
+        st.join(&g5, layout.vid(0, 0, VType::T1), 0);
+        st.join(&g5, layout.vid(2, 0, VType::T1), 0);
+        st.join(&g5, layout.vid(1, 0, VType::T1), 1);
+        let before: Vec<_> = (0..2).map(|c| st.comp_of(c)).collect();
+        st.grow(5);
+        assert_eq!(st.layout().n(), 5);
+        assert_eq!(st.component_count(0), 2);
+        assert_eq!(st.excess(), 1);
+        for (c, old) in before.iter().enumerate() {
+            let after = st.comp_of(c);
+            assert_eq!(&after[..3], &old[..], "labels preserved");
+            assert_eq!(&after[3..], &[None, None]);
+        }
+        // Inserting a vertex beyond the old layout grows implicitly and
+        // bridges: 0 - 1 - 2 all in class 0 once 1 and the new 3, 4 join.
+        let mut st2 = ClassState::new(VirtualLayout::new(3, 4), 1);
+        st2.join(&g5, st2.layout().vid(0, 0, VType::T1), 0);
+        st2.join(&g5, st2.layout().vid(2, 0, VType::T1), 0);
+        assert_eq!(st2.component_count(0), 2);
+        st2.insert_vertex(&g5, 3, &[0]); // grows to n = 4, merges with 2
+        assert_eq!(st2.layout().n(), 4);
+        assert_eq!(st2.component_count(0), 2, "3 melts into 2's component");
+        st2.insert_vertex(&g5, 1, &[0]); // bridges 0 and {2, 3}
+        assert_eq!(st2.component_count(0), 1);
+        let (counts, excess) = st2.recompute_from_scratch(&g5);
+        assert_eq!(st2.component_count(0), counts[0]);
+        assert_eq!(st2.excess(), excess);
+    }
+
+    #[test]
+    fn arrival_churn_matches_scratch_and_fresh_replay() {
+        // Mixed kill/arrive sequence on a grid: after every event the
+        // incremental state must match the from-scratch oracle on counts
+        // and excess, and a freshly replayed state on the exact labels —
+        // the bit-identical arrival-repack contract of ISSUE 9.
+        let g = generators::grid(4, 5);
+        let layout = VirtualLayout::new(20, 4);
+        let joins: Vec<(usize, usize)> = (0..20).map(|i| (i * 7 % 20, i % 3)).collect();
+        let mut st = ClassState::new(layout, 3);
+        for &(v, c) in &joins {
+            st.join(&g, layout.vid(v, 0, VType::ALL[c]), c);
+        }
+        // Membership ledger: which (v, class) pairs are currently in.
+        let mut member: Vec<(usize, usize)> = joins.clone();
+        member.sort_unstable();
+        member.dedup();
+        enum Ev {
+            Kill(usize),
+            Arrive(usize, Vec<u32>),
+        }
+        let events = [
+            Ev::Kill(13),
+            Ev::Kill(0),
+            Ev::Arrive(13, vec![1, 2]),
+            Ev::Kill(7),
+            Ev::Arrive(0, vec![0]),
+            Ev::Arrive(7, vec![0, 1]),
+            Ev::Kill(13),
+        ];
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                Ev::Kill(v) => {
+                    st.delete_vertex(&g, *v);
+                    member.retain(|&(m, _)| m != *v);
+                }
+                Ev::Arrive(v, classes) => {
+                    st.insert_vertex(&g, *v, classes);
+                    for &c in classes {
+                        member.push((*v, c as usize));
+                    }
+                    member.sort_unstable();
+                    member.dedup();
+                }
+            }
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                assert_eq!(st.component_count(c), want, "class {c} after event {i}");
+            }
+            assert_eq!(st.excess(), excess, "excess after event {i}");
+            let mut fresh = ClassState::new(layout, 3);
+            for &(v, c) in &member {
+                fresh.join(&g, layout.vid(v, 0, VType::ALL[c]), c);
+            }
+            for c in 0..3 {
+                assert_eq!(st.comp_of(c), fresh.comp_of(c), "labels after event {i}");
+            }
+            for v in 0..20 {
+                assert_eq!(st.classes_at(v), fresh.classes_at(v), "after event {i}");
             }
         }
     }

@@ -108,6 +108,59 @@ fn extract(
     }
 }
 
+/// Re-extracts one dominating tree for a single repaired class over the
+/// survivors of a churn wave: a BFS spanning tree of `members` (the
+/// class's live, present vertices) through edges that pass `edge_ok`.
+/// BFS order follows the graph's fixed adjacency lists, so the result
+/// is deterministic for a given survivor set — the churn loop's
+/// re-extraction is replayable. Returns `None` when the members do not
+/// span a connected subgraph under `edge_ok` (the class is still
+/// broken; its messages keep the flood fallback for another wave).
+///
+/// Certification (connectivity via [`ClassState::component_count`],
+/// domination over the survivors) is the caller's job: this helper only
+/// rebuilds the tree shape.
+pub fn reextract_class_tree(
+    g: &Graph,
+    class: usize,
+    members: &[NodeId],
+    mut edge_ok: impl FnMut(NodeId, NodeId) -> bool,
+) -> Option<WeightedDomTree> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut in_class = vec![false; g.n()];
+    for &v in members {
+        in_class[v] = true;
+    }
+    let root = members[0];
+    let mut seen = vec![false; g.n()];
+    seen[root] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut edges = Vec::new();
+    let mut reached = 1usize;
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if in_class[u] && !seen[u] && edge_ok(v, u) {
+                seen[u] = true;
+                reached += 1;
+                edges.push((v, u));
+                queue.push_back(u);
+            }
+        }
+    }
+    if reached != members.len() {
+        return None;
+    }
+    let singleton = if edges.is_empty() { Some(root) } else { None };
+    Some(WeightedDomTree {
+        id: class,
+        weight: 1.0,
+        edges,
+        singleton,
+    })
+}
+
 /// A spanning tree (edge list over original ids) of `G[members]`, which
 /// must be connected.
 fn class_spanning_tree(g: &Graph, members: &[NodeId]) -> Vec<(NodeId, NodeId)> {
@@ -204,6 +257,31 @@ mod tests {
                 assert_eq!(a.singleton, b.singleton);
             }
         }
+    }
+
+    #[test]
+    fn reextraction_spans_survivors_and_rejects_broken_classes() {
+        let g = generators::cycle(8);
+        let members: Vec<usize> = (0..8).collect();
+        // Full class, all edges live: a spanning tree of the cycle.
+        let t = reextract_class_tree(&g, 3, &members, |_, _| true).expect("cycle is connected");
+        assert_eq!(t.id, 3);
+        assert_eq!(t.edges.len(), 7);
+        assert!(t.singleton.is_none());
+        // Vertex 4 churned out: the remainder is still connected
+        // through the cycle's other arc.
+        let survivors: Vec<usize> = (0..8).filter(|&v| v != 4).collect();
+        let t = reextract_class_tree(&g, 0, &survivors, |_, _| true).expect("arc is connected");
+        assert_eq!(t.edges.len(), 6);
+        assert!(t.edges.iter().all(|&(u, v)| u != 4 && v != 4));
+        // Cutting {1, 2} on top disconnects the arc: no tree.
+        let cut = |u: usize, v: usize| (u.min(v), u.max(v)) != (1, 2);
+        assert!(reextract_class_tree(&g, 0, &survivors, cut).is_none());
+        // A lone survivor is a singleton tree.
+        let t = reextract_class_tree(&g, 5, &[6], |_, _| true).expect("singleton");
+        assert!(t.edges.is_empty());
+        assert_eq!(t.singleton, Some(6));
+        assert!(reextract_class_tree(&g, 0, &[], |_, _| true).is_none());
     }
 
     #[test]

@@ -6,9 +6,15 @@
 //! instances.
 
 use connectivity_decomposition::core::cds::centralized::{cds_packing, CdsPackingConfig};
+use connectivity_decomposition::core::cds::class_state::ClassState;
 use connectivity_decomposition::core::cds::tree_extract::to_dom_tree_packing;
 use connectivity_decomposition::core::cds::verify::{verify_centralized, VerifyOutcome};
+use connectivity_decomposition::core::virtual_graph::{VType, VirtualLayout};
+use connectivity_decomposition::graph::generators;
 use decomp_testkit::{asserts, fixtures, golden, SEEDS, TOL};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn pipeline_invariants_across_families_and_seeds() {
@@ -62,6 +68,66 @@ fn class_count_sweeps_never_break_feasibility() {
             t,
             "t = {t}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `insert_vertex` is the exact inverse of `delete_vertex` (the PR-9
+    /// churn contract): after any delete immediately undone by a
+    /// re-insert into the same classes, the incremental [`ClassState`]
+    /// is label-identical to a from-scratch replay of the untouched
+    /// membership — and the running component counts always match the
+    /// scratch oracle, even while the vertex is out.
+    #[test]
+    fn insert_is_the_inverse_of_delete_bit_for_bit(
+        seed in any::<u64>(),
+        n in 10usize..28,
+        extra in 0usize..16,
+        t in 1usize..4,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let layout = VirtualLayout::new(n, 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1d1e_a5e5);
+        let mut joins: Vec<(usize, usize)> = Vec::new();
+        for v in 0..n {
+            if rng.gen_range(0..4) > 0 {
+                // ~3/4 of vertices join one class
+                joins.push((v, rng.gen_range(0..t)));
+            }
+        }
+        let mut st = ClassState::new(layout, t);
+        for &(v, c) in &joins {
+            st.join(&g, layout.vid(v, 0, VType::ALL[c % VType::ALL.len()]), c);
+        }
+        let mut fresh = ClassState::new(layout, t);
+        for &(v, c) in &joins {
+            fresh.join(&g, layout.vid(v, 0, VType::ALL[c % VType::ALL.len()]), c);
+        }
+        for _ in 0..4 {
+            let v = rng.gen_range(0..n);
+            let classes = st.classes_at(v).to_vec();
+            st.delete_vertex(&g, v);
+            // Mid-churn the counters must match the scratch oracle.
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                prop_assert_eq!(st.component_count(c), want, "class {} with {} out", c, v);
+            }
+            prop_assert_eq!(st.excess(), excess, "excess with {} out", v);
+            // Undo: re-admit into exactly the original classes.
+            st.insert_vertex(&g, v, &classes);
+            prop_assert_eq!(st.classes_at(v), classes.as_slice());
+            // The round trip is bit-identical to the untouched replay.
+            for c in 0..t {
+                prop_assert_eq!(st.comp_of(c), fresh.comp_of(c), "labels, class {}", c);
+                prop_assert_eq!(st.component_count(c), fresh.component_count(c));
+            }
+            for u in 0..n {
+                prop_assert_eq!(st.classes_at(u), fresh.classes_at(u), "membership at {}", u);
+            }
+            prop_assert_eq!(st.excess(), fresh.excess());
+        }
     }
 }
 

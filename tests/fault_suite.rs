@@ -278,6 +278,128 @@ fn distributed_repair_protocol_completes_on_env_engine() {
 }
 
 #[test]
+fn arrival_waves_complete_on_every_family() {
+    // Pure-arrival plans (PR 9): some vertices are dormant until a
+    // mid-run round. Nothing dies, so nothing may be lost, and every
+    // final vertex — late arrivals included — must be served; messages
+    // from dormant origins simply wait for their vertex.
+    for f in fixtures::small() {
+        let packing = packing_for(&f);
+        let origins: Vec<usize> = (0..f.graph.n()).collect();
+        let plan = FaultPlan::random_arrivals(&f.graph, f.graph.n() / 8, (2, 6), 11);
+        for config in [GossipConfig::default(), GossipConfig::weighted()] {
+            let r = gossip_via_trees_faulty(&f.graph, &packing, &origins, 11, config, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert_eq!(r.lost_messages, 0, "{}: arrivals lose nothing", f.name);
+            assert_eq!(r.num_messages, f.graph.n());
+            if let Some(last) = r.degradation.last() {
+                assert_eq!(
+                    last.live_vertices,
+                    f.graph.n(),
+                    "{}: everyone is present once all arrivals fired",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arrival_after_kills_redelivers_via_repair() {
+    // Mixed churn: kills below κ followed by arrivals. The repair pass
+    // must reseed messages already complete among the old population so
+    // the newcomers catch up — across all three regimes.
+    let f = fixtures::small()
+        .into_iter()
+        .find(|f| f.name == "harary_k8_n40")
+        .unwrap();
+    let packing = packing_for(&f);
+    let n = f.graph.n();
+    // Vertices 30 and 31 arrive late; two others die early.
+    let plan = FaultPlan::new([
+        ScheduledFault {
+            round: 2,
+            fault: Fault::Vertex(3),
+        },
+        ScheduledFault {
+            round: 4,
+            fault: Fault::Vertex(17),
+        },
+        ScheduledFault {
+            round: 40,
+            fault: Fault::AddVertex(30),
+        },
+        ScheduledFault {
+            round: 44,
+            fault: Fault::AddVertex(31),
+        },
+    ]);
+    let origins: Vec<usize> = (0..n).filter(|&v| ![3, 17, 30, 31].contains(&v)).collect();
+    for config in [
+        GossipConfig::default(),
+        GossipConfig::weighted(),
+        GossipConfig::rlnc(8, 7),
+    ] {
+        let r = gossip_via_trees_faulty(&f.graph, &packing, &origins, 7, config, &plan).unwrap();
+        assert_eq!(r.lost_messages, 0, "{config:?}");
+        assert!(
+            r.rounds >= 40,
+            "{config:?}: the run must extend to the arrivals, got {}",
+            r.rounds
+        );
+    }
+    // The tree regimes repair through reseeds; the counters say so.
+    let r = gossip_via_trees_faulty(
+        &f.graph,
+        &packing,
+        &origins,
+        7,
+        GossipConfig::default(),
+        &plan,
+    )
+    .unwrap();
+    assert!(
+        r.repair_events > 0,
+        "late arrivals need reseeded redelivery"
+    );
+}
+
+#[test]
+fn distributed_protocol_serves_arrival_scenarios() {
+    // gossip_protocol_faulty with arrivals in the plan, on the engine
+    // CI selects via DECOMP_ENGINE: the engines handle dormancy
+    // natively and the repair phase serves the newcomers.
+    let f = fixtures::small()
+        .into_iter()
+        .find(|f| f.name == "harary_k4_n24")
+        .unwrap();
+    let packing = packing_for(&f);
+    let plan = FaultPlan::new([
+        ScheduledFault {
+            round: 3,
+            fault: Fault::Vertex(5),
+        },
+        ScheduledFault {
+            round: 6,
+            fault: Fault::AddVertex(20),
+        },
+    ]);
+    let origins: Vec<usize> = (0..f.graph.n()).filter(|&v| v != 5 && v != 20).collect();
+    let r = gossip_protocol_faulty(
+        &f.graph,
+        &packing,
+        &origins,
+        9,
+        GossipConfig::default(),
+        &plan,
+        decomp_testkit::engine_from_env(),
+    )
+    .unwrap();
+    assert!(r.complete, "the newcomer must converge too");
+    assert_eq!(r.lost_messages, 0);
+}
+
+#[test]
 fn worst_case_plans_target_high_degree_vertices() {
     // The adversarial policy is deterministic and kills the
     // highest-degree vertices first — on a star that is the hub.
