@@ -11,9 +11,15 @@
 //!   stay bounded per wave instead of accumulating;
 //! * C3 — the distributed two-phase churn protocol
 //!   (`gossip_protocol_churn`) on the sequential engine.
+//!
+//! E12 (PR 10) — settled vs growth admission: newcomers whose adjacency
+//! is revealed only at the arrival round. The settled run serves the
+//! class-free arrivals through the flood fallback; the growth run
+//! (`gossip_under_growth`) admits them into the packing through the
+//! maintained aggregates and serves them from the trees.
 
 use decomp_bench::table::{d, Table};
-use decomp_broadcast::churn::gossip_under_churn;
+use decomp_broadcast::churn::{gossip_under_churn, gossip_under_growth};
 use decomp_broadcast::gossip::{gossip_via_trees_faulty, GossipConfig};
 use decomp_broadcast::gossip_distributed::gossip_protocol_churn;
 use decomp_congest::{EngineKind, Fault, FaultPlan, ScheduledFault};
@@ -181,4 +187,91 @@ fn main() {
         }
     }
     t3.print();
+
+    // E12 — settled vs growth admission. The packing predates the
+    // newcomers: built over the final topology, then the newcomers
+    // evicted, their edges living only in the growth overlay.
+    let mut t4 = Table::new(
+        "E12: settled vs growth admission (adjacency revealed at arrival)",
+        &[
+            "family",
+            "newcomers",
+            "mode",
+            "rounds",
+            "admitted",
+            "flood srv",
+            "flood rds",
+            "complete",
+        ],
+    );
+    for (name, g) in &instances {
+        let k = connectivity::vertex_connectivity(g);
+        let n = g.n();
+        for c in [1usize, 2, 3] {
+            let newcomers: Vec<usize> = (n - c..n).collect();
+            let base = Graph::from_edges(
+                n,
+                (0..n).flat_map(|u| {
+                    g.neighbors(u)
+                        .iter()
+                        .filter(move |&&v| u < v && u < n - c && v < n - c)
+                        .map(move |&v| (u, v))
+                }),
+            );
+            let mut events = Vec::new();
+            for (i, &v) in newcomers.iter().enumerate() {
+                let round = 4 + 3 * i;
+                events.push(ScheduledFault {
+                    round,
+                    fault: Fault::AddVertex(v),
+                });
+                for &u in g.neighbors(v) {
+                    // An edge between two newcomers activates at the
+                    // later arrival.
+                    if newcomers
+                        .iter()
+                        .position(|&x| x == u)
+                        .is_some_and(|j| j > i)
+                    {
+                        continue;
+                    }
+                    events.push(ScheduledFault {
+                        round,
+                        fault: Fault::AddEdge(v, u),
+                    });
+                }
+            }
+            let plan = FaultPlan::new(events);
+            let gg = plan.growth_topology(&base);
+            let origins: Vec<usize> = (0..n - c).collect();
+            for growth in [false, true] {
+                let (mut cds, mut st) =
+                    cds_packing_with_state(g, &CdsPackingConfig::with_known_k(k, 2));
+                for &v in &newcomers {
+                    for cl in st.delete_vertex(g, v) {
+                        let ms = &mut cds.classes[cl as usize];
+                        if let Ok(i) = ms.binary_search(&v) {
+                            ms.remove(i);
+                        }
+                    }
+                }
+                let r = if growth {
+                    gossip_under_growth(&gg, &cds, &mut st, &origins, 5, &plan).unwrap()
+                } else {
+                    gossip_under_churn(g, &cds, &mut st, &origins, 5, &plan).unwrap()
+                };
+                t4.row(&[
+                    name.to_string(),
+                    d(c),
+                    if growth { "growth" } else { "settled" }.into(),
+                    d(r.rounds),
+                    d(r.admitted_via_packing),
+                    d(r.flood_served),
+                    d(r.flood_rounds),
+                    d(r.complete),
+                ]);
+            }
+        }
+    }
+    t4.print();
 }

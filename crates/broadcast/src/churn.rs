@@ -30,7 +30,7 @@ use decomp_core::cds::centralized::CdsPacking;
 use decomp_core::cds::class_state::ClassState;
 use decomp_core::cds::tree_extract::reextract_class_tree;
 use decomp_core::packing::WeightedDomTree;
-use decomp_graph::{Graph, NodeId};
+use decomp_graph::{Graph, GrowableGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -123,6 +123,15 @@ pub struct ChurnGossipReport {
     pub schedule_digest: u64,
     /// One snapshot per fault wave, in firing order.
     pub waves: Vec<ChurnWaveSample>,
+    /// Class-free arrivals admitted into the packing incrementally
+    /// ([`ClassState::admit_vertex`]) and served from trees. Always 0
+    /// under [`gossip_under_churn`] — only [`gossip_under_growth`]
+    /// admits.
+    pub admitted_via_packing: usize,
+    /// Class-free arrivals no class could absorb, left to domination
+    /// or the flood fallback. Settled runs count every class-free
+    /// arrival here.
+    pub flood_served: usize,
 }
 
 /// Certifies class `c` over the current survivors and re-extracts its
@@ -176,6 +185,48 @@ pub fn gossip_under_churn(
     origins: &[MessageOrigin],
     seed: u64,
     plan: &FaultPlan,
+) -> Result<ChurnGossipReport, ChurnError> {
+    run_churn(g, cds, state, origins, seed, plan, false)
+}
+
+/// [`gossip_under_churn`] over a *growing* topology: the graph arrives
+/// as a [`GrowableGraph`] whose overlay edges activate at their plan
+/// rounds (`gg = plan.growth_topology(&base)`), so adjacency is
+/// revealed only at arrival — no caller ever builds the final CSR.
+///
+/// The one behavioral difference from the settled run: a class-free
+/// newcomer (an arrival the packing never assigned) is *admitted* into
+/// a class incrementally ([`ClassState::admit_vertex`] — argmax
+/// component-merge, bit-identical to a from-scratch repack), so
+/// re-extraction serves it from trees. Only when no class can absorb
+/// it does the run fall back to domination/flood, counted in
+/// [`ChurnGossipReport::flood_served`].
+///
+/// The relay schedule itself runs over the final topology under the
+/// tracker's activation filter — exactly the adjacency
+/// `gg.neighbors_at(v, round)` exposes — so a growth run on a settled
+/// plan (empty overlay, no class-free arrivals) is byte-identical to
+/// [`gossip_under_churn`].
+pub fn gossip_under_growth(
+    gg: &GrowableGraph,
+    cds: &CdsPacking,
+    state: &mut ClassState,
+    origins: &[MessageOrigin],
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<ChurnGossipReport, ChurnError> {
+    let gfull = gg.final_graph();
+    run_churn(&gfull, cds, state, origins, seed, plan, true)
+}
+
+fn run_churn(
+    g: &Graph,
+    cds: &CdsPacking,
+    state: &mut ClassState,
+    origins: &[MessageOrigin],
+    seed: u64,
+    plan: &FaultPlan,
+    admit: bool,
 ) -> Result<ChurnGossipReport, ChurnError> {
     plan.validate(g)?;
     let n = g.n();
@@ -265,6 +316,8 @@ pub fn gossip_under_churn(
     let mut repair_events = 0usize;
     let mut flood_rounds = 0usize;
     let mut reextractions = 0usize;
+    let mut admitted_via_packing = 0usize;
+    let mut flood_served = 0usize;
     let mut newly_dead: Vec<usize> = Vec::new();
     let mut applied = 0usize;
     // Kills already applied to the class state — "death wins" is
@@ -309,7 +362,25 @@ pub fn gossip_under_churn(
                     }
                     Fault::AddVertex(v) => {
                         if !dead_applied[v] {
-                            for c in state.insert_vertex(&g_live, v, &original[v]) {
+                            // Packing members re-enter their original
+                            // classes; a class-free newcomer is either
+                            // admitted incrementally (growth mode) or
+                            // left to domination/flood (settled mode).
+                            let entered = if !original[v].is_empty() {
+                                state.insert_vertex(&g_live, v, &original[v])
+                            } else if admit {
+                                let entered = state.admit_vertex(&g_live, v);
+                                if entered.is_empty() {
+                                    flood_served += 1;
+                                } else {
+                                    admitted_via_packing += 1;
+                                }
+                                entered
+                            } else {
+                                flood_served += 1;
+                                Vec::new()
+                            };
+                            for c in entered {
                                 let c = c as usize;
                                 member.set(c, v);
                                 if let Err(i) = members[c].binary_search(&v) {
@@ -527,6 +598,8 @@ pub fn gossip_under_churn(
         reextractions,
         schedule_digest,
         waves,
+        admitted_via_packing,
+        flood_served,
     })
 }
 
@@ -645,6 +718,99 @@ mod tests {
             r.rounds >= 6,
             "cannot finish before the origin arrives, rounds = {}",
             r.rounds
+        );
+    }
+
+    #[test]
+    fn growth_run_on_a_settled_plan_matches_the_settled_run() {
+        // Empty overlay + every arrival already packed → the growth
+        // path must be byte-identical to the settled one, report and
+        // counters included.
+        let g = generators::harary(8, 40);
+        let origins: Vec<usize> = (0..2 * g.n()).map(|i| i % g.n()).collect();
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 3,
+                fault: Fault::Vertex(2),
+            },
+            ScheduledFault {
+                round: 6,
+                fault: Fault::AddVertex(9),
+            },
+        ]);
+        let (cds, mut st) = setup(&g, 4, 5);
+        assert!(
+            !st.classes_at(9).is_empty(),
+            "fixture: the arrival must be a packed vertex"
+        );
+        let settled = gossip_under_churn(&g, &cds, &mut st, &origins, 21, &plan).unwrap();
+        let gg = GrowableGraph::from_base(g.clone());
+        let (cds2, mut st2) = setup(&g, 4, 5);
+        let grown = gossip_under_growth(&gg, &cds2, &mut st2, &origins, 21, &plan).unwrap();
+        assert_eq!(grown, settled);
+        assert_eq!(grown.admitted_via_packing, 0);
+        assert_eq!(grown.flood_served, 0);
+    }
+
+    #[test]
+    fn growth_admits_a_class_free_newcomer_and_serves_it_from_trees() {
+        // The packing predates vertex 7: it is dropped from the state
+        // and the class lists, its edges exist only in the growth
+        // overlay, and the plan reveals them at the arrival round.
+        let gfull = generators::harary(6, 24);
+        let newcomer = 7usize;
+        let base = Graph::from_edges(
+            gfull.n(),
+            (0..gfull.n()).flat_map(|u| {
+                gfull
+                    .neighbors(u)
+                    .iter()
+                    .filter(move |&&v| u < v && u != newcomer && v != newcomer)
+                    .map(move |&v| (u, v))
+            }),
+        );
+        let mut events = vec![ScheduledFault {
+            round: 5,
+            fault: Fault::AddVertex(newcomer),
+        }];
+        for &u in gfull.neighbors(newcomer) {
+            events.push(ScheduledFault {
+                round: 5,
+                fault: Fault::AddEdge(newcomer, u),
+            });
+        }
+        let plan = FaultPlan::new(events);
+        let gg = plan.growth_topology(&base);
+        assert_eq!(gg.overlay_len(), gfull.neighbors(newcomer).len());
+        let origins: Vec<usize> = (0..gfull.n()).filter(|&v| v != newcomer).collect();
+        let run = |admit: bool| {
+            // A packing built before the newcomer existed: build over
+            // the final topology, then evict 7 — membership exactly as
+            // if 7 had never joined.
+            let (mut cds, mut st) = setup(&gfull, 3, 2);
+            for c in st.delete_vertex(&gfull, newcomer) {
+                let ms = &mut cds.classes[c as usize];
+                if let Ok(i) = ms.binary_search(&newcomer) {
+                    ms.remove(i);
+                }
+            }
+            if admit {
+                gossip_under_growth(&gg, &cds, &mut st, &origins, 11, &plan).unwrap()
+            } else {
+                gossip_under_churn(&gfull, &cds, &mut st, &origins, 11, &plan).unwrap()
+            }
+        };
+        let grown = run(true);
+        assert!(grown.complete, "newcomer must be served");
+        assert_eq!(grown.admitted_via_packing, 1, "the newcomer joined a class");
+        assert_eq!(grown.flood_served, 0);
+        assert_eq!(grown.flood_rounds, 0, "admission keeps the trees certified");
+        let settled = run(false);
+        assert!(settled.complete);
+        assert_eq!(settled.admitted_via_packing, 0, "settled runs never admit");
+        assert_eq!(
+            settled.flood_served, 1,
+            "the class-free arrival is counted against the fallback"
         );
     }
 

@@ -31,7 +31,7 @@ use decomp_congest::{
     ScheduledFault, SimError, Simulator,
 };
 use decomp_core::packing::DomTreePacking;
-use decomp_graph::{Graph, NodeId};
+use decomp_graph::{Graph, GrowableGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -709,6 +709,67 @@ pub fn gossip_protocol_churn(
     plan: &FaultPlan,
     engine: EngineKind,
 ) -> Result<ChurnDistGossipReport, ChurnProtocolError> {
+    run_protocol_churn(g, None, cds, state, origins, seed, config, plan, engine)
+}
+
+/// [`gossip_protocol_churn`] over a *growing* topology: phase 1 runs the
+/// engines on `gg.base()` through the growth view
+/// ([`Simulator::with_growth`]) — each round's neighbor lists are the
+/// edges with activation epoch `<= round`, so no engine ever sees the
+/// final adjacency up front. Class-free arrivals (vertices the packing
+/// predates) are *admitted* into the maintained class state between the
+/// phases ([`ClassState::admit_vertex`](decomp_core::cds::class_state::ClassState::admit_vertex)),
+/// so repair re-injection serves them from re-extracted trees instead of
+/// flooding; [`RunStats::admitted_via_packing`] /
+/// [`RunStats::flood_served`] report the split. The repair phase itself
+/// runs over the final topology (its quiesced round-0 plan activates
+/// everything immediately).
+///
+/// Build `gg` with
+/// [`FaultPlan::growth_topology`] so overlay epochs match the plan's
+/// arrival rounds. Engine choice never changes any output — the growing
+/// run is bit-identical across `sequential` / `sharded` backends and
+/// shard counts, exactly like the settled one.
+#[allow(clippy::too_many_arguments)] // churn protocol plumbing
+pub fn gossip_protocol_growth(
+    gg: &GrowableGraph,
+    cds: &decomp_core::cds::centralized::CdsPacking,
+    state: &mut decomp_core::cds::class_state::ClassState,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+    plan: &FaultPlan,
+    engine: EngineKind,
+) -> Result<ChurnDistGossipReport, ChurnProtocolError> {
+    let gfull = gg.final_graph();
+    run_protocol_churn(
+        &gfull,
+        Some(gg),
+        cds,
+        state,
+        origins,
+        seed,
+        config,
+        plan,
+        engine,
+    )
+}
+
+/// Shared body of [`gossip_protocol_churn`] (settled, `growth: None`)
+/// and [`gossip_protocol_growth`]. `g` is always the final topology;
+/// `growth` carries the phase-1 delivery view when the run grows.
+#[allow(clippy::too_many_arguments)] // churn protocol plumbing
+fn run_protocol_churn(
+    g: &Graph,
+    growth: Option<&GrowableGraph>,
+    cds: &decomp_core::cds::centralized::CdsPacking,
+    state: &mut decomp_core::cds::class_state::ClassState,
+    origins: &[NodeId],
+    seed: u64,
+    config: GossipConfig,
+    plan: &FaultPlan,
+    engine: EngineKind,
+) -> Result<ChurnDistGossipReport, ChurnProtocolError> {
     use decomp_core::cds::tree_extract::{reextract_class_tree, to_dom_tree_packing_with_state};
 
     plan.validate(g).map_err(ChurnProtocolError::Plan)?;
@@ -769,10 +830,15 @@ pub fn gossip_protocol_churn(
     let last_event = plan.events().last().map_or(0, |e| e.round);
     let cap = 64 * (n + nmsg) + 4096 + last_event;
 
-    // Phase 1: the protocol under churn.
-    let mut sim = Simulator::with_seed(g, Model::VCongest, seed)
+    // Phase 1: the protocol under churn. A growing run delivers over
+    // the view (base CSR + epoch-stamped overlay) — the base is the
+    // engines' bookkeeping topology, never their adjacency source.
+    let mut sim = Simulator::with_seed(growth.map_or(g, |gg| gg.base()), Model::VCongest, seed)
         .with_engine(engine)
         .with_faults(plan.clone());
+    if let Some(gg) = growth {
+        sim = sim.with_growth(gg);
+    }
     let (phase1, mut stats) = sim
         .run(make_programs(&membership, injections), cap)
         .map_err(ChurnProtocolError::Sim)?;
@@ -798,10 +864,15 @@ pub fn gossip_protocol_churn(
     };
 
     // Apply the churn to the class state. The state already holds the
-    // final membership, so arrivals repack nothing; deaths and cuts
-    // each repair exactly their touched classes.
+    // final membership of every *packed* vertex, so those arrivals
+    // repack nothing; deaths and cuts each repair exactly their touched
+    // classes. A class-free arrival — a vertex the packing predates —
+    // is admitted incrementally in growth mode (tree service for the
+    // newcomer) and counted against the flood fallback otherwise.
     let g_surv = plan.surviving_graph(g, usize::MAX);
     let mut touched: std::collections::BTreeSet<usize> = Default::default();
+    let mut admitted_via_packing = 0usize;
+    let mut flood_served = 0usize;
     for e in plan.events() {
         match e.fault {
             Fault::Vertex(v) => {
@@ -814,9 +885,28 @@ pub fn gossip_protocol_churn(
                     touched.insert(c as usize);
                 }
             }
-            Fault::AddVertex(_) | Fault::AddEdge(_, _) => {}
+            Fault::AddVertex(v) => {
+                if !dead[v] && state.classes_at(v).is_empty() {
+                    if growth.is_some() {
+                        let entered = state.admit_vertex(&g_surv, v);
+                        if entered.is_empty() {
+                            flood_served += 1;
+                        } else {
+                            admitted_via_packing += 1;
+                        }
+                        for c in entered {
+                            touched.insert(c as usize);
+                        }
+                    } else {
+                        flood_served += 1;
+                    }
+                }
+            }
+            Fault::AddEdge(_, _) => {}
         }
     }
+    stats.admitted_via_packing = admitted_via_packing;
+    stats.flood_served = flood_served;
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
     for v in 0..n {
         for &c in state.classes_at(v) {
@@ -1263,6 +1353,89 @@ mod tests {
         let engines = decomp_testkit::engines();
         let baseline = run(engines[0]);
         assert!(baseline.0);
+        for &engine in &engines[1..] {
+            assert_eq!(run(engine), baseline, "{engine} diverged");
+        }
+        assert_eq!(run(engines[0]), baseline, "re-run diverged");
+    }
+
+    #[test]
+    fn growth_protocol_admits_newcomers_and_is_engine_equivalent() {
+        use decomp_core::cds::centralized::cds_packing_with_state;
+        // Adjacency revealed only at arrival: vertex 11 is isolated in
+        // the base CSR, its edges live in the growth overlay with
+        // epoch = its arrival round, and the packing predates it. The
+        // run must admit it into a class between the phases and stay
+        // bit-identical across every engine.
+        let gfull = generators::harary(6, 30);
+        let newcomer = 11usize;
+        let base = Graph::from_edges(
+            gfull.n(),
+            (0..gfull.n()).flat_map(|u| {
+                gfull
+                    .neighbors(u)
+                    .iter()
+                    .filter(move |&&v| u < v && u != newcomer && v != newcomer)
+                    .map(move |&v| (u, v))
+            }),
+        );
+        let mut events = vec![
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(newcomer),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::Vertex(3),
+            },
+        ];
+        for &u in gfull.neighbors(newcomer) {
+            events.push(ScheduledFault {
+                round: 2,
+                fault: Fault::AddEdge(newcomer, u),
+            });
+        }
+        let plan = FaultPlan::new(events);
+        let gg = plan.growth_topology(&base);
+        assert_eq!(gg.overlay_len(), gfull.neighbors(newcomer).len());
+        let origins: Vec<usize> = (0..gfull.n()).filter(|&v| v != newcomer).collect();
+        let run = |engine| {
+            let (mut cds, mut state) =
+                cds_packing_with_state(&gfull, &CdsPackingConfig::with_known_k(6, 4));
+            // Evict the newcomer: membership exactly as if the packing
+            // had been built before it existed.
+            for c in state.delete_vertex(&gfull, newcomer) {
+                let ms = &mut cds.classes[c as usize];
+                if let Ok(i) = ms.binary_search(&newcomer) {
+                    ms.remove(i);
+                }
+            }
+            let r = gossip_protocol_growth(
+                &gg,
+                &cds,
+                &mut state,
+                &origins,
+                3,
+                GossipConfig::weighted(),
+                &plan,
+                engine,
+            )
+            .unwrap();
+            assert!(!state.classes_at(newcomer).is_empty(), "admitted");
+            (
+                r.complete,
+                r.lost_messages,
+                r.reinjected,
+                r.reextractions,
+                r.certified_classes,
+                r.stats.locality_blind(),
+            )
+        };
+        let engines = decomp_testkit::engines();
+        let baseline = run(engines[0]);
+        assert!(baseline.0, "the newcomer must be served");
+        assert_eq!(baseline.5.admitted_via_packing, 1);
+        assert_eq!(baseline.5.flood_served, 0);
         for &engine in &engines[1..] {
             assert_eq!(run(engine), baseline, "{engine} diverged");
         }

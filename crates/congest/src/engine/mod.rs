@@ -72,7 +72,7 @@ pub use sharded::ShardedEngine;
 
 use crate::fault::{FaultPlan, FaultState};
 use crate::sim::{InEntry, Inbox, Model, NodeCtx, NodeProgram, Outbox, RunStats, SimError};
-use decomp_graph::{Graph, NodeId};
+use decomp_graph::{Graph, GrowableGraph, NodeId, TopologyView};
 use rand::rngs::StdRng;
 use std::fmt;
 use std::str::FromStr;
@@ -177,8 +177,18 @@ impl FromStr for EngineKind {
 
 /// The immutable network parameters an engine executes against.
 pub struct NetSpec<'g> {
-    /// Communication topology.
+    /// Bookkeeping topology: vertex count, partitioning, buffer sizing.
+    /// For settled runs this is also the delivery topology; growable
+    /// runs deliver over [`NetSpec::view`] instead (`graph` is then the
+    /// growable topology's CSR base, which may lack — or after a
+    /// compaction, contain-but-never-reveal — future edges).
     pub graph: &'g Graph,
+    /// Growable topology, when the run's adjacency is revealed only at
+    /// arrival rounds: engines deliver over
+    /// [`GrowableGraph::neighbors_at`] with epoch = round, so a program
+    /// can never observe a future edge (degree included). `None` keeps
+    /// the settled fast path byte-for-byte.
+    pub growth: Option<&'g GrowableGraph>,
     /// The CONGEST variant whose constraints are enforced.
     pub model: Model,
     /// Per-message payload budget in words.
@@ -191,6 +201,18 @@ pub struct NetSpec<'g> {
     /// choices only — today, seeding the topology-aware partitioner —
     /// never for anything that reaches program state or RNG streams.
     pub seed: u64,
+}
+
+impl<'g> NetSpec<'g> {
+    /// The topology view engines deliver over: static for settled runs,
+    /// the growable graph otherwise.
+    #[inline]
+    pub fn view(&self) -> TopologyView<'g> {
+        match self.growth {
+            None => TopologyView::Static(self.graph),
+            Some(gg) => TopologyView::Growable(gg),
+        }
+    }
 }
 
 /// The outcome of one engine run.
@@ -493,10 +515,19 @@ pub(crate) fn step_node<P: NodeProgram>(
     faults: Option<&FaultState<'_>>,
     inbox: Inbox<'_>,
     outbox: &mut Outbox,
+    nbr_scratch: &mut Vec<NodeId>,
     stats: &mut RunStats,
     sink: &mut impl FnMut(&[NodeId], &[u64]),
 ) -> bool {
-    let neighbors = net.graph.neighbors(v);
+    // Delivery runs over the topology view at epoch = round: the static
+    // path is the CSR slice (settled runs byte-identical to the
+    // pre-growth engines), the growable path materializes the active
+    // neighbors into the engine-owned scratch buffer. The list is
+    // stable for the whole round (epochs advance only at round starts),
+    // so the outbox's per-neighbor spans stay consistent.
+    let neighbors =
+        net.view()
+            .active_neighbors(v, round.min(u32::MAX as usize) as u32, nbr_scratch);
     outbox.reset(neighbors.len());
     {
         let mut ctx = NodeCtx::new(

@@ -14,6 +14,7 @@ use super::{
 };
 use crate::fault::FaultState;
 use crate::sim::{NodeProgram, Outbox, RunStats, SimError};
+use decomp_graph::NodeId;
 use rand::rngs::StdRng;
 
 /// Steps every node in id order on the calling thread.
@@ -40,6 +41,9 @@ impl RoundEngine for SequentialEngine {
         let mut next = InboxArena::new(n);
         let mut slab = ActivitySlab::new(n);
         let mut outbox = Outbox::new(net.model);
+        // Active-neighbor scratch for growable runs (untouched — and
+        // unallocated — on the settled fast path).
+        let mut nbr_scratch: Vec<NodeId> = Vec::new();
         let mut faults = net.faults.map(|plan| FaultState::new(plan, n));
         // Not-yet-arrived vertices start dormant: skipped by the pending
         // scan (their RNG streams untouched) but blocking quiescence, so
@@ -105,6 +109,7 @@ impl RoundEngine for SequentialEngine {
                         faults.as_ref(),
                         inbox,
                         &mut outbox,
+                        &mut nbr_scratch,
                         &mut stats,
                         &mut |targets, payload| {
                             *queued += payload.len();

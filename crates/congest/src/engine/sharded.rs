@@ -298,6 +298,9 @@ fn shard_worker<P: NodeProgram + Send>(
     let mut next = InboxArena::new(local_n);
     let mut slab = ActivitySlab::new(local_n);
     let mut outbox = Outbox::new(net.model);
+    // Per-worker active-neighbor scratch for growable runs (untouched
+    // on the settled fast path).
+    let mut nbr_scratch: Vec<NodeId> = Vec::new();
     let mut out_bufs: Vec<OutBatch> = (0..s).map(|_| OutBatch::default()).collect();
     let mut scratch = OutBatch::default();
     // Per-destination payload dedup across the runs of one sink call
@@ -377,6 +380,7 @@ fn shard_worker<P: NodeProgram + Send>(
                     let v = nodes[i];
                     cur.sort(i);
                     let inbox = cur.inbox(i);
+                    let nbr_scratch = &mut nbr_scratch;
                     let next_arena = &mut next;
                     let bufs = &mut out_bufs;
                     let qm = &mut queued_msgs;
@@ -395,6 +399,7 @@ fn shard_worker<P: NodeProgram + Send>(
                         faults.as_ref(),
                         inbox,
                         &mut outbox,
+                        nbr_scratch,
                         &mut stats,
                         &mut |targets, payload| {
                             *qm += targets.len();

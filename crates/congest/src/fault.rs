@@ -331,6 +331,17 @@ impl FaultPlan {
         let n = g.n();
         let mut killed_at: Vec<Option<usize>> = vec![None; n];
         let mut arrived = vec![false; n];
+        // Earliest arrival round per vertex, pre-scanned: an edge event
+        // may be scheduled before its endpoint's `AddVertex` appears in
+        // round order, and growth plans must reject that shape.
+        let mut arrives_at: Vec<Option<usize>> = vec![None; n];
+        for e in &self.events {
+            if let Fault::AddVertex(v) = e.fault {
+                if v < n && arrives_at[v].is_none() {
+                    arrives_at[v] = Some(e.round);
+                }
+            }
+        }
         for e in &self.events {
             let named: [Option<NodeId>; 2] = match e.fault {
                 Fault::Vertex(v) | Fault::AddVertex(v) => [Some(v), None],
@@ -374,11 +385,48 @@ impl FaultPlan {
                                 round: e.round,
                             });
                         }
+                        if let Some(arrival) = arrives_at[end] {
+                            if e.round < arrival {
+                                return Err(FaultPlanError::EdgeBeforeArrival {
+                                    u,
+                                    v,
+                                    endpoint: end,
+                                    round: e.round,
+                                    arrival,
+                                });
+                            }
+                        }
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Builds the growable topology this plan describes over `base`:
+    /// every [`Fault::AddEdge`] event whose edge is absent from `base`
+    /// becomes an overlay edge activating at the event's round (epoch =
+    /// round). `base` holds only the adjacency known before round 0, so
+    /// an engine delivering over the resulting
+    /// [`GrowableGraph`](decomp_graph::GrowableGraph) genuinely reveals
+    /// a newcomer's edges no earlier than their arrival — the end of
+    /// the settled model's "final adjacency at build time" requirement.
+    ///
+    /// `AddEdge` events whose edge *is* already in `base` keep the
+    /// settled semantics (present but inactive until the round, purged
+    /// by the delivery filter), so mixed plans compose. Validate the
+    /// plan first: [`FaultPlan::validate`] rejects growth plans that
+    /// reference a vertex's edge before its `AddVertex` round.
+    pub fn growth_topology(&self, base: &Graph) -> decomp_graph::GrowableGraph {
+        let mut gg = decomp_graph::GrowableGraph::from_base(base.clone());
+        for e in &self.events {
+            if let Fault::AddEdge(u, v) = e.fault {
+                if u < gg.n() && v < gg.n() && u != v && gg.edge_epoch(u, v).is_none() {
+                    gg.add_edge(u, v, e.round.min(u32::MAX as usize) as u32);
+                }
+            }
+        }
+        gg
     }
 }
 
@@ -422,6 +470,24 @@ pub enum FaultPlanError {
         /// The round of the second arrival.
         round: usize,
     },
+    /// An edge event (cut or activation) references an endpoint
+    /// *before* its scheduled [`Fault::AddVertex`] round. Under
+    /// topology growth the edge does not exist yet — the settled model
+    /// used to accept this silently (the edge was simply inactive), but
+    /// growth plans must be causally ordered: a vertex's edges may be
+    /// referenced no earlier than the vertex itself.
+    EdgeBeforeArrival {
+        /// Edge endpoint `u` (normalized, `u < v`).
+        u: NodeId,
+        /// Edge endpoint `v`.
+        v: NodeId,
+        /// The endpoint that has not arrived yet.
+        endpoint: NodeId,
+        /// The edge event's scheduled round.
+        round: usize,
+        /// The endpoint's (earliest) arrival round.
+        arrival: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -446,6 +512,17 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::DoubleArrival { node, round } => {
                 write!(f, "vertex {node} arrives a second time at round {round}")
             }
+            FaultPlanError::EdgeBeforeArrival {
+                u,
+                v,
+                endpoint,
+                round,
+                arrival,
+            } => write!(
+                f,
+                "edge event {{{u}, {v}}} at round {round} references endpoint {endpoint}, \
+                 which only arrives at round {arrival}"
+            ),
         }
     }
 }
@@ -814,6 +891,108 @@ mod tests {
         assert_eq!(mid.m(), g.m() - 1, "vertex 2 arrived, {{0,1}} still off");
         let after = plan.surviving_graph(&g, 5);
         assert_eq!(after.m(), g.m());
+    }
+
+    #[test]
+    fn validate_flags_edge_events_before_arrival() {
+        let g = generators::cycle(6);
+        // Activation of {2, 5} at round 3, but vertex 5 only arrives at
+        // round 7 — a growth plan referencing the edge before the vertex.
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 3,
+                fault: Fault::AddEdge(2, 5),
+            },
+            ScheduledFault {
+                round: 7,
+                fault: Fault::AddVertex(5),
+            },
+        ]);
+        assert_eq!(
+            plan.validate(&g),
+            Err(FaultPlanError::EdgeBeforeArrival {
+                u: 2,
+                v: 5,
+                endpoint: 5,
+                round: 3,
+                arrival: 7
+            })
+        );
+        // A cut is an edge reference too.
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 1,
+                fault: Fault::Edge(0, 4),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(4),
+            },
+        ]);
+        assert!(matches!(
+            plan.validate(&g),
+            Err(FaultPlanError::EdgeBeforeArrival {
+                endpoint: 4,
+                round: 1,
+                arrival: 2,
+                ..
+            })
+        ));
+        // Same-round and later references are causally fine.
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(4),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddEdge(0, 4),
+            },
+            ScheduledFault {
+                round: 5,
+                fault: Fault::Edge(3, 4),
+            },
+        ]);
+        assert_eq!(plan.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn growth_topology_stamps_overlay_edges_with_arrival_rounds() {
+        // Base: a path 0-1-2; vertex 3 exists but is isolated until its
+        // arrival, when its edges are revealed.
+        let base = Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 4,
+                fault: Fault::AddVertex(3),
+            },
+            ScheduledFault {
+                round: 4,
+                fault: Fault::AddEdge(2, 3),
+            },
+            ScheduledFault {
+                round: 6,
+                fault: Fault::AddEdge(0, 3),
+            },
+        ]);
+        assert_eq!(plan.validate(&base), Ok(()));
+        let gg = plan.growth_topology(&base);
+        assert_eq!(gg.n(), 4);
+        assert_eq!(gg.edge_epoch(2, 3), Some(4));
+        assert_eq!(gg.edge_epoch(0, 3), Some(6));
+        assert_eq!(gg.edge_epoch(0, 1), Some(0), "base edges active at 0");
+        assert!(gg.neighbors_at(3, 3).next().is_none());
+        assert_eq!(gg.neighbors_at(3, 4).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(gg.neighbors_at(3, 6).collect::<Vec<_>>(), vec![0, 2]);
+        // An AddEdge whose edge is already in the base stays settled
+        // (no overlay entry; the delivery filter handles it).
+        let settled = FaultPlan::new([ScheduledFault {
+            round: 3,
+            fault: Fault::AddEdge(0, 1),
+        }]);
+        let gg = settled.growth_topology(&base);
+        assert_eq!(gg.overlay_len(), 0);
+        assert_eq!(gg.edge_epoch(0, 1), Some(0));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::engine::{EngineKind, NetSpec, RoundEngine, SequentialEngine, ShardedEngine};
 use crate::fault::FaultPlan;
 use crate::message::{Message, MsgView};
-use decomp_graph::{Graph, NodeId};
+use decomp_graph::{Graph, GrowableGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -93,6 +93,14 @@ pub struct RunStats {
     /// runs, and bounded per fault wave when re-extraction restores real
     /// tree schedules between waves.
     pub flood_rounds: usize,
+    /// Newcomers a *protocol* admitted into the maintained CDS packing
+    /// incrementally (served from trees without a flood fallback or a
+    /// from-scratch repack). Engine-independent, protocol-set.
+    pub admitted_via_packing: usize,
+    /// Newcomers no tree class could absorb, served by flood fallback
+    /// instead. Engine-independent, protocol-set; the complement of
+    /// `admitted_via_packing` over class-free arrivals.
+    pub flood_served: usize,
 }
 
 impl RunStats {
@@ -109,6 +117,8 @@ impl RunStats {
         self.wasted_bandwidth += other.wasted_bandwidth;
         self.repair_events += other.repair_events;
         self.flood_rounds += other.flood_rounds;
+        self.admitted_via_packing += other.admitted_via_packing;
+        self.flood_served += other.flood_served;
         self.peak_queued_messages = self.peak_queued_messages.max(other.peak_queued_messages);
         self.peak_arena_words = self.peak_arena_words.max(other.peak_arena_words);
     }
@@ -551,6 +561,7 @@ pub trait NodeProgram {
 /// semantics and [`crate::engine`] for the execution backends.
 pub struct Simulator<'g> {
     graph: &'g Graph,
+    growth: Option<&'g GrowableGraph>,
     model: Model,
     word_budget: usize,
     engine: EngineKind,
@@ -579,6 +590,7 @@ impl<'g> Simulator<'g> {
             .collect();
         Simulator {
             graph,
+            growth: None,
             model,
             word_budget: DEFAULT_WORD_BUDGET,
             engine: EngineKind::Sequential,
@@ -610,6 +622,35 @@ impl<'g> Simulator<'g> {
     /// The installed failure schedule, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Delivers over a growing topology view instead of the settled
+    /// `graph`: each round `r`, a node's neighbor list is the edges of
+    /// `gg` with activation epoch `<= r` (epochs are rounds). The
+    /// simulator's `graph` must be `gg.base()` — the engines keep using
+    /// it for sizing, partitioning, and RNG streams, none of which
+    /// affect outputs.
+    ///
+    /// Compose with [`Simulator::with_faults`] for arrivals/deaths:
+    /// edge *activation* lives in the view, vertex dormancy and cuts
+    /// stay with the fault plan.
+    ///
+    /// # Panics
+    /// Panics if `gg.base()` is not the simulator's graph (by vertex
+    /// count; full identity is the caller's contract).
+    pub fn with_growth(mut self, gg: &'g GrowableGraph) -> Self {
+        assert_eq!(
+            gg.n(),
+            self.graph.n(),
+            "growth view must be built over the simulator's graph"
+        );
+        self.growth = Some(gg);
+        self
+    }
+
+    /// The installed growing topology view, if any.
+    pub fn growth(&self) -> Option<&GrowableGraph> {
+        self.growth
     }
 
     /// Selects the round-execution backend. Engine choice never changes
@@ -697,6 +738,7 @@ impl<'g> Simulator<'g> {
         assert_eq!(programs.len(), n, "need one program per node");
         let net = NetSpec {
             graph: self.graph,
+            growth: self.growth,
             model: self.model,
             word_budget: self.word_budget,
             faults: self.faults.as_ref(),
@@ -1289,6 +1331,100 @@ mod tests {
             )
         };
         let baseline = run(EngineKind::Sequential);
+        for engine in engines() {
+            assert_eq!(run(engine), baseline, "{engine}");
+        }
+    }
+
+    #[test]
+    fn growth_view_with_no_overlay_matches_static_run() {
+        // A growth view whose overlay is empty is the settled graph:
+        // every output and statistic must be byte-identical to the
+        // plain Static path.
+        let g = generators::harary(4, 16);
+        let gg = GrowableGraph::from_base(g.clone());
+        let run = |growth: bool| {
+            let mut sim = Simulator::with_seed(&g, Model::VCongest, 7);
+            if growth {
+                sim = sim.with_growth(&gg);
+            }
+            let programs = (0..g.n())
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 3,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 100).unwrap();
+            (
+                ps.into_iter()
+                    .map(|p| (p.heard, p.chatty))
+                    .collect::<Vec<_>>(),
+                stats,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn growth_run_reveals_adjacency_only_at_arrival_and_is_engine_equivalent() {
+        use crate::fault::{Fault, FaultPlan, ScheduledFault};
+        // Base: cycle on 0..4; newcomers 4 and 5 are *isolated* in the
+        // base CSR — their adjacency exists only in the growth view,
+        // activating at the arrival rounds. This is the end of the
+        // settled model: no engine ever sees the final adjacency up
+        // front.
+        let base = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let plan = FaultPlan::new([
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddVertex(4),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddEdge(0, 4),
+            },
+            ScheduledFault {
+                round: 2,
+                fault: Fault::AddEdge(2, 4),
+            },
+            ScheduledFault {
+                round: 5,
+                fault: Fault::AddVertex(5),
+            },
+            ScheduledFault {
+                round: 5,
+                fault: Fault::AddEdge(4, 5),
+            },
+        ]);
+        assert_eq!(plan.validate(&base), Ok(()));
+        let gg = plan.growth_topology(&base);
+        assert_eq!(gg.overlay_len(), 3, "all three edges are new to the base");
+        let run = |engine| {
+            let mut sim = Simulator::with_seed(&base, Model::VCongest, 11)
+                .with_engine(engine)
+                .with_growth(&gg)
+                .with_faults(plan.clone());
+            let programs = (0..6)
+                .map(|_| Counter {
+                    heard: 0,
+                    chatty: 4,
+                })
+                .collect();
+            let (ps, stats) = sim.run(programs, 100).unwrap();
+            assert_eq!(stats.local_words + stats.cross_shard_words, stats.words);
+            (
+                ps.into_iter()
+                    .map(|p| (p.heard, p.chatty))
+                    .collect::<Vec<_>>(),
+                stats.locality_blind(),
+            )
+        };
+        let baseline = run(EngineKind::Sequential);
+        // Newcomer 5's only link is to fellow newcomer 4 — adjacency
+        // revealed at round 5, well after both nodes existed in the
+        // base. It still hears traffic (4's remaining broadcasts).
+        assert!(baseline.0[5].0 > 0, "vertex 5 heard nothing");
+        assert_eq!(baseline.0[5].1, 0, "vertex 5 never drained its budget");
         for engine in engines() {
             assert_eq!(run(engine), baseline, "{engine}");
         }

@@ -325,6 +325,59 @@ impl ClassState {
         touched
     }
 
+    /// Incremental class *admission* — assigns a class-free newcomer `v`
+    /// to a class using only the maintained aggregates, then
+    /// [`insert_vertex`](Self::insert_vertex)s it there. Returns the
+    /// classes entered (empty when no class can absorb the newcomer —
+    /// the caller's flood-fallback signal).
+    ///
+    /// The rule: for each class `c`, let `d_c` be the number of
+    /// *distinct components* of `c` among `v`'s live neighbors (distinct
+    /// union-find roots of occupied neighbor bundles). Any class with
+    /// `d_c ≥ 1` can admit `v` without increasing the excess `M` — the
+    /// newcomer melts into an existing component. Joining merges those
+    /// `d_c` components into one, reducing `N_c` by `d_c − 1`, so the
+    /// greedy pick is the argmax of `d_c`, ties broken to the lowest
+    /// class id (deterministic across engines by construction: the rule
+    /// reads only the class partition, never engine state).
+    ///
+    /// Because admission delegates to `insert_vertex`, the post-admit
+    /// state is bit-identical to a from-scratch repack over the same
+    /// final membership (the property suite cross-checks `comp_of`
+    /// labels against a fresh replay).
+    pub fn admit_vertex(&mut self, g: &Graph, v: NodeId) -> Vec<u32> {
+        let n = self.layout.n();
+        // (d_c, class); iterate classes ascending and replace only on a
+        // strictly larger d_c, so ties resolve to the lowest id.
+        let mut best: Option<(usize, usize)> = None;
+        for class in 0..self.t {
+            let mut roots: Vec<usize> = Vec::new();
+            for &u in g.neighbors(v) {
+                if u >= n {
+                    continue;
+                }
+                let uslot = self.slot(u, class);
+                if !self.occupied[uslot] {
+                    continue;
+                }
+                let root = self.uf.find(uslot);
+                if !roots.contains(&root) {
+                    roots.push(root);
+                }
+            }
+            if roots.is_empty() {
+                continue;
+            }
+            if best.is_none_or(|(d, _)| roots.len() > d) {
+                best = Some((roots.len(), class));
+            }
+        }
+        match best {
+            None => Vec::new(),
+            Some((_, class)) => self.insert_vertex(g, v, &[class as u32]),
+        }
+    }
+
     /// Edge-arrival counterpart of [`delete_edge`](Self::delete_edge):
     /// a new live edge `{u, v}` can only merge components, so every
     /// class with a member bundle on *both* endpoints unions the two —
@@ -802,6 +855,94 @@ mod tests {
             }
             for v in 0..20 {
                 assert_eq!(st.classes_at(v), fresh.classes_at(v), "after event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn admit_vertex_picks_the_class_that_merges_most() {
+        let g = generators::path(3); // 0 - 1 - 2
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 2);
+        // Class 0 fragmented across both of 1's neighbors (d_0 = 2);
+        // class 1 present on one neighbor only (d_1 = 1).
+        st.join(&g, layout.vid(0, 0, VType::T1), 0);
+        st.join(&g, layout.vid(2, 0, VType::T1), 0);
+        st.join(&g, layout.vid(0, 0, VType::T2), 1);
+        assert_eq!(st.component_count(0), 2);
+        assert_eq!(st.admit_vertex(&g, 1), vec![0], "argmax d_c wins");
+        assert_eq!(st.component_count(0), 1, "admission merged the halves");
+        assert_eq!(st.excess(), 0);
+        assert_eq!(st.classes_at(1), &[0]);
+    }
+
+    #[test]
+    fn admit_vertex_ties_break_to_the_lowest_class() {
+        let g = generators::complete(3);
+        let layout = VirtualLayout::new(3, 4);
+        let mut st = ClassState::new(layout, 3);
+        // Classes 1 and 2 each have one component on a neighbor of 0;
+        // class 0 is empty. The d_c = 1 tie goes to the lowest present
+        // class, never the empty one.
+        st.join(&g, layout.vid(1, 0, VType::T1), 1);
+        st.join(&g, layout.vid(2, 0, VType::T1), 2);
+        assert_eq!(st.admit_vertex(&g, 0), vec![1]);
+        assert_eq!(st.classes_at(0), &[1]);
+    }
+
+    #[test]
+    fn admit_vertex_returns_empty_when_no_class_can_absorb() {
+        let g = generators::path(4); // 0 - 1 - 2 - 3
+        let layout = VirtualLayout::new(4, 4);
+        let mut st = ClassState::new(layout, 2);
+        // The only member sits on 3 — not adjacent to 0.
+        st.join(&g, layout.vid(3, 0, VType::T1), 0);
+        let before = st.comp_of(0);
+        assert_eq!(st.admit_vertex(&g, 0), Vec::<u32>::new());
+        assert_eq!(st.classes_at(0), &[] as &[u32], "state untouched");
+        assert_eq!(st.comp_of(0), before);
+    }
+
+    #[test]
+    fn admit_vertex_matches_fresh_replay() {
+        // After an admission, the incremental state must be
+        // label-identical to a fresh state built over the same final
+        // membership — the bit-identity contract growth re-extraction
+        // relies on.
+        let g = generators::grid(4, 5);
+        let layout = VirtualLayout::new(20, 4);
+        let joins: Vec<(usize, usize)> = (0..18).map(|i| (i * 7 % 20, i % 3)).collect();
+        let mut st = ClassState::new(layout, 3);
+        for &(v, c) in &joins {
+            st.join(&g, layout.vid(v, 0, VType::ALL[c]), c);
+        }
+        let unjoined: Vec<usize> = (0..20)
+            .filter(|&v| joins.iter().all(|&(j, _)| j != v))
+            .collect();
+        let mut member: Vec<(usize, usize)> = joins.clone();
+        for &v in &unjoined {
+            let entered = st.admit_vertex(&g, v);
+            assert_eq!(
+                entered.len(),
+                1,
+                "grid newcomers always have members nearby"
+            );
+            member.push((v, entered[0] as usize));
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                assert_eq!(st.component_count(c), want, "class {c} after admitting {v}");
+            }
+            assert_eq!(st.excess(), excess);
+            let mut fresh = ClassState::new(layout, 3);
+            for &(m, c) in &member {
+                fresh.join(&g, layout.vid(m, 0, VType::ALL[c]), c);
+            }
+            for c in 0..3 {
+                assert_eq!(
+                    st.comp_of(c),
+                    fresh.comp_of(c),
+                    "labels after admitting {v}"
+                );
             }
         }
     }

@@ -8,6 +8,9 @@
 //! underlying graph machinery:
 //!
 //! * a compact undirected [`Graph`] representation with a builder,
+//! * a [`growable`] topology view ([`GrowableGraph`] /
+//!   [`TopologyView`]): epoch-stamped edge activation over a CSR base,
+//!   for engines running on graphs that grow mid-run,
 //! * graph [`generators`] covering all families used in the experiments
 //!   (Harary graphs, random regular graphs, `G(n,p)`, hypercubes, the
 //!   clique-plus-triples counterexample, diameter-controlled families, ...),
@@ -35,6 +38,7 @@ pub mod domination;
 pub mod flow;
 pub mod generators;
 pub mod graph;
+pub mod growable;
 pub mod matching;
 pub mod mst;
 pub mod sample;
@@ -43,3 +47,4 @@ pub mod traversal;
 pub mod unionfind;
 
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use growable::{GrowableGraph, TopologyView};

@@ -129,6 +129,67 @@ proptest! {
             prop_assert_eq!(st.excess(), fresh.excess());
         }
     }
+
+    /// `admit_vertex` (the PR-10 growth contract): admitting a
+    /// class-free newcomer through the maintained aggregates leaves the
+    /// incremental [`ClassState`] label-identical to a from-scratch
+    /// replay of the same final membership, and the admission rule
+    /// itself is a pure function of the class partition (replaying the
+    /// same history re-picks the same class).
+    #[test]
+    fn admit_matches_scratch_repack_bit_for_bit(
+        seed in any::<u64>(),
+        n in 10usize..28,
+        extra in 0usize..16,
+        t in 1usize..4,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let layout = VirtualLayout::new(n, 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xad41_77e5);
+        let mut joins: Vec<(usize, usize)> = Vec::new();
+        let mut outside: Vec<usize> = Vec::new();
+        for v in 0..n {
+            if rng.gen_range(0..4) > 0 {
+                joins.push((v, rng.gen_range(0..t)));
+            } else {
+                outside.push(v); // the class-free newcomers
+            }
+        }
+        let mut st = ClassState::new(layout, t);
+        for &(v, c) in &joins {
+            st.join(&g, layout.vid(v, 0, VType::ALL[c % VType::ALL.len()]), c);
+        }
+        let mut member = joins.clone();
+        for &v in &outside {
+            let entered = st.admit_vertex(&g, v);
+            prop_assert!(entered.len() <= 1, "admission picks at most one class");
+            // Empty only when no neighbor carries any class.
+            if entered.is_empty() {
+                let absorbable = g.neighbors(v).iter().any(|&u| !st.classes_at(u).is_empty());
+                prop_assert!(!absorbable, "refused an absorbable newcomer {}", v);
+                continue;
+            }
+            member.push((v, entered[0] as usize));
+            // Counters match the scratch oracle after every admission…
+            let (counts, excess) = st.recompute_from_scratch(&g);
+            for (c, &want) in counts.iter().enumerate() {
+                prop_assert_eq!(st.component_count(c), want, "class {} after {}", c, v);
+            }
+            prop_assert_eq!(st.excess(), excess, "excess after {}", v);
+            // …and the state is bit-identical to a fresh replay of the
+            // same final membership.
+            let mut fresh = ClassState::new(layout, t);
+            for &(m, c) in &member {
+                fresh.join(&g, layout.vid(m, 0, VType::ALL[c % VType::ALL.len()]), c);
+            }
+            for c in 0..t {
+                prop_assert_eq!(st.comp_of(c), fresh.comp_of(c), "labels, class {}", c);
+            }
+            for u in 0..n {
+                prop_assert_eq!(st.classes_at(u), fresh.classes_at(u), "membership at {}", u);
+            }
+        }
+    }
 }
 
 #[test]

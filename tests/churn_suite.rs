@@ -10,9 +10,11 @@
 //! CI sweeps this suite under `DECOMP_ENGINE=sequential`, `sharded:4`,
 //! and `sharded:4:topo`.
 
-use connectivity_decomposition::broadcast::churn::gossip_under_churn;
+use connectivity_decomposition::broadcast::churn::{gossip_under_churn, gossip_under_growth};
 use connectivity_decomposition::broadcast::gossip::{gossip_via_trees_faulty, GossipConfig};
-use connectivity_decomposition::broadcast::gossip_distributed::gossip_protocol_churn;
+use connectivity_decomposition::broadcast::gossip_distributed::{
+    gossip_protocol_churn, gossip_protocol_growth,
+};
 use connectivity_decomposition::congest::{Fault, FaultPlan, ScheduledFault};
 use connectivity_decomposition::core::cds::centralized::CdsPacking;
 use connectivity_decomposition::core::cds::class_state::ClassState;
@@ -213,6 +215,197 @@ fn distributed_churn_protocol_is_engine_equivalent() {
     assert!(baseline.0, "survivors must be served");
     assert_eq!(baseline.1, 0);
     assert_eq!(baseline.4, left, "every class re-certifies");
+    for &engine in &engines[1..] {
+        assert_eq!(run(engine), baseline, "{engine} diverged");
+    }
+    assert_eq!(run(engines[0]), baseline, "re-run diverged");
+}
+
+/// [`pair_fixture`] over a base CSR that also carries `extra` *isolated*
+/// newcomer vertices: their adjacency (to every left vertex) exists only
+/// in a growth overlay, never in the base — the packing predates them.
+fn growth_fixture(left: usize, right: usize, extra: usize) -> (Graph, CdsPacking, ClassState) {
+    assert!(right >= 2 * left);
+    let bip = generators::complete_bipartite(left, right);
+    let mut edges = Vec::new();
+    for u in 0..bip.n() {
+        for &v in bip.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    let base = Graph::from_edges(bip.n() + extra, edges);
+    let layout = VirtualLayout::new(base.n(), 4);
+    let mut state = ClassState::new(layout, left);
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); left];
+    let mut class_of = vec![None; layout.total()];
+    for (c, members) in classes.iter_mut().enumerate() {
+        for v in [c, left + 2 * c, left + 2 * c + 1] {
+            state.join(&base, layout.vid(v, 0, VType::T1), c);
+            class_of[layout.vid(v, 0, VType::T1)] = Some(c as u32);
+            members.push(v);
+        }
+        members.sort_unstable();
+    }
+    let cds = CdsPacking {
+        layout,
+        num_classes: left,
+        class_of,
+        classes,
+        trace: Vec::new(),
+    };
+    (base, cds, state)
+}
+
+/// The E12 growth plan: member arrivals at round 3, then `extra`
+/// class-free newcomers at round 9 whose edges (to every left vertex)
+/// are revealed only at the arrival round.
+fn growth_plan(left: usize, base_pop: usize, extra: usize) -> FaultPlan {
+    let mut events = Vec::new();
+    for i in 0..4 {
+        events.push(ScheduledFault {
+            round: 3,
+            fault: Fault::AddVertex(left + 2 * i + 1),
+        });
+    }
+    for v in 0..extra {
+        let w = base_pop + v;
+        events.push(ScheduledFault {
+            round: 9,
+            fault: Fault::AddVertex(w),
+        });
+        for l in 0..left {
+            events.push(ScheduledFault {
+                round: 9,
+                fault: Fault::AddEdge(w, l),
+            });
+        }
+    }
+    FaultPlan::new(events)
+}
+
+/// Golden digest of the growth scenario (seed 9): newcomers whose
+/// adjacency is revealed only at arrival, admitted into the packing
+/// incrementally. Update deliberately if admission or schedule
+/// semantics change.
+const GROWTH_SCENARIO_DIGEST: u64 = 0x5df1_343a_9330_9da5;
+
+#[test]
+fn growth_scenario_admits_newcomers_without_flooding() {
+    // The end of the settled model, end to end: the final adjacency is
+    // never built by the caller — three newcomers are isolated in the
+    // base CSR and wired to the left side only at their arrival round.
+    // Incremental admission must serve them from trees: zero flood
+    // rounds, all three admitted.
+    let (left, right, extra) = (8, 400, 3);
+    let (base, cds, mut state) = growth_fixture(left, right, extra);
+    let plan = growth_plan(left, left + right, extra);
+    let gg = plan.growth_topology(&base);
+    assert_eq!(
+        gg.overlay_len(),
+        extra * left,
+        "newcomer edges live in the overlay"
+    );
+    let origins: Vec<usize> = (0..left + right).take(120).collect();
+    let r = gossip_under_growth(&gg, &cds, &mut state, &origins, 9, &plan).unwrap();
+    assert!(r.complete, "newcomers must be served");
+    assert_eq!(r.lost_messages, 0);
+    assert_eq!(
+        r.admitted_via_packing, extra,
+        "every newcomer joined a class"
+    );
+    assert_eq!(r.flood_served, 0);
+    assert_eq!(r.flood_rounds, 0, "admission keeps every tree certified");
+    for w in (left + right..base.n()).take(extra) {
+        assert!(
+            !state.classes_at(w).is_empty(),
+            "newcomer {w} is a member now"
+        );
+    }
+
+    // The settled counterpart on the materialized final topology: same
+    // plan, same service, but the newcomers never enter the packing.
+    let gfull = gg.final_graph();
+    let (_, cds2, mut state2) = growth_fixture(left, right, extra);
+    let s = gossip_under_churn(&gfull, &cds2, &mut state2, &origins, 9, &plan).unwrap();
+    assert!(s.complete);
+    assert_eq!(s.admitted_via_packing, 0, "settled runs never admit");
+    assert_eq!(s.flood_served, extra);
+
+    // Golden pin + exact double-run reproducibility.
+    let (_, cds3, mut state3) = growth_fixture(left, right, extra);
+    let r2 = gossip_under_growth(&gg, &cds3, &mut state3, &origins, 9, &plan).unwrap();
+    assert_eq!(r, r2, "same inputs must reproduce the full report");
+    assert_eq!(
+        r.schedule_digest, GROWTH_SCENARIO_DIGEST,
+        "growth schedule digest drifted — update deliberately"
+    );
+}
+
+#[test]
+fn distributed_growth_protocol_is_engine_equivalent() {
+    // The distributed two-phase protocol on a growing topology:
+    // phase 1 delivers over the view (adjacency revealed at arrival),
+    // newcomers are admitted between the phases, and every engine must
+    // agree bit-for-bit.
+    let (left, right, extra) = (6, 200, 2);
+    let (base, _, _) = growth_fixture(left, right, extra);
+    let mut events = vec![
+        ScheduledFault {
+            round: 2,
+            fault: Fault::AddVertex(left + 1),
+        },
+        ScheduledFault {
+            round: 4,
+            fault: Fault::Vertex(left),
+        },
+    ];
+    for v in 0..extra {
+        let w = left + right + v;
+        events.push(ScheduledFault {
+            round: 6,
+            fault: Fault::AddVertex(w),
+        });
+        for l in 0..left {
+            events.push(ScheduledFault {
+                round: 6,
+                fault: Fault::AddEdge(w, l),
+            });
+        }
+    }
+    let plan = FaultPlan::new(events);
+    let gg = plan.growth_topology(&base);
+    assert_eq!(gg.overlay_len(), extra * left);
+    let run = |engine| {
+        let (_, cds, mut state) = growth_fixture(left, right, extra);
+        let origins: Vec<usize> = (0..left + right).filter(|&v| v != left).take(64).collect();
+        let r = gossip_protocol_growth(
+            &gg,
+            &cds,
+            &mut state,
+            &origins,
+            17,
+            GossipConfig::default(),
+            &plan,
+            engine,
+        )
+        .unwrap();
+        (
+            r.complete,
+            r.lost_messages,
+            r.reinjected,
+            r.reextractions,
+            r.certified_classes,
+            r.stats.locality_blind(),
+        )
+    };
+    let engines = decomp_testkit::engines();
+    let baseline = run(engines[0]);
+    assert!(baseline.0, "survivors and newcomers must be served");
+    assert_eq!(baseline.1, 0);
+    assert_eq!(baseline.5.admitted_via_packing, extra);
+    assert_eq!(baseline.5.flood_served, 0);
     for &engine in &engines[1..] {
         assert_eq!(run(engine), baseline, "{engine} diverged");
     }

@@ -292,6 +292,77 @@ fn gossip_digest(g: &Graph, engine: EngineKind, seed: u64) -> (Vec<u64>, RunStat
     )
 }
 
+#[test]
+fn gossip_on_a_growing_topology_bit_identical() {
+    use connectivity_decomposition::congest::fault::{Fault, FaultPlan, ScheduledFault};
+    // Adjacency revealed only at arrival: the last three vertices are
+    // isolated in the base CSR, and their edges exist only in the
+    // growth overlay, activating at the arrival rounds. Every engine
+    // must deliver over the same per-round neighbor lists.
+    let gfull = generators::random_connected(24, 30, 5);
+    let newcomers = [21usize, 22, 23];
+    let base = Graph::from_edges(
+        gfull.n(),
+        (0..gfull.n()).flat_map(|u| {
+            gfull
+                .neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v && !newcomers.contains(&u) && !newcomers.contains(&v))
+                .map(move |&v| (u, v))
+        }),
+    );
+    let mut events = Vec::new();
+    for (i, &w) in newcomers.iter().enumerate() {
+        let round = 2 + 2 * i;
+        events.push(ScheduledFault {
+            round,
+            fault: Fault::AddVertex(w),
+        });
+        for &u in gfull.neighbors(w) {
+            // An edge between two newcomers activates at the *later*
+            // arrival (referencing the earlier one is fine; the other
+            // way round the plan would be invalid).
+            if newcomers
+                .iter()
+                .position(|&x| x == u)
+                .is_some_and(|j| j > i)
+            {
+                continue;
+            }
+            events.push(ScheduledFault {
+                round,
+                fault: Fault::AddEdge(w, u),
+            });
+        }
+    }
+    let plan = FaultPlan::new(events);
+    assert_eq!(plan.validate(&gfull), Ok(()));
+    let gg = plan.growth_topology(&base);
+    assert!(
+        gg.overlay_len() > 0,
+        "newcomer edges must live in the overlay"
+    );
+    assert_equivalent("growing gossip", |engine| {
+        let mut sim = Simulator::with_seed(gg.base(), Model::VCongest, 5)
+            .with_engine(engine)
+            .with_growth(&gg)
+            .with_faults(plan.clone());
+        let programs = (0..gfull.n())
+            .map(|v| GossipMix {
+                rounds_left: 3 + (v % 4),
+                acc: 0,
+            })
+            .collect();
+        let (programs, _) = sim.run_to_quiescence(programs).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.local_words + stats.cross_shard_words, stats.words);
+        (
+            programs.into_iter().map(|p| p.acc).collect::<Vec<_>>(),
+            stats.locality_blind(),
+        )
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
